@@ -1,0 +1,214 @@
+package eunomia
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus host-speed micro-benchmarks of the public API.
+//
+// The figure benchmarks execute in deterministic virtual time and report
+// the simulated metrics the paper plots (virtual Mops/s, aborts per
+// operation) via b.ReportMetric; host ns/op for these mostly reflects the
+// simulator, not the trees. Parameters are scaled down so the whole suite
+// completes in minutes; `cmd/eunobench` runs the full-size sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	"eunomia/internal/core"
+	"eunomia/internal/harness"
+	"eunomia/internal/htm"
+	"eunomia/internal/workload"
+)
+
+const (
+	benchKeys = 20_000
+	benchOps  = 400
+)
+
+func benchCfg(kind harness.TreeKind, threads int, theta float64) harness.Config {
+	return harness.Config{
+		Tree:         kind,
+		Threads:      threads,
+		Keys:         benchKeys,
+		Dist:         workload.Spec{Kind: workload.Zipfian, Theta: theta},
+		OpsPerThread: benchOps,
+	}
+}
+
+// report runs one harness configuration per b.N iteration and reports the
+// virtual-time metrics of the last run.
+func report(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	var r harness.Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(42 + i)
+		r = harness.Run(cfg)
+	}
+	b.ReportMetric(r.Throughput/1e6, "vMops/s")
+	b.ReportMetric(r.AbortsPerOp, "aborts/op")
+	b.ReportMetric(r.WastedPct, "wasted%")
+}
+
+// BenchmarkFig1ContentionSweep — Figure 1: the baseline HTM-B+Tree across
+// contention rates.
+func BenchmarkFig1ContentionSweep(b *testing.B) {
+	for _, theta := range []float64{0.2, 0.5, 0.7, 0.9, 0.99} {
+		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
+			report(b, benchCfg(harness.HTMBTree, 16, theta))
+		})
+	}
+}
+
+// BenchmarkFig2AbortBreakdown — Figure 2: abort decomposition of the
+// baseline (reported as per-reason aborts/op).
+func BenchmarkFig2AbortBreakdown(b *testing.B) {
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
+			cfg := benchCfg(harness.HTMBTree, 16, theta)
+			var r harness.Result
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(42 + i)
+				r = harness.Run(cfg)
+			}
+			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictFalse], "false/op")
+			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictTrue], "true/op")
+			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictMeta], "meta/op")
+			b.ReportMetric(r.AbortBreakdown[htm.AbortFallbackLock], "fblock/op")
+		})
+	}
+}
+
+// BenchmarkFig8Throughput — Figure 8: all four trees across contention.
+func BenchmarkFig8Throughput(b *testing.B) {
+	for _, kind := range []harness.TreeKind{
+		harness.EunoBTree, harness.HTMBTree, harness.Masstree, harness.HTMMasstree,
+	} {
+		for _, theta := range []float64{0.2, 0.9, 0.99} {
+			b.Run(fmt.Sprintf("%s/theta=%.2f", kind, theta), func(b *testing.B) {
+				report(b, benchCfg(kind, 16, theta))
+			})
+		}
+	}
+}
+
+// BenchmarkFig9Aborts — Figure 9: aborts per op, Euno vs baseline.
+func BenchmarkFig9Aborts(b *testing.B) {
+	for _, kind := range []harness.TreeKind{harness.HTMBTree, harness.EunoBTree} {
+		for _, theta := range []float64{0.9, 0.99} {
+			b.Run(fmt.Sprintf("%s/theta=%.2f", kind, theta), func(b *testing.B) {
+				report(b, benchCfg(kind, 16, theta))
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Scalability — Figure 10: throughput vs thread count at four
+// contention levels.
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, theta := range []float64{0.2, 0.6, 0.9, 0.99} {
+		for _, threads := range []int{1, 4, 16} {
+			for _, kind := range []harness.TreeKind{harness.EunoBTree, harness.HTMBTree} {
+				b.Run(fmt.Sprintf("theta=%.2f/%s/threads=%d", theta, kind, threads), func(b *testing.B) {
+					report(b, benchCfg(kind, threads, theta))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig11GetPut — Figure 11: get/put ratio sweep at theta=0.9.
+func BenchmarkFig11GetPut(b *testing.B) {
+	for _, get := range []int{0, 20, 50, 70} {
+		for _, kind := range []harness.TreeKind{harness.EunoBTree, harness.HTMBTree} {
+			b.Run(fmt.Sprintf("get=%d%%/%s", get, kind), func(b *testing.B) {
+				cfg := benchCfg(kind, 16, 0.9)
+				cfg.Mix = workload.Mix{GetPct: get, PutPct: 100 - get}
+				report(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Distributions — Figure 12: input distribution sweep.
+func BenchmarkFig12Distributions(b *testing.B) {
+	dists := []workload.Spec{
+		{Kind: workload.Poisson, N: benchKeys},
+		{Kind: workload.Normal, N: benchKeys},
+		{Kind: workload.SelfSimilar, N: benchKeys},
+		{Kind: workload.Zipfian, N: benchKeys, Theta: 0.9},
+	}
+	for _, d := range dists {
+		for _, kind := range []harness.TreeKind{harness.EunoBTree, harness.HTMBTree} {
+			b.Run(fmt.Sprintf("%s/%s", d.Kind, kind), func(b *testing.B) {
+				cfg := benchCfg(kind, 16, 0)
+				cfg.Dist = d
+				report(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Ablation — Figure 13: the cumulative design-choice chain.
+func BenchmarkFig13Ablation(b *testing.B) {
+	for _, theta := range []float64{0.2, 0.9} {
+		b.Run(fmt.Sprintf("Baseline/theta=%.2f", theta), func(b *testing.B) {
+			report(b, benchCfg(harness.HTMBTree, 16, theta))
+		})
+		for _, ab := range core.AblationConfigs() {
+			ab := ab
+			b.Run(fmt.Sprintf("%s/theta=%.2f", ab.Name, theta), func(b *testing.B) {
+				cfg := benchCfg(harness.EunoBTree, 16, theta)
+				ec := ab.Cfg
+				cfg.EunoCfg = &ec
+				report(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkMemOverhead — Section 5.7: Euno-B+Tree memory vs the baseline
+// holding identical contents.
+func BenchmarkMemOverhead(b *testing.B) {
+	for _, theta := range []float64{0.2, 0.9} {
+		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(harness.EunoBTree, 8, theta)
+				cfg.Seed = uint64(42 + i)
+				_, _, overhead = harness.MemoryComparison(cfg)
+			}
+			b.ReportMetric(overhead, "overhead%")
+		})
+	}
+}
+
+// BenchmarkWallOps measures host-speed single-thread throughput of the
+// public API (real ns/op, not virtual time).
+func BenchmarkWallOps(b *testing.B) {
+	for _, kind := range []Kind{EunoBTree, HTMBTree, Masstree} {
+		b.Run(kind.String()+"/put", func(b *testing.B) {
+			db, err := Open(Options{Kind: kind, ArenaWords: 1 << 25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := db.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Put(uint64(i%100000)+1, uint64(i))
+			}
+		})
+		b.Run(kind.String()+"/get", func(b *testing.B) {
+			db, err := Open(Options{Kind: kind, ArenaWords: 1 << 25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := db.NewThread()
+			for i := uint64(1); i <= 100000; i++ {
+				th.Put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Get(uint64(i%100000) + 1)
+			}
+		})
+	}
+}

@@ -1,0 +1,394 @@
+// Command eunobench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the emulated-HTM substrate. Each subcommand
+// prints the rows/series of one figure; `all` runs the whole suite.
+//
+// Usage:
+//
+//	eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|all>
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// simulator, not a 20-core Haswell); the shapes — who wins, by what rough
+// factor, where the collapse happens — are the reproduction target. See
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eunomia/internal/core"
+	"eunomia/internal/harness"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/workload"
+)
+
+var (
+	keys    = flag.Uint64("keys", 100_000, "key-space size (the paper uses 100M)")
+	ops     = flag.Int("ops", 1500, "operations per thread per data point")
+	threads = flag.Int("threads", 20, "maximum thread count (the paper's machine has 20 cores)")
+	seed    = flag.Uint64("seed", 42, "base RNG seed")
+	quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart   = flag.Bool("chart", false, "also render series figures as ASCII charts")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	figs := map[string]func(){
+		"fig1":      fig1,
+		"fig2":      fig2,
+		"fig8":      fig8,
+		"fig9":      fig9,
+		"fig10":     fig10,
+		"fig11":     fig11,
+		"fig12":     fig12,
+		"fig13":     fig13,
+		"mem":       mem,
+		"scan":      scanCost,
+		"latency":   latency,
+		"adjacency": adjacency,
+		"validate":  validateCmd,
+	}
+	name := strings.ToLower(flag.Arg(0))
+	if name == "all" {
+		for _, n := range []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "mem"} {
+			figs[n]()
+		}
+		return
+	}
+	fn, ok := figs[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "eunobench: unknown figure %q\n", name)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func emit(t *harness.Table) {
+	if *csv {
+		fmt.Printf("# %s\n", t.Title)
+		if err := t.CSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		return
+	}
+	t.Fprint(os.Stdout)
+}
+
+func thetas() []float64 {
+	if *quick {
+		return []float64{0.2, 0.9, 0.99}
+	}
+	return []float64{0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+}
+
+func threadSweep() []int {
+	full := []int{1, 2, 4, 8, 12, 16, 20}
+	if *quick {
+		full = []int{1, 4, 16}
+	}
+	var out []int
+	for _, n := range full {
+		if n <= *threads {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func baseCfg(kind harness.TreeKind) harness.Config {
+	return harness.Config{
+		Tree:         kind,
+		Threads:      *threads,
+		Keys:         *keys,
+		Dist:         workload.Spec{Kind: workload.Zipfian, Theta: 0.9},
+		Mix:          workload.DefaultMix,
+		OpsPerThread: *ops,
+		Seed:         *seed,
+	}
+}
+
+func mops(r harness.Result) string { return metrics.FormatOps(r.Throughput) }
+
+// fig1 — Figure 1: HTM-B+Tree throughput under different contention rates.
+func fig1() {
+	tbl := harness.Table{
+		Title:  "Figure 1: HTM-B+Tree performance under different contention rates (" + fmt.Sprint(*threads) + " threads)",
+		Header: []string{"theta", "throughput(ops/s)", "aborts/op", "wasted-cycles%"},
+	}
+	for _, th := range thetas() {
+		cfg := baseCfg(harness.HTMBTree)
+		cfg.Dist.Theta = th
+		r := harness.Run(cfg)
+		tbl.AddRow(fmt.Sprintf("%.2f", th), mops(r), harness.F2(r.AbortsPerOp), harness.F1(r.WastedPct))
+	}
+	emit(&tbl)
+}
+
+// fig2 — Figure 2: HTM aborts incurred by different reasons, per theta.
+func fig2() {
+	tbl := harness.Table{
+		Title: "Figure 2: HTM-B+Tree aborts by reason (aborts per operation)",
+		Header: []string{"theta", "total", "diff-record(false)", "shared-metadata",
+			"same-record(true)", "capacity", "fallback-lock"},
+	}
+	for _, th := range thetas() {
+		cfg := baseCfg(harness.HTMBTree)
+		cfg.Dist.Theta = th
+		r := harness.Run(cfg)
+		tbl.AddRow(fmt.Sprintf("%.2f", th),
+			harness.F2(r.AbortsPerOp),
+			harness.F2(r.AbortBreakdown[htm.AbortConflictFalse]),
+			harness.F2(r.AbortBreakdown[htm.AbortConflictMeta]),
+			harness.F2(r.AbortBreakdown[htm.AbortConflictTrue]),
+			harness.F2(r.AbortBreakdown[htm.AbortCapacity]),
+			harness.F2(r.AbortBreakdown[htm.AbortFallbackLock]))
+	}
+	emit(&tbl)
+}
+
+var allTrees = []harness.TreeKind{
+	harness.EunoBTree, harness.HTMBTree, harness.Masstree, harness.HTMMasstree,
+}
+
+// fig8 — Figure 8: throughput under different contention rates, all trees.
+func fig8() {
+	tbl := harness.Table{
+		Title:  "Figure 8: throughput under different contention rates (" + fmt.Sprint(*threads) + " threads, ops/s)",
+		Header: []string{"theta", "Euno-B+Tree", "HTM-B+Tree", "Masstree", "HTM-Masstree"},
+	}
+	ch := harness.Chart{Title: tbl.Title, XLabel: "theta", YLabel: "ops/s"}
+	for range allTrees {
+		ch.Series = append(ch.Series, harness.ChartSeries{})
+	}
+	for i, k := range allTrees {
+		ch.Series[i].Name = k.String()
+	}
+	for _, th := range thetas() {
+		row := []string{fmt.Sprintf("%.2f", th)}
+		ch.X = append(ch.X, th)
+		for i, k := range allTrees {
+			cfg := baseCfg(k)
+			cfg.Dist.Theta = th
+			r := harness.Run(cfg)
+			row = append(row, mops(r))
+			ch.Series[i].Y = append(ch.Series[i].Y, r.Throughput)
+		}
+		tbl.AddRow(row...)
+	}
+	emit(&tbl)
+	emitChart(&ch)
+}
+
+// fig9 — Figure 9: comparison of HTM aborts by reason, Euno vs baseline.
+func fig9() {
+	for _, k := range []harness.TreeKind{harness.HTMBTree, harness.EunoBTree} {
+		tbl := harness.Table{
+			Title: "Figure 9: " + k.String() + " aborts by reason (aborts per operation)",
+			Header: []string{"theta", "total", "diff-record(false)", "shared-metadata",
+				"same-record(true)", "fallback-lock"},
+		}
+		for _, th := range thetas() {
+			cfg := baseCfg(k)
+			cfg.Dist.Theta = th
+			r := harness.Run(cfg)
+			tbl.AddRow(fmt.Sprintf("%.2f", th),
+				harness.F2(r.AbortsPerOp),
+				harness.F2(r.AbortBreakdown[htm.AbortConflictFalse]),
+				harness.F2(r.AbortBreakdown[htm.AbortConflictMeta]),
+				harness.F2(r.AbortBreakdown[htm.AbortConflictTrue]),
+				harness.F2(r.AbortBreakdown[htm.AbortFallbackLock]))
+		}
+		emit(&tbl)
+	}
+}
+
+// scalePanel renders one thread-scalability panel.
+func scalePanel(title string, mod func(*harness.Config)) {
+	tbl := harness.Table{
+		Title:  title,
+		Header: []string{"threads", "Euno-B+Tree", "HTM-B+Tree", "Masstree", "HTM-Masstree"},
+	}
+	ch := harness.Chart{Title: title, XLabel: "threads", YLabel: "ops/s"}
+	for _, k := range allTrees {
+		ch.Series = append(ch.Series, harness.ChartSeries{Name: k.String()})
+	}
+	for _, n := range threadSweep() {
+		row := []string{fmt.Sprint(n)}
+		ch.X = append(ch.X, float64(n))
+		for i, k := range allTrees {
+			cfg := baseCfg(k)
+			cfg.Threads = n
+			mod(&cfg)
+			r := harness.Run(cfg)
+			row = append(row, mops(r))
+			ch.Series[i].Y = append(ch.Series[i].Y, r.Throughput)
+		}
+		tbl.AddRow(row...)
+	}
+	emit(&tbl)
+	emitChart(&ch)
+}
+
+// emitChart renders a chart when -chart is set.
+func emitChart(c *harness.Chart) {
+	if !*chart {
+		return
+	}
+	if err := c.Fprint(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+	}
+}
+
+// fig10 — Figure 10: scalability under four contention levels.
+func fig10() {
+	panels := []struct {
+		label string
+		theta float64
+	}{
+		{"(a) Low Contention, theta=0.2", 0.2},
+		{"(b) Modest Contention, theta=0.6", 0.6},
+		{"(c) High Contention, theta=0.9", 0.9},
+		{"(d) Extremely High Contention, theta=0.99", 0.99},
+	}
+	for _, p := range panels {
+		th := p.theta
+		scalePanel("Figure 10"+p.label+" (ops/s)", func(c *harness.Config) {
+			c.Dist.Theta = th
+		})
+	}
+}
+
+// fig11 — Figure 11: get/put ratios under high contention (theta=0.9).
+func fig11() {
+	ratios := []struct {
+		label string
+		get   int
+	}{
+		{"(a) 0% get / 100% put", 0},
+		{"(b) 20% get / 80% put", 20},
+		{"(c) 50% get / 50% put", 50},
+		{"(d) 70% get / 30% put", 70},
+	}
+	for _, rr := range ratios {
+		get := rr.get
+		scalePanel("Figure 11"+rr.label+", theta=0.9 (ops/s)", func(c *harness.Config) {
+			c.Dist.Theta = 0.9
+			c.Mix = workload.Mix{GetPct: get, PutPct: 100 - get}
+		})
+	}
+}
+
+// fig12 — Figure 12: different input distributions under high contention.
+func fig12() {
+	dists := []struct {
+		label string
+		spec  workload.Spec
+	}{
+		{"(a) Poisson Distribution", workload.Spec{Kind: workload.Poisson}},
+		{"(b) Normal Distribution", workload.Spec{Kind: workload.Normal}},
+		{"(c) Self-Similar Distribution", workload.Spec{Kind: workload.SelfSimilar}},
+		{"(d) Zipfian Distribution, theta=0.9", workload.Spec{Kind: workload.Zipfian, Theta: 0.9}},
+	}
+	for _, d := range dists {
+		spec := d.spec
+		scalePanel("Figure 12"+d.label+" (ops/s)", func(c *harness.Config) {
+			spec.N = c.Keys
+			c.Dist = spec
+		})
+	}
+}
+
+// fig13 — Figure 13: impact of different design choices (cumulative
+// ablation), relative to the monolithic baseline.
+func fig13() {
+	for _, p := range []struct {
+		label string
+		theta float64
+	}{
+		{"high contention (theta=0.9)", 0.9},
+		{"low contention (theta=0.2)", 0.2},
+	} {
+		tbl := harness.Table{
+			Title:  "Figure 13: impact of design choices, " + p.label + ", " + fmt.Sprint(*threads) + " threads",
+			Header: []string{"configuration", "throughput(ops/s)", "relative", "aborts/op", "fallbacks"},
+		}
+		base := baseCfg(harness.HTMBTree)
+		base.Dist.Theta = p.theta
+		rb := harness.Run(base)
+		tbl.AddRow("Baseline (HTM-B+Tree)", mops(rb), "1.00x", harness.F2(rb.AbortsPerOp), fmt.Sprint(rb.Stats.Fallbacks))
+		for _, ab := range core.AblationConfigs() {
+			cfg := baseCfg(harness.EunoBTree)
+			cfg.Dist.Theta = p.theta
+			ec := ab.Cfg
+			cfg.EunoCfg = &ec
+			r := harness.Run(cfg)
+			tbl.AddRow(ab.Name, mops(r),
+				fmt.Sprintf("%.2fx", r.Throughput/rb.Throughput),
+				harness.F2(r.AbortsPerOp), fmt.Sprint(r.Stats.Fallbacks))
+		}
+		emit(&tbl)
+	}
+}
+
+// mem — Section 5.7: memory consumption analysis.
+func mem() {
+	row := func(tbl *harness.Table, label string, mod func(*harness.Config)) {
+		cfg := baseCfg(harness.EunoBTree)
+		mod(&cfg)
+		euno, base, pct := harness.MemoryComparison(cfg)
+		tbl.AddRow(label,
+			fmt.Sprintf("%.2f MB", float64(euno)/1e6),
+			fmt.Sprintf("%.2f MB", float64(base)/1e6),
+			fmt.Sprintf("%.2f%%", pct))
+	}
+	t1 := harness.Table{
+		Title:  "Section 5.7 (1): memory overhead vs contention rate (Euno vs HTM-B+Tree)",
+		Header: []string{"theta", "Euno-B+Tree", "HTM-B+Tree", "overhead"},
+	}
+	for _, th := range thetas() {
+		th := th
+		row(&t1, fmt.Sprintf("%.2f", th), func(c *harness.Config) { c.Dist.Theta = th })
+	}
+	emit(&t1)
+
+	t2 := harness.Table{
+		Title:  "Section 5.7 (2): memory overhead vs get/put ratio (theta=0.9)",
+		Header: []string{"get/put", "Euno-B+Tree", "HTM-B+Tree", "overhead"},
+	}
+	for _, g := range []int{20, 50, 80} {
+		g := g
+		row(&t2, fmt.Sprintf("%d/%d", g, 100-g), func(c *harness.Config) {
+			c.Mix = workload.Mix{GetPct: g, PutPct: 100 - g}
+		})
+	}
+	emit(&t2)
+
+	t3 := harness.Table{
+		Title:  "Section 5.7 (3): memory overhead vs input distribution",
+		Header: []string{"distribution", "Euno-B+Tree", "HTM-B+Tree", "overhead"},
+	}
+	for _, d := range []struct {
+		label string
+		kind  workload.Kind
+	}{{"self-similar", workload.SelfSimilar}, {"poisson", workload.Poisson}, {"uniform", workload.Uniform}} {
+		d := d
+		row(&t3, d.label, func(c *harness.Config) {
+			c.Dist = workload.Spec{Kind: d.kind, N: c.Keys}
+		})
+	}
+	emit(&t3)
+}

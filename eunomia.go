@@ -1,0 +1,313 @@
+// Package eunomia is a Go reproduction of "Eunomia: Scaling Concurrent
+// Search Trees under Contention Using HTM" (PPoPP 2017): a concurrent
+// B+Tree library built on an emulated hardware-transactional-memory
+// substrate, together with the paper's three comparison trees and the
+// benchmark harness that regenerates its evaluation.
+//
+// Because Go cannot execute real RTM transactions (and the runtime/GC
+// would abort them anyway), the library runs against a software-emulated
+// HTM over a flat memory arena with cache-line-granularity conflict
+// detection and a virtual-time multicore simulator — see DESIGN.md for the
+// substitution argument. The API below is therefore shaped a little
+// differently from an ordinary map: a DB owns the arena and the emulated
+// device; each worker goroutine obtains a Thread handle carrying its
+// virtual core, statistics and RNG.
+//
+// Quickstart:
+//
+//	db, err := eunomia.Open(eunomia.Options{})
+//	th := db.NewThread()
+//	th.Put(1, 100)
+//	v, ok := th.Get(1)
+//
+// For deterministic virtual-time parallel execution (the mode all paper
+// figures use), see DB.RunVirtual.
+package eunomia
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/tree/htmtree"
+	"eunomia/internal/tree/masstree"
+	"eunomia/internal/vclock"
+)
+
+// Kind selects a tree implementation.
+type Kind int
+
+// The four tree designs the paper evaluates.
+const (
+	// EunoBTree is the paper's contribution: two-region HTM transactions,
+	// partitioned leaves, a conflict control module and adaptive
+	// concurrency control.
+	EunoBTree Kind = iota
+	// HTMBTree is the conventional baseline: one monolithic HTM region
+	// per operation.
+	HTMBTree
+	// Masstree is the fine-grained comparator with optimistic versioned
+	// locks (no HTM).
+	Masstree
+	// HTMMasstree wraps the Masstree code in one HTM region per operation
+	// with its locks elided.
+	HTMMasstree
+)
+
+// String returns the figure label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case EunoBTree:
+		return "Euno-B+Tree"
+	case HTMBTree:
+		return "HTM-B+Tree"
+	case Masstree:
+		return "Masstree"
+	case HTMMasstree:
+		return "HTM-Masstree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tuning mirrors the Euno-B+Tree design knobs (the Figure 13 ablation
+// flags). The zero value of each field keeps the default.
+type Tuning struct {
+	// StableCap is the sorted-region capacity (the B+Tree fanout).
+	StableCap int
+	// Segments × SegCap shape the partitioned insert area.
+	Segments int
+	SegCap   int
+	// Disable* switch off individual Eunomia guidelines (all enabled by
+	// default).
+	DisablePartLeaf    bool
+	DisableCCMLockBits bool
+	DisableCCMMarkBits bool
+	DisableAdaptive    bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Kind selects the tree implementation (default EunoBTree).
+	Kind Kind
+	// ArenaWords is the memory capacity in 8-byte words (default 1<<24,
+	// i.e. 128 MiB).
+	ArenaWords uint64
+	// Fanout is the node fanout for the non-Euno trees (default 16).
+	Fanout int
+	// Euno tunes the Euno-B+Tree (ignored for other kinds).
+	Euno Tuning
+	// YieldEvery inserts a cooperative scheduling point into wall-clock
+	// threads every N charged cycles; 0 disables. It matters only when
+	// running more worker goroutines than host cores.
+	YieldEvery uint64
+}
+
+// ErrReservedValue is returned by Put for the one value the trees reserve
+// internally (the deletion tombstone).
+var ErrReservedValue = errors.New("eunomia: value ^uint64(0) is reserved")
+
+// DB is a key-value store backed by one of the four trees over a private
+// arena and emulated HTM device. All methods on DB are safe for concurrent
+// use; per-worker operations go through Thread handles.
+type DB struct {
+	opts    Options
+	arena   *simmem.Arena
+	device  *htm.HTM
+	kv      tree.KV
+	euno    *core.Tree // non-nil when Kind == EunoBTree
+	nextID  atomic.Int64
+	threads atomic.Int64
+}
+
+// Open creates a DB.
+func Open(opts Options) (*DB, error) {
+	if opts.ArenaWords == 0 {
+		opts.ArenaWords = 1 << 24
+	}
+	if opts.Fanout == 0 {
+		opts.Fanout = 16
+	}
+	arena := simmem.NewArena(opts.ArenaWords)
+	device := htm.New(arena, htm.DefaultConfig)
+	boot := device.NewThread(vclock.NewWallProc(0, 0), 1)
+
+	db := &DB{opts: opts, arena: arena, device: device}
+	switch opts.Kind {
+	case EunoBTree:
+		cfg := core.DefaultConfig
+		t := opts.Euno
+		if t.StableCap != 0 {
+			cfg.StableCap = t.StableCap
+		}
+		if t.Segments != 0 {
+			cfg.Segments = t.Segments
+		}
+		if t.SegCap != 0 {
+			cfg.SegCap = t.SegCap
+		}
+		cfg.PartLeaf = !t.DisablePartLeaf
+		cfg.CCMLockBits = !t.DisableCCMLockBits
+		cfg.CCMMarkBits = !t.DisableCCMMarkBits
+		cfg.Adaptive = !t.DisableAdaptive
+		var err error
+		db.euno, err = newEuno(device, boot, cfg)
+		if err != nil {
+			return nil, err
+		}
+		db.kv = db.euno
+	case HTMBTree:
+		db.kv = htmtree.New(device, boot, opts.Fanout)
+	case Masstree, HTMMasstree:
+		db.kv = masstree.New(device, boot, opts.Fanout, opts.Kind == HTMMasstree)
+	default:
+		return nil, fmt.Errorf("eunomia: unknown kind %v", opts.Kind)
+	}
+	db.nextID.Store(1) // proc 0 was the boot thread
+	return db, nil
+}
+
+// Kind returns the tree implementation in use.
+func (db *DB) Kind() Kind { return db.opts.Kind }
+
+// Thread is a per-worker handle. A Thread must be used by one goroutine at
+// a time; create one per worker with NewThread (or receive one inside
+// RunVirtual). Creating a Thread is cheap.
+type Thread struct {
+	db *DB
+	th *htm.Thread
+}
+
+// NewThread creates a wall-clock worker handle.
+func (db *DB) NewThread() *Thread {
+	id := int(db.nextID.Add(1))
+	p := vclock.NewWallProc(id, db.opts.YieldEvery)
+	return &Thread{db: db, th: db.device.NewThread(p, uint64(id)*0x9e3779b9+1)}
+}
+
+// Get returns the value stored under key.
+func (t *Thread) Get(key uint64) (uint64, bool) {
+	return t.db.kv.Get(t.th, key)
+}
+
+// Put inserts or updates key.
+func (t *Thread) Put(key, val uint64) error {
+	if val == tree.Tombstone {
+		return ErrReservedValue
+	}
+	t.db.kv.Put(t.th, key, val)
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Thread) Delete(key uint64) bool {
+	return t.db.kv.Delete(t.th, key)
+}
+
+// Scan visits up to max keys >= from in ascending order, stopping early if
+// fn returns false, and returns the number visited.
+func (t *Thread) Scan(from uint64, max int, fn func(key, val uint64) bool) int {
+	return t.db.kv.Scan(t.th, from, max, fn)
+}
+
+// Stats is a snapshot of a thread's transactional behavior.
+type Stats struct {
+	Commits      uint64
+	Aborts       uint64
+	Fallbacks    uint64
+	WastedCycles uint64
+	// AbortsByReason maps reason names ("conflict-true", "conflict-false",
+	// "conflict-meta", "capacity", "explicit", "fallback-lock") to counts.
+	AbortsByReason map[string]uint64
+}
+
+// Stats returns the thread's accumulated statistics.
+func (t *Thread) Stats() Stats {
+	s := Stats{
+		Commits:        t.th.Stats.Commits,
+		Aborts:         t.th.Stats.TotalAborts(),
+		Fallbacks:      t.th.Stats.Fallbacks,
+		WastedCycles:   t.th.Stats.WastedCycles,
+		AbortsByReason: map[string]uint64{},
+	}
+	for r := htm.AbortReason(1); r < htm.NumAbortReasons; r++ {
+		if n := t.th.Stats.Aborts[r]; n > 0 {
+			s.AbortsByReason[r.String()] = n
+		}
+	}
+	return s
+}
+
+// MemoryStats reports the DB's arena footprint.
+type MemoryStats struct {
+	LiveBytes     int64
+	PeakBytes     int64
+	ReservedBytes int64 // transient reserved-keys buffers currently live
+	CCMBytes      int64 // conflict control module lines
+}
+
+// MemoryStats returns the current memory accounting.
+func (db *DB) MemoryStats() MemoryStats {
+	return MemoryStats{
+		LiveBytes:     db.arena.LiveBytes(),
+		PeakBytes:     db.arena.PeakBytes(),
+		ReservedBytes: db.arena.BytesByTag(simmem.TagReserved),
+		CCMBytes:      db.arena.BytesByTag(simmem.TagCCM),
+	}
+}
+
+// VirtualResult reports a RunVirtual execution.
+type VirtualResult struct {
+	// Cycles is the virtual makespan (max per-core clock).
+	Cycles uint64
+	// Seconds converts Cycles at the modeled 2.3 GHz clock.
+	Seconds float64
+	// Stats aggregates all worker threads.
+	Stats Stats
+}
+
+// RunVirtual executes body once per virtual core under the deterministic
+// discrete-event scheduler: concurrency and contention play out in
+// simulated time even on a single host core, and repeated runs are
+// bit-for-bit identical. This is the execution mode of every figure in the
+// paper reproduction.
+func (db *DB) RunVirtual(threads int, body func(t *Thread)) VirtualResult {
+	sim := vclock.NewSim(threads, 0)
+	workers := make([]*Thread, threads)
+	sim.Run(func(p *vclock.SimProc) {
+		t := &Thread{db: db, th: db.device.NewThread(p, uint64(p.ID())*7919+13)}
+		workers[p.ID()] = t
+		body(t)
+	})
+	res := VirtualResult{Cycles: sim.MaxClock()}
+	res.Seconds = float64(res.Cycles) / vclock.CyclesPerSecond
+	res.Stats.AbortsByReason = map[string]uint64{}
+	var merged htm.Stats
+	for _, w := range workers {
+		merged.Merge(&w.th.Stats)
+	}
+	res.Stats.Commits = merged.Commits
+	res.Stats.Aborts = merged.TotalAborts()
+	res.Stats.Fallbacks = merged.Fallbacks
+	res.Stats.WastedCycles = merged.WastedCycles
+	for r := htm.AbortReason(1); r < htm.NumAbortReasons; r++ {
+		if n := merged.Aborts[r]; n > 0 {
+			res.Stats.AbortsByReason[r.String()] = n
+		}
+	}
+	return res
+}
+
+// newEuno adapts core.New's panic-on-bad-config to an error.
+func newEuno(h *htm.HTM, boot *htm.Thread, cfg core.Config) (t *core.Tree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("eunomia: %v", r)
+		}
+	}()
+	return core.New(h, boot, cfg), nil
+}

@@ -1,0 +1,66 @@
+// contention demonstrates the fourth Eunomia guideline — adaptive
+// concurrency control — by driving a workload through three phases:
+//
+//  1. uniform accesses (cold leaves: the conflict control module is
+//     bypassed and operations pay almost no synchronization overhead),
+//  2. extreme skew on a hot key range (the per-leaf contention detector
+//     heats up and engages the CCM, absorbing conflicts),
+//  3. uniform again (scores decay, leaves cool, the CCM disengages).
+//
+// The per-phase statistics show the detector following the workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eunomia"
+	"eunomia/internal/vclock"
+	"eunomia/internal/workload"
+)
+
+const (
+	keySpace = 20_000
+	threads  = 12
+	opsEach  = 2_500
+)
+
+func phase(db *eunomia.DB, name string, spec workload.Spec) {
+	res := db.RunVirtual(threads, func(t *eunomia.Thread) {
+		gen := spec.New()
+		rng := vclock.NewRand(uint64(len(name)) + 3)
+		for i := 0; i < opsEach; i++ {
+			key := workload.KeyOfRank(gen.Next(rng))
+			if i%2 == 0 {
+				t.Put(key, key)
+			} else {
+				t.Get(key)
+			}
+		}
+	})
+	ops := float64(threads * opsEach)
+	fmt.Printf("%-22s %7.2f M ops/s   aborts/op=%.4f   fallbacks=%d   wasted=%d cycles\n",
+		name, ops/res.Seconds/1e6, float64(res.Stats.Aborts)/ops,
+		res.Stats.Fallbacks, res.Stats.WastedCycles)
+}
+
+func main() {
+	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader := db.NewThread()
+	workload.ForEachPreload(keySpace, 60, func(key uint64) {
+		loader.Put(key, key)
+	})
+
+	uniform := workload.Spec{Kind: workload.Uniform, N: keySpace}
+	skewed := workload.Spec{Kind: workload.Zipfian, N: keySpace, Theta: 0.99}
+
+	fmt.Printf("adaptive concurrency control across workload phases (%d threads)\n\n", threads)
+	phase(db, "phase 1: uniform", uniform)
+	phase(db, "phase 2: zipf 0.99", skewed)
+	phase(db, "phase 3: uniform again", uniform)
+	fmt.Println("\nThe detector is per-leaf: phase 2 heats only the hot leaves, and the")
+	fmt.Println("decayed scores let phase 3 run CCM-free again.")
+}

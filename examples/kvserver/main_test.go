@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"eunomia"
+)
+
+// startTestServer brings up the server on a loopback port.
+func startTestServer(t *testing.T) net.Addr {
+	t.Helper()
+	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{db: db}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go s.run(ln)
+	return ln.Addr()
+}
+
+func roundTrip(t *testing.T, conn net.Conn, in *bufio.Scanner, req string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Scan() {
+		t.Fatalf("no reply to %q", req)
+	}
+	return in.Text()
+}
+
+func TestProtocol(t *testing.T) {
+	addr := startTestServer(t)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+
+	cases := []struct{ req, want string }{
+		{"GET 5", "NOT_FOUND"},
+		{"PUT 5 50", "OK"},
+		{"GET 5", "VALUE 50"},
+		{"PUT 5 51", "OK"},
+		{"GET 5", "VALUE 51"},
+		{"DEL 5", "OK"},
+		{"DEL 5", "NOT_FOUND"},
+		{"GET 5", "NOT_FOUND"},
+		{"BOGUS", `ERR unknown command "BOGUS"`},
+		{"PUT x y", "ERR"},
+		{"PUT 1 18446744073709551615", "ERR eunomia: value ^uint64(0) is reserved"},
+	}
+	for _, c := range cases {
+		got := roundTrip(t, conn, in, c.req)
+		if !strings.HasPrefix(got, c.want) && got != c.want {
+			t.Fatalf("%q -> %q, want %q", c.req, got, c.want)
+		}
+	}
+}
+
+func TestProtocolScan(t *testing.T) {
+	addr := startTestServer(t)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+
+	for k := 10; k <= 30; k += 2 {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k*10)); got != "OK" {
+			t.Fatalf("put: %q", got)
+		}
+	}
+	fmt.Fprintln(conn, "SCAN 14 4")
+	var pairs []string
+	for in.Scan() {
+		line := in.Text()
+		if line == "END" {
+			break
+		}
+		pairs = append(pairs, line)
+	}
+	want := []string{"PAIR 14 140", "PAIR 16 160", "PAIR 18 180", "PAIR 20 200"}
+	if len(pairs) != len(want) {
+		t.Fatalf("scan: %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr := startTestServer(t)
+	const clients = 4
+	done := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			in := bufio.NewScanner(conn)
+			base := c * 1000
+			for i := 0; i < 200; i++ {
+				fmt.Fprintf(conn, "PUT %d %d\n", base+i, i)
+				if !in.Scan() || in.Text() != "OK" {
+					done <- fmt.Errorf("client %d: bad put reply", c)
+					return
+				}
+			}
+			for i := 0; i < 200; i++ {
+				fmt.Fprintf(conn, "GET %d\n", base+i)
+				if !in.Scan() || in.Text() != fmt.Sprintf("VALUE %d", i) {
+					done <- fmt.Errorf("client %d: bad get reply %q", c, in.Text())
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// The conflict control module (CCM) of a leaf occupies one cache line,
+// tagged TagCCM, which is *never* accessed inside an HTM region — the whole
+// point is to serialize or filter requests before they enter a transaction
+// (Figure 5). Word offsets within the CCM line:
+const (
+	ccmSplitLock = 0 // advisory per-leaf lock serializing splits and scans
+	ccmLockBits  = 1 // one lock bit per hash slot (fine-grained advisory locks)
+	ccmMarks0    = 2 // counting mark slots, 16 nibbles per word (2 words)
+	ccmMarks1    = 3
+	ccmConflict  = 4 // contention detector: decaying conflict score
+	ccmTombs     = 5 // tombstones accumulated since the last compaction
+)
+
+// markSaturation is the nibble ceiling; a saturated slot never decrements
+// again, keeping the filter conservative (false positives only).
+const markSaturation = 15
+
+// slotOf hashes a key to a CCM slot. All threads must agree on it.
+func (t *Tree) slotOf(key uint64) uint {
+	x := key + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint(x % uint64(t.nslots))
+}
+
+// lockSlot acquires the advisory lock bit for a slot, spinning (and
+// charging virtual time) until it wins — Algorithm 2 lines 30-31.
+func (t *Tree) lockSlot(p vclock.Proc, ccm simmem.Addr, slot uint) {
+	addr := ccm + ccmLockBits
+	bit := uint64(1) << slot
+	for {
+		cur := t.a.LoadWord(p, addr)
+		if cur&bit == 0 && t.a.CASWordDirect(p, addr, cur, cur|bit) {
+			return
+		}
+		p.Tick(t.a.Costs().SpinIter)
+	}
+}
+
+// unlockSlot releases the advisory lock bit.
+func (t *Tree) unlockSlot(p vclock.Proc, ccm simmem.Addr, slot uint) {
+	addr := ccm + ccmLockBits
+	bit := uint64(1) << slot
+	for {
+		cur := t.a.LoadWord(p, addr)
+		if t.a.CASWordDirect(p, addr, cur, cur&^bit) {
+			return
+		}
+		p.Tick(t.a.Costs().SpinIter)
+	}
+}
+
+// markAddr returns the word and nibble shift for a slot's counter.
+func markAddr(ccm simmem.Addr, slot uint) (simmem.Addr, uint) {
+	return ccm + ccmMarks0 + simmem.Addr(slot/16), (slot % 16) * 4
+}
+
+// markCount reads a slot's counting mark.
+func (t *Tree) markCount(p vclock.Proc, ccm simmem.Addr, slot uint) uint64 {
+	addr, shift := markAddr(ccm, slot)
+	return (t.a.LoadWord(p, addr) >> shift) & 0xf
+}
+
+// markAdd adjusts a slot's counting mark by +1 or -1 with saturating
+// semantics and returns the new count. A saturated slot sticks at the
+// ceiling forever (conservative). Decrements below zero are clamped.
+func (t *Tree) markAdd(p vclock.Proc, ccm simmem.Addr, slot uint, delta int) uint64 {
+	addr, shift := markAddr(ccm, slot)
+	for {
+		cur := t.a.LoadWord(p, addr)
+		n := (cur >> shift) & 0xf
+		switch {
+		case delta > 0 && n < markSaturation:
+			n++
+		case delta < 0 && n > 0 && n < markSaturation:
+			n--
+		default:
+			return n // saturated or clamped: leave as-is
+		}
+		next := (cur &^ (0xf << shift)) | (n << shift)
+		if t.a.CASWordDirect(p, addr, cur, next) {
+			return n
+		}
+		p.Tick(t.a.Costs().SpinIter)
+	}
+}
+
+// lockLeaf acquires the per-leaf advisory split lock (serializing splits,
+// compactions, and scans on the leaf).
+func (t *Tree) lockLeaf(p vclock.Proc, ccm simmem.Addr) {
+	for !t.a.CASWordDirect(p, ccm+ccmSplitLock, 0, 1) {
+		for t.a.LoadWord(p, ccm+ccmSplitLock) != 0 {
+			p.Tick(t.a.Costs().SpinIter)
+		}
+	}
+}
+
+// unlockLeaf releases the advisory split lock.
+func (t *Tree) unlockLeaf(p vclock.Proc, ccm simmem.Addr) {
+	t.a.StoreWordDirect(p, ccm+ccmSplitLock, 0)
+}
+
+// leafHot consults the contention detector: a leaf is hot when its decayed
+// conflict score is at or above the threshold. With Adaptive disabled the
+// CCM is considered always-on.
+func (t *Tree) leafHot(p vclock.Proc, ccm simmem.Addr) bool {
+	if !t.cfg.Adaptive {
+		return true
+	}
+	return t.a.LoadWord(p, ccm+ccmConflict) >= t.cfg.HotThreshold
+}
+
+// noteConflicts feeds the contention detector after an operation that
+// suffered aborts in the lower region. Conflict-free operations decay the
+// score instead, on a sampled basis, so a leaf cools down once contention
+// passes. The detector writes the CCM line only on aborts and on sampled
+// decays — clean traffic leaves the line read-shared and therefore cached,
+// keeping the detector itself from becoming a contention point.
+func (t *Tree) noteConflicts(th *htm.Thread, ccm simmem.Addr, aborts uint64) {
+	if !t.cfg.Adaptive {
+		return
+	}
+	if aborts > 0 {
+		t.a.AddWordDirect(th.P, ccm+ccmConflict, aborts)
+		return
+	}
+	// Clean op: sampled decay-on-read (lossy racing is fine — the score is
+	// a heuristic).
+	if th.Rand.Uint64()%32 == 0 {
+		if score := t.a.LoadWord(th.P, ccm+ccmConflict); score > 0 {
+			t.a.StoreWordDirect(th.P, ccm+ccmConflict, score/2)
+		}
+	}
+}

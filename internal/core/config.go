@@ -1,0 +1,150 @@
+// Package core implements Euno-B+Tree, the paper's contribution: a
+// concurrent B+Tree that stays scalable under contention by applying the
+// four Eunomia design guidelines (Section 3):
+//
+//  1. Split HTM regions. Every get/put/delete runs as two transactions —
+//     an upper region that traverses the index and samples the target
+//     leaf's sequence number, and a lower region that operates on the leaf
+//     after re-validating that number (Algorithm 2). A leaf-level conflict
+//     now retries only the lower region; only a split (seqno change) forces
+//     a retry from the root.
+//
+//  2. Partitioned leaf layout. A leaf stores records in S line-aligned
+//     *segments* (sorted within a segment, unsorted across) plus a sorted
+//     *stable region* that absorbs segment overflow; puts are scattered
+//     across segments so adjacent records no longer share cache lines
+//     (Section 4.1, Algorithm 3).
+//
+//  3. Conflict control module (CCM). Outside the HTM regions each leaf
+//     carries per-key-slot advisory lock bits that serialize same-record
+//     requests before they can conflict inside a transaction, and counting
+//     mark slots (a counting Bloom filter) that turn away requests for
+//     absent keys (Figure 5).
+//
+//  4. Adaptive concurrency control. A per-leaf contention detector lets
+//     cold leaves bypass the CCM entirely, removing its overhead under low
+//     contention.
+//
+// Documented deviations from the paper's prose, with reasons:
+//
+//   - The paper's purely random write scheduler can insert the same new key
+//     into two different segments when two threads race past a bypassed
+//     CCM (the paper's proof sketch quietly relies on the lock bits for
+//     this case). We therefore use the random scheduler only while the
+//     lock bits serialize same-slot requests, and a deterministic
+//     home-segment scheduler (hash of the key) otherwise — adjacent keys
+//     still scatter, but same-key inserts always collide inside one
+//     segment and serialize transactionally.
+//
+//   - Mark "bits" are 4-bit saturating counters so deletion cannot create
+//     false negatives under hash collisions (clearing a plain bit, as the
+//     paper describes, is unsound).
+//
+//   - After a split, the old leaf's mark slots are left as a superset
+//     (stale marks for moved keys) rather than rebuilt, because a rebuild
+//     outside the transaction races with concurrent insertions; supersets
+//     only cost false positives. The new leaf's marks are computed inside
+//     the split transaction.
+package core
+
+import "fmt"
+
+// Config selects the Euno-B+Tree geometry and which Eunomia design
+// guidelines are active; the flags give the Figure 13 ablation chain.
+type Config struct {
+	// StableCap is the capacity (in records) of the sorted stable region —
+	// the B+Tree fanout in the paper's terms. 4..32.
+	StableCap int
+	// Segments and SegCap shape the partitioned insert area: Segments
+	// line-aligned segments of SegCap records each. Ignored when PartLeaf
+	// is false.
+	Segments int
+	SegCap   int
+
+	// PartLeaf enables the partitioned leaf layout (+Part Leaf). When
+	// false a leaf is just the sorted stable region, and inserts shift it
+	// in place inside the lower region (+Split HTM configuration).
+	PartLeaf bool
+	// CCMLockBits enables the per-slot advisory lock bits (+CCM lockbits).
+	CCMLockBits bool
+	// CCMMarkBits enables the counting mark slots (+CCM markbits).
+	CCMMarkBits bool
+	// Adaptive enables the per-leaf contention detector that bypasses the
+	// CCM on cold leaves (+Adaptive).
+	Adaptive bool
+
+	// HotThreshold is the contention score at which a leaf is considered
+	// hot (the score decays on sampled conflict-free operations).
+	HotThreshold uint64
+	// RebalanceThreshold is the number of tombstones a leaf accumulates
+	// before a delete triggers compaction (Section 4.2.4: "we do the
+	// re-balance when the number of delete operations exceeds a
+	// threshold"). 0 keeps the default.
+	RebalanceThreshold uint64
+}
+
+// DefaultConfig is the full Euno-B+Tree ("+Adaptive" column of Figure 13):
+// every guideline enabled, fanout 16 as in the paper's Section 5.7.
+var DefaultConfig = Config{
+	StableCap:          16,
+	Segments:           4,
+	SegCap:             3,
+	PartLeaf:           true,
+	CCMLockBits:        true,
+	CCMMarkBits:        true,
+	Adaptive:           true,
+	HotThreshold:       24,
+	RebalanceThreshold: 8,
+}
+
+// AblationConfigs returns the cumulative Figure 13 configurations in order:
+// +Split HTM, +Part Leaf, +CCM lockbits, +CCM markbits, +Adaptive.
+// (The Figure's "Baseline" is the monolithic htmtree.)
+func AblationConfigs() []struct {
+	Name string
+	Cfg  Config
+} {
+	base := DefaultConfig
+	mk := func(f func(*Config)) Config { c := base; f(&c); return c }
+	return []struct {
+		Name string
+		Cfg  Config
+	}{
+		{"+Split HTM", mk(func(c *Config) { c.PartLeaf, c.CCMLockBits, c.CCMMarkBits, c.Adaptive = false, false, false, false })},
+		{"+Part Leaf", mk(func(c *Config) { c.CCMLockBits, c.CCMMarkBits, c.Adaptive = false, false, false })},
+		{"+CCM lockbits", mk(func(c *Config) { c.CCMMarkBits, c.Adaptive = false, false })},
+		{"+CCM markbits", mk(func(c *Config) { c.Adaptive = false })},
+		{"+Adaptive", base},
+	}
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	if c.StableCap < 4 || c.StableCap > 32 {
+		return fmt.Errorf("core: StableCap %d out of [4,32]", c.StableCap)
+	}
+	if !c.PartLeaf {
+		c.Segments, c.SegCap = 0, 0
+	} else {
+		if c.Segments < 2 || c.Segments > 8 {
+			return fmt.Errorf("core: Segments %d out of [2,8]", c.Segments)
+		}
+		if c.SegCap < 1 || c.SegCap > 7 {
+			return fmt.Errorf("core: SegCap %d out of [1,7]", c.SegCap)
+		}
+		// A split distributes ceil((StableCap+Segments*SegCap+1)/2) live
+		// records into each new leaf's stable region, so the segment area
+		// must not exceed StableCap-1 or a full leaf could not split.
+		if c.Segments*c.SegCap > c.StableCap-1 {
+			return fmt.Errorf("core: Segments*SegCap = %d exceeds StableCap-1 = %d; a full leaf could not split",
+				c.Segments*c.SegCap, c.StableCap-1)
+		}
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = DefaultConfig.HotThreshold
+	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = DefaultConfig.RebalanceThreshold
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/tree/treetest"
+	"eunomia/internal/vclock"
+)
+
+func factoryWith(cfg Config) treetest.Factory {
+	return func(h *htm.HTM, boot *htm.Thread) tree.KV {
+		return New(h, boot, cfg)
+	}
+}
+
+// TestKitFullEuno runs the complete correctness kit on the default (all
+// guidelines enabled) configuration.
+func TestKitFullEuno(t *testing.T) {
+	treetest.RunAll(t, factoryWith(DefaultConfig))
+}
+
+// TestKitAblations runs the kit on every Figure 13 configuration, since
+// each flag combination takes different code paths.
+func TestKitAblations(t *testing.T) {
+	for _, ab := range AblationConfigs() {
+		ab := ab
+		t.Run(ab.Name, func(t *testing.T) {
+			treetest.RunAll(t, factoryWith(ab.Cfg))
+		})
+	}
+}
+
+// TestKitOddGeometries exercises non-default segment shapes.
+func TestKitOddGeometries(t *testing.T) {
+	cfgs := map[string]Config{
+		"small-leaf":  {StableCap: 4, Segments: 2, SegCap: 1, PartLeaf: true, CCMLockBits: true, CCMMarkBits: true, Adaptive: true},
+		"wide-leaf":   {StableCap: 32, Segments: 4, SegCap: 7, PartLeaf: true, CCMLockBits: true, CCMMarkBits: true},
+		"no-adaptive": {StableCap: 16, Segments: 4, SegCap: 3, PartLeaf: true, CCMLockBits: true, CCMMarkBits: true},
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			treetest.RunAll(t, factoryWith(cfg))
+		})
+	}
+}
+
+func newEuno(t *testing.T, cfg Config) (*Tree, *htm.Thread) {
+	t.Helper()
+	h, boot := treetest.NewDevice(1 << 24)
+	return New(h, boot, cfg), boot
+}
+
+func TestTwoRegionGetUsesTwoTransactions(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Adaptive = false // CCM always on, but gets should still be 2 regions
+	tr, boot := newEuno(t, cfg)
+	for i := uint64(1); i <= 100; i++ {
+		tr.Put(boot, i, i)
+	}
+	before := boot.Stats.Attempts
+	tr.Get(boot, 50)
+	if got := boot.Stats.Attempts - before; got != 2 {
+		t.Fatalf("get used %d attempts, want 2 (upper + lower)", got)
+	}
+}
+
+func TestMarkSlotsRejectAbsentKeys(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Adaptive = false
+	tr, boot := newEuno(t, cfg)
+	for i := uint64(1); i <= 64; i++ {
+		tr.Put(boot, i*1000, i)
+	}
+	before := tr.MarkRejects()
+	misses := 0
+	for i := uint64(1); i <= 64; i++ {
+		if _, ok := tr.Get(boot, i*1000+1); ok {
+			t.Fatalf("found absent key %d", i*1000+1)
+		}
+		misses++
+	}
+	rejects := tr.MarkRejects() - before
+	if rejects == 0 {
+		t.Fatal("mark slots never rejected an absent-key get")
+	}
+	t.Logf("mark fast path rejected %d of %d absent gets", rejects, misses)
+}
+
+func TestMarkNeverFalseNegative(t *testing.T) {
+	// Every present key must be found even after deletes of colliding keys
+	// and splits (marks may over-count, never under-count).
+	cfg := DefaultConfig
+	cfg.Adaptive = false
+	tr, boot := newEuno(t, cfg)
+	const n = 2000
+	for i := uint64(1); i <= n; i++ {
+		tr.Put(boot, i, i*7)
+	}
+	for i := uint64(1); i <= n; i += 3 {
+		tr.Delete(boot, i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		v, ok := tr.Get(boot, i)
+		wantOK := i%3 != 1
+		if ok != wantOK || (ok && v != i*7) {
+			t.Fatalf("get(%d) = %d,%v want present=%v", i, v, ok, wantOK)
+		}
+	}
+}
+
+func TestDeletedKeysStayDeletedAcrossCompaction(t *testing.T) {
+	tr, boot := newEuno(t, DefaultConfig)
+	// Fill one leaf's key neighborhood so compactions and a split happen.
+	for i := uint64(1); i <= 60; i++ {
+		tr.Put(boot, i, i)
+	}
+	for i := uint64(1); i <= 60; i += 2 {
+		if !tr.Delete(boot, i) {
+			t.Fatalf("delete(%d) failed", i)
+		}
+	}
+	// Force more maintenance traffic.
+	for i := uint64(100); i <= 160; i++ {
+		tr.Put(boot, i, i)
+	}
+	for i := uint64(1); i <= 60; i++ {
+		_, ok := tr.Get(boot, i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestSplitsBumpSeqnoAndForceRootRetries(t *testing.T) {
+	tr, boot := newEuno(t, DefaultConfig)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Put(boot, i, i)
+	}
+	if tr.Splits() == 0 {
+		t.Fatal("no splits after 1000 sequential inserts")
+	}
+	if tr.Depth(boot) < 2 {
+		t.Fatalf("depth = %d", tr.Depth(boot))
+	}
+}
+
+func TestShadowUpdateWinsOverStable(t *testing.T) {
+	// Drive a key into the stable region via compaction, then update it;
+	// the segment shadow must win on reads and survive the next compaction.
+	tr, boot := newEuno(t, DefaultConfig)
+	for i := uint64(1); i <= 20; i++ { // overflow segments -> compaction
+		tr.Put(boot, i, 100+i)
+	}
+	if tr.Compactions() == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	tr.Put(boot, 5, 999) // shadow update of a stable-resident key
+	if v, ok := tr.Get(boot, 5); !ok || v != 999 {
+		t.Fatalf("get(5) = %d,%v want 999", v, ok)
+	}
+	for i := uint64(30); i <= 60; i++ { // force further compactions/splits
+		tr.Put(boot, i, i)
+	}
+	if v, ok := tr.Get(boot, 5); !ok || v != 999 {
+		t.Fatalf("get(5) after maintenance = %d,%v want 999", v, ok)
+	}
+}
+
+func TestAdaptiveDetectorHeatsAndCools(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.HotThreshold = 4
+	tr, boot := newEuno(t, cfg)
+	tr.Put(boot, 1, 1)
+	leaf, _ := tr.upper(boot, 1)
+	ccm := tr.ccmAddr(leaf)
+	if tr.leafHot(boot.P, ccm) {
+		t.Fatal("fresh leaf reported hot")
+	}
+	tr.a.AddWordDirect(boot.P, ccm+ccmConflict, 10)
+	if !tr.leafHot(boot.P, ccm) {
+		t.Fatal("leaf with conflict score 10 not hot")
+	}
+	// Conflict-free operations decay the score back below threshold.
+	for i := 0; i < 20000 && tr.leafHot(boot.P, ccm); i++ {
+		tr.Get(boot, 1)
+	}
+	if tr.leafHot(boot.P, ccm) {
+		t.Fatal("leaf never cooled down")
+	}
+}
+
+func TestTombstoneValueRejected(t *testing.T) {
+	tr, boot := newEuno(t, DefaultConfig)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for tombstone value")
+		}
+	}()
+	tr.Put(boot, 1, tree.Tombstone)
+}
+
+func TestConfigValidation(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 18)
+	bad := []Config{
+		{StableCap: 2},
+		{StableCap: 64},
+		{StableCap: 16, PartLeaf: true, Segments: 1, SegCap: 3},
+		{StableCap: 16, PartLeaf: true, Segments: 4, SegCap: 9},
+		{StableCap: 16, PartLeaf: true, Segments: 8, SegCap: 7}, // cannot split
+		{StableCap: 4, PartLeaf: true, Segments: 2, SegCap: 2},  // cannot split
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() { recover() }()
+			New(h, boot, cfg)
+			t.Fatalf("config %+v accepted", cfg)
+		}()
+	}
+}
+
+func TestCCMBitOps(t *testing.T) {
+	tr, boot := newEuno(t, DefaultConfig)
+	tr.Put(boot, 1, 1)
+	leaf, _ := tr.upper(boot, 1)
+	ccm := tr.ccmAddr(leaf)
+	p := boot.P
+
+	// Lock bits: lock two slots independently, unlock, relock.
+	tr.lockSlot(p, ccm, 3)
+	tr.lockSlot(p, ccm, 7)
+	bits := tr.a.LoadWord(p, ccm+ccmLockBits)
+	if bits&(1<<3) == 0 || bits&(1<<7) == 0 {
+		t.Fatalf("lock bits = %b", bits)
+	}
+	tr.unlockSlot(p, ccm, 3)
+	if tr.a.LoadWord(p, ccm+ccmLockBits)&(1<<3) != 0 {
+		t.Fatal("slot 3 still locked")
+	}
+	tr.unlockSlot(p, ccm, 7)
+
+	// Counting marks: saturate and verify stickiness.
+	slot := uint(5)
+	base := tr.markCount(p, ccm, slot)
+	for i := 0; i < 30; i++ {
+		tr.markAdd(p, ccm, slot, +1)
+	}
+	if got := tr.markCount(p, ccm, slot); got != markSaturation {
+		t.Fatalf("saturated mark = %d, want %d", got, markSaturation)
+	}
+	tr.markAdd(p, ccm, slot, -1)
+	if got := tr.markCount(p, ccm, slot); got != markSaturation {
+		t.Fatal("saturated mark decremented")
+	}
+	_ = base
+}
+
+func TestMarkAddClampAtZero(t *testing.T) {
+	tr, boot := newEuno(t, DefaultConfig)
+	tr.Put(boot, 1, 1)
+	leaf, _ := tr.upper(boot, 1)
+	ccm := tr.ccmAddr(leaf)
+	slot := uint(9)
+	if got := tr.markAdd(boot.P, ccm, slot, -1); got != 0 {
+		t.Fatalf("decrement at zero = %d", got)
+	}
+}
+
+func TestSlotHashInRangeAndDeterministic(t *testing.T) {
+	tr, _ := newEuno(t, DefaultConfig)
+	for k := uint64(0); k < 10000; k++ {
+		s := tr.slotOf(k)
+		if s >= tr.nslots {
+			t.Fatalf("slot %d out of range %d", s, tr.nslots)
+		}
+		if s != tr.slotOf(k) {
+			t.Fatal("slot hash not deterministic")
+		}
+	}
+}
+
+func TestReservedBytesTransient(t *testing.T) {
+	// Maintenance and scans stage through TagReserved allocations that
+	// must be freed afterwards: steady-state reserved bytes stay zero.
+	tr, boot := newEuno(t, DefaultConfig)
+	for i := uint64(1); i <= 3000; i++ {
+		tr.Put(boot, i, i)
+	}
+	tr.Scan(boot, 0, 500, func(k, v uint64) bool { return true })
+	if got := tr.a.BytesByTag(simmem.TagReserved); got != 0 {
+		t.Fatalf("reserved bytes leaked: %d", got)
+	}
+	if tr.a.PeakBytes() == 0 {
+		t.Fatal("peak accounting broken")
+	}
+}
+
+func TestScanAcrossManySplitsUnderChurnSim(t *testing.T) {
+	// Scans interleaved with inserts in deterministic virtual time: each
+	// scan must be sorted and duplicate-free even across leaf hops.
+	h, _ := treetest.NewDevice(1 << 24)
+	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+	tr := New(h, boot, DefaultConfig)
+	for i := uint64(2); i <= 600; i += 2 {
+		tr.Put(boot, i, i)
+	}
+	sim := vclock.NewSim(4, 0)
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+5)
+		if p.ID() == 0 {
+			for round := 0; round < 30; round++ {
+				last := uint64(0)
+				tr.Scan(th, 0, 200, func(k, v uint64) bool {
+					if k <= last && last != 0 {
+						t.Errorf("scan not strictly ascending: %d after %d", k, last)
+					}
+					last = k
+					return true
+				})
+			}
+		} else {
+			r := vclock.NewRand(uint64(p.ID()))
+			for i := 0; i < 600; i++ {
+				tr.Put(th, uint64(r.Intn(600))*2+1, 7)
+			}
+		}
+	})
+}

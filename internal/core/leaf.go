@@ -1,0 +1,535 @@
+package core
+
+import (
+	"sort"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// Leaf memory layout (word offsets from the leaf base address):
+//
+//	line 0 (TagNodeMeta):  w0 seqno, w1 next-leaf, w2 stable count
+//	stable region (TagKeys): StableCap interleaved (key,value) pairs,
+//	    sorted by key; only written under the leaf's advisory lock during
+//	    compaction or split, so it rarely conflicts (the paper's "reserved
+//	    keys will not be updated and inserted frequently").
+//	segments (TagKeys): Segments line-aligned blocks, each
+//	    [count, k0,v0, k1,v1, ...], sorted within the block; all puts land
+//	    here, scattered across blocks, so concurrent writers touch
+//	    different cache lines.
+//	CCM line (TagCCM): see ccm.go. Never accessed inside a transaction.
+//
+// A key may transiently exist both in a segment and in the stable region:
+// a put that finds its key only in the stable region inserts a *shadow*
+// copy into a segment instead of writing the stable line (keeping hot
+// updates scattered). Lookups search segments before the stable region, so
+// the newest copy always wins; compaction merges with segment priority.
+const (
+	offSeqno       = 0
+	offNext        = 1
+	offStableCount = 2
+	offLeafData    = 8
+	// convHeaderWords reserves the conventional in-node version/status
+	// header at the head of the key area in the unpartitioned (+Split HTM)
+	// configuration, which keeps the baseline's leaf layout: the header
+	// shares a cache line with the first keys and is bumped on every
+	// modification. The partitioned layout removes it — that removal is
+	// part of what "+Part Leaf" buys in Figure 13.
+	convHeaderWords = 2
+)
+
+// outcome is the result of one lower-region attempt.
+type outcome int
+
+const (
+	oMismatch outcome = iota // seqno changed: retry from the root
+	oUpdated                 // put: key existed, value replaced
+	oInserted                // put: key was absent (or deleted), now present
+	oFound                   // get/delete: key present
+	oAbsent                  // get/delete: key not present
+	oMaint                   // put: segment space exhausted; take the locked maintenance path
+	oNeedMark                // put: would insert but the mark slot was not pre-incremented
+)
+
+func (t *Tree) stableK(leaf simmem.Addr, i int) simmem.Addr {
+	return leaf + simmem.Addr(t.stableOff+2*i)
+}
+func (t *Tree) stableV(leaf simmem.Addr, i int) simmem.Addr {
+	return leaf + simmem.Addr(t.stableOff+2*i+1)
+}
+
+// bumpConvHeader updates the conventional co-located node version in the
+// unpartitioned configuration; a no-op for partitioned leaves.
+func (t *Tree) bumpConvHeader(tx *htm.Tx, leaf simmem.Addr) {
+	if t.cfg.PartLeaf {
+		return
+	}
+	v := leaf + offLeafData
+	tx.Store(v, tx.Load(v)+1)
+}
+func (t *Tree) segBase(leaf simmem.Addr, j int) simmem.Addr {
+	return leaf + simmem.Addr(t.segOff+j*t.segStride)
+}
+func (t *Tree) ccmAddr(leaf simmem.Addr) simmem.Addr {
+	return leaf + simmem.Addr(t.ccmOff)
+}
+
+// segment pair i lives at [base+1+2i] (key) and [base+2+2i] (value).
+
+// prefetchLeaf issues the independent loads of a partitioned-leaf probe as
+// one burst: all segment header lines plus the first stable lines. These
+// are independent addresses (unlike a binary search's dependent probes),
+// so they overlap in the memory pipeline — the reason the paper's
+// partitioned layout costs only a few percent at low contention.
+func (t *Tree) prefetchLeaf(tx *htm.Tx, leaf simmem.Addr) {
+	if t.cfg.Segments == 0 {
+		return
+	}
+	var addrs [10]simmem.Addr
+	n := 0
+	for j := 0; j < t.cfg.Segments && n < 8; j++ {
+		addrs[n] = t.segBase(leaf, j)
+		n++
+	}
+	addrs[n] = t.stableK(leaf, 0)
+	n++
+	if t.cfg.StableCap > 4 {
+		addrs[n] = t.stableK(leaf, 4) // second stable line (4 pairs/line)
+		n++
+	}
+	tx.Prefetch(addrs[:n]...)
+}
+
+// stableSearch binary-searches the stable region; returns the insertion
+// index and whether the key is present (tombstones count as present — the
+// caller inspects the value).
+func (t *Tree) stableSearch(tx *htm.Tx, leaf simmem.Addr, key uint64) (int, bool) {
+	count := int(tx.Load(leaf + offStableCount))
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tx.Load(t.stableK(leaf, mid)) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < count && tx.Load(t.stableK(leaf, lo)) == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// segSearch looks for key in segment j. It prunes with the first/last
+// comparison the paper describes, then scans the (short, sorted) segment.
+// Returns the index within the segment and whether it matched.
+func (t *Tree) segSearch(tx *htm.Tx, seg simmem.Addr, key uint64) (idx, count int, found bool) {
+	count = int(tx.Load(seg))
+	if count == 0 {
+		return 0, 0, false
+	}
+	first := tx.Load(seg + 1)
+	if key < first {
+		return 0, count, false
+	}
+	last := tx.Load(seg + simmem.Addr(1+2*(count-1)))
+	if key > last {
+		return count, count, false
+	}
+	for i := 0; i < count; i++ {
+		k := tx.Load(seg + simmem.Addr(1+2*i))
+		if k == key {
+			return i, count, true
+		}
+		if k > key {
+			return i, count, false
+		}
+	}
+	return count, count, false
+}
+
+// segInsertAt shifts segment j's pairs right from idx and installs the new
+// record, keeping the segment sorted.
+func (t *Tree) segInsertAt(tx *htm.Tx, seg simmem.Addr, idx, count int, key, val uint64) {
+	for i := count; i > idx; i-- {
+		tx.Store(seg+simmem.Addr(1+2*i), tx.Load(seg+simmem.Addr(1+2*(i-1))))
+		tx.Store(seg+simmem.Addr(2+2*i), tx.Load(seg+simmem.Addr(2+2*(i-1))))
+	}
+	tx.Store(seg+simmem.Addr(1+2*idx), key)
+	tx.Store(seg+simmem.Addr(2+2*idx), val)
+	tx.Store(seg, uint64(count+1))
+}
+
+// segRemoveAt shifts segment j's pairs left over idx.
+func (t *Tree) segRemoveAt(tx *htm.Tx, seg simmem.Addr, idx, count int) {
+	for i := idx; i < count-1; i++ {
+		tx.Store(seg+simmem.Addr(1+2*i), tx.Load(seg+simmem.Addr(1+2*(i+1))))
+		tx.Store(seg+simmem.Addr(2+2*i), tx.Load(seg+simmem.Addr(2+2*(i+1))))
+	}
+	tx.Store(seg, uint64(count-1))
+}
+
+// homeSeg is the deterministic segment for a key, used whenever same-slot
+// requests are not serialized by the CCM lock bits (see the package comment
+// on the duplicate-insert hazard).
+func (t *Tree) homeSeg(key uint64) int {
+	x := key*0x9e3779b97f4a7c15 + 0x7f4a7c159e3779b9
+	x ^= x >> 33
+	return int(x % uint64(t.cfg.Segments))
+}
+
+// leafGet searches the leaf inside the lower region.
+func (t *Tree) leafGet(tx *htm.Tx, leaf simmem.Addr, s0, key uint64) (outcome, uint64) {
+	if tx.Load(leaf+offSeqno) != s0 {
+		return oMismatch, 0
+	}
+	t.prefetchLeaf(tx, leaf)
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		if idx, _, found := t.segSearch(tx, seg, key); found {
+			return oFound, tx.Load(seg + simmem.Addr(2+2*idx))
+		}
+	}
+	if idx, found := t.stableSearch(tx, leaf, key); found {
+		v := tx.Load(t.stableV(leaf, idx))
+		if v == tree.Tombstone {
+			return oAbsent, 0
+		}
+		return oFound, v
+	}
+	return oAbsent, 0
+}
+
+// leafPut performs the lower region of a put (Algorithm 2 lines 41-51 plus
+// Algorithm 3's scheduler). randomSched selects the paper's random write
+// scheduler (safe only while the CCM lock bits serialize the slot);
+// otherwise the deterministic home segment is used.
+//
+// needMark is set when mark slots are enabled but the caller has not
+// pre-incremented this key's slot: in that case an insertion must not be
+// committed (return oNeedMark instead), because a mark increment published
+// only after the commit would open a window in which the absent-key fast
+// path misses a committed record. Updates never need the mark.
+func (t *Tree) leafPut(tx *htm.Tx, leaf simmem.Addr, s0, key, val uint64, randomSched bool, rnd *vclock.Rand, needMark bool) outcome {
+	if tx.Load(leaf+offSeqno) != s0 {
+		return oMismatch
+	}
+	t.prefetchLeaf(tx, leaf)
+	// Update in place if a segment already holds the key (newest copy).
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		if idx, _, found := t.segSearch(tx, seg, key); found {
+			tx.Store(seg+simmem.Addr(2+2*idx), val)
+			return oUpdated
+		}
+	}
+	stIdx, inStable := t.stableSearch(tx, leaf, key)
+	wasLive := false
+	if inStable {
+		wasLive = tx.Load(t.stableV(leaf, stIdx)) != tree.Tombstone
+	}
+	if t.cfg.Segments == 0 {
+		// +Split HTM configuration: conventional sorted leaf, two-region
+		// traversal only.
+		if inStable {
+			prev := tx.Load(t.stableV(leaf, stIdx))
+			if prev == tree.Tombstone {
+				if needMark {
+					return oNeedMark
+				}
+				tx.Store(t.stableV(leaf, stIdx), val)
+				t.bumpConvHeader(tx, leaf)
+				return oInserted
+			}
+			tx.Store(t.stableV(leaf, stIdx), val)
+			t.bumpConvHeader(tx, leaf)
+			return oUpdated
+		}
+		if needMark {
+			return oNeedMark
+		}
+		count := int(tx.Load(leaf + offStableCount))
+		if count == t.cfg.StableCap {
+			return oMaint
+		}
+		for i := count; i > stIdx; i-- {
+			tx.Store(t.stableK(leaf, i), tx.Load(t.stableK(leaf, i-1)))
+			tx.Store(t.stableV(leaf, i), tx.Load(t.stableV(leaf, i-1)))
+		}
+		tx.Store(t.stableK(leaf, stIdx), key)
+		tx.Store(t.stableV(leaf, stIdx), val)
+		tx.Store(leaf+offStableCount, uint64(count+1))
+		t.bumpConvHeader(tx, leaf)
+		return oInserted
+	}
+	// Partitioned leaf: the record goes to a segment (a shadow copy if a
+	// live stable copy exists; lookups prefer segments, so it wins).
+	if !wasLive && needMark {
+		// A genuine insertion requires the mark pre-increment; shadow
+		// copies of live keys are updates as far as the filter goes.
+		return oNeedMark
+	}
+	insert := func(j int) bool {
+		seg := t.segBase(leaf, j)
+		idx, count, _ := t.segSearch(tx, seg, key)
+		if count >= t.cfg.SegCap {
+			return false
+		}
+		t.segInsertAt(tx, seg, idx, count, key, val)
+		return true
+	}
+	if randomSched {
+		// Algorithm 3 lines 60-63: random target, retried with a different
+		// index while attempts remain.
+		last := -1
+		for tries := 0; tries < t.cfg.Segments; tries++ {
+			j := rnd.Intn(t.cfg.Segments)
+			if j == last {
+				j = (j + 1) % t.cfg.Segments
+			}
+			last = j
+			if insert(j) {
+				if wasLive {
+					return oUpdated
+				}
+				return oInserted
+			}
+		}
+		return oMaint
+	}
+	if insert(t.homeSeg(key)) {
+		if wasLive {
+			return oUpdated
+		}
+		return oInserted
+	}
+	return oMaint
+}
+
+// leafDelete performs the lower region of a delete: it removes a segment
+// copy and tombstones any live stable copy (both must go, or a stale stable
+// value would resurrect). Rebalancing is deferred (Section 4.2.4):
+// tombstones are physically dropped at the next compaction or split, and a
+// delete that pushes the leaf past the rebalance threshold triggers one
+// (see Tree.Delete). tombstoned reports whether a stable entry was marked.
+func (t *Tree) leafDelete(tx *htm.Tx, leaf simmem.Addr, s0, key uint64) (out outcome, tombstoned bool) {
+	if tx.Load(leaf+offSeqno) != s0 {
+		return oMismatch, false
+	}
+	t.prefetchLeaf(tx, leaf)
+	removed := false
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		if idx, count, found := t.segSearch(tx, seg, key); found {
+			t.segRemoveAt(tx, seg, idx, count)
+			removed = true
+			break
+		}
+	}
+	if idx, found := t.stableSearch(tx, leaf, key); found {
+		if tx.Load(t.stableV(leaf, idx)) != tree.Tombstone {
+			tx.Store(t.stableV(leaf, idx), tree.Tombstone)
+			t.bumpConvHeader(tx, leaf)
+			removed = true
+			tombstoned = true
+		}
+	}
+	if removed {
+		return oFound, tombstoned
+	}
+	return oAbsent, false
+}
+
+// compactLeaf drops a leaf's tombstones by rewriting the stable region
+// under the advisory lock — the deferred rebalance of Section 4.2.4. A
+// stale seqno or an over-full leaf silently skips (the segment-overflow
+// maintenance path handles those cases).
+func (t *Tree) compactLeaf(th *htm.Thread, leaf simmem.Addr, s0 uint64) {
+	ccm := t.ccmAddr(leaf)
+	t.lockLeaf(th.P, ccm)
+	var staging simmem.Addr
+	var stagingWords int
+	th.Execute(t.lowerPol, func(tx *htm.Tx) {
+		staging, stagingWords = simmem.NilAddr, 0
+		if tx.Load(leaf+offSeqno) != s0 {
+			return
+		}
+		recs := t.collectLive(tx, leaf, make([]pair, 0, t.leafCap()))
+		if len(recs) > t.cfg.StableCap {
+			return
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a].k < recs[b].k })
+		stagingWords = 2*len(recs) + 1
+		staging = tx.AllocAligned(stagingWords, simmem.TagReserved)
+		t.writeStable(tx, leaf, recs)
+	})
+	if staging != simmem.NilAddr {
+		t.a.Free(th.P, staging, stagingWords, simmem.TagReserved)
+		t.compactions.Add(1)
+	}
+	t.a.StoreWordDirect(th.P, ccm+ccmTombs, 0)
+	t.unlockLeaf(th.P, ccm)
+}
+
+// pair is a thread-local staging record.
+type pair struct{ k, v uint64 }
+
+// collectLive gathers every live record of the leaf (segment copies win
+// over stable copies; tombstones dropped) into buf, unsorted.
+func (t *Tree) collectLive(tx *htm.Tx, leaf simmem.Addr, buf []pair) []pair {
+	inSeg := make(map[uint64]struct{}, t.cfg.Segments*t.cfg.SegCap)
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		count := int(tx.Load(seg))
+		for i := 0; i < count; i++ {
+			k := tx.Load(seg + simmem.Addr(1+2*i))
+			v := tx.Load(seg + simmem.Addr(2+2*i))
+			buf = append(buf, pair{k, v})
+			inSeg[k] = struct{}{}
+		}
+	}
+	stCount := int(tx.Load(leaf + offStableCount))
+	for i := 0; i < stCount; i++ {
+		k := tx.Load(t.stableK(leaf, i))
+		v := tx.Load(t.stableV(leaf, i))
+		if v == tree.Tombstone {
+			continue
+		}
+		if _, shadowed := inSeg[k]; shadowed {
+			continue
+		}
+		buf = append(buf, pair{k, v})
+	}
+	return buf
+}
+
+// writeStable rewrites the leaf's stable region with the given sorted
+// records and clears all segments.
+func (t *Tree) writeStable(tx *htm.Tx, leaf simmem.Addr, recs []pair) {
+	t.bumpConvHeader(tx, leaf)
+	for i, r := range recs {
+		tx.Store(t.stableK(leaf, i), r.k)
+		tx.Store(t.stableV(leaf, i), r.v)
+	}
+	tx.Store(leaf+offStableCount, uint64(len(recs)))
+	for j := 0; j < t.cfg.Segments; j++ {
+		tx.Store(t.segBase(leaf, j), 0)
+	}
+}
+
+// leafMaint is the locked maintenance path for a put whose segment space
+// was exhausted: under the leaf's advisory lock it merges segments and
+// stable region (Figure 6b/6c — moveToReserved + shrinkSegs) and, if the
+// leaf is genuinely full, performs the sort-split-reorganize of Figure 7
+// (Algorithm 3 lines 67-86). It returns the final outcome of the put.
+//
+// A transient staging buffer is allocated from the arena with TagReserved
+// for the duration of the reorganization and freed afterwards — this is the
+// paper's "reserved keys" footprint measured in Section 5.7 (the merge
+// itself stages through thread-local memory).
+func (t *Tree) leafMaint(th *htm.Thread, leaf simmem.Addr, s0, key, val uint64) outcome {
+	var out outcome
+	var staging simmem.Addr
+	var stagingWords int
+	th.Execute(t.lowerPol, func(tx *htm.Tx) {
+		staging, stagingWords = simmem.NilAddr, 0
+		out = t.leafMaintBody(tx, leaf, s0, key, val, &staging, &stagingWords)
+	})
+	if staging != simmem.NilAddr {
+		t.a.Free(th.P, staging, stagingWords, simmem.TagReserved)
+	}
+	return out
+}
+
+func (t *Tree) leafMaintBody(tx *htm.Tx, leaf simmem.Addr, s0, key, val uint64, staging *simmem.Addr, stagingWords *int) outcome {
+	if tx.Load(leaf+offSeqno) != s0 {
+		return oMismatch
+	}
+	// Re-check: a concurrent put may have inserted or updated the key (or
+	// freed segment space) before we took the leaf lock.
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		if idx, _, found := t.segSearch(tx, seg, key); found {
+			tx.Store(seg+simmem.Addr(2+2*idx), val)
+			return oUpdated
+		}
+	}
+	recs := t.collectLive(tx, leaf, make([]pair, 0, t.leafCap()+1))
+	wasLive := false
+	for i := range recs {
+		if recs[i].k == key {
+			recs[i].v = val
+			wasLive = true
+			break
+		}
+	}
+	if !wasLive {
+		recs = append(recs, pair{key, val})
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].k < recs[b].k })
+
+	// Model the reserved-keys allocation for the reorganize.
+	*stagingWords = 2 * len(recs)
+	*staging = tx.AllocAligned(*stagingWords, simmem.TagReserved)
+
+	result := func() outcome {
+		if wasLive {
+			return oUpdated
+		}
+		return oInserted
+	}
+
+	if len(recs) <= t.cfg.StableCap {
+		// Compaction suffices (Figure 6c): everything fits in the stable
+		// region; segments empty out for new concurrent insertions. Leaf
+		// membership is unchanged, so seqno stays — concurrent two-step
+		// operations remain valid.
+		t.writeStable(tx, leaf, recs)
+		return result()
+	}
+	// Split (Figure 7): re-traverse from the root *inside this
+	// transaction* so the parent path is consistent with the split.
+	var path []simmem.Addr
+	found := t.descend(tx, key, &path)
+	if found != leaf {
+		return oMismatch
+	}
+	half := len(recs) / 2
+	right := t.newLeafTx(tx)
+	t.writeStable(tx, leaf, recs[:half])
+	t.writeStable(tx, right, recs[half:])
+	tx.Store(right+offNext, tx.Load(leaf+offNext))
+	tx.Store(leaf+offNext, uint64(right))
+	tx.Store(leaf+offSeqno, s0+1)
+	if t.cfg.CCMMarkBits {
+		t.initMarks(tx, right, recs[half:])
+	}
+	sep := recs[half].k
+	t.insertUp(tx, path, sep, right)
+	t.splits.Add(1)
+	return result()
+}
+
+// initMarks computes the new (unpublished) right leaf's counting marks
+// inside the split transaction.
+func (t *Tree) initMarks(tx *htm.Tx, leaf simmem.Addr, recs []pair) {
+	var words [2]uint64
+	for _, r := range recs {
+		slot := t.slotOf(r.k)
+		w, shift := slot/16, (slot%16)*4
+		if (words[w]>>shift)&0xf < markSaturation {
+			words[w] += 1 << shift
+		}
+	}
+	ccm := t.ccmAddr(leaf)
+	tx.Store(ccm+ccmMarks0, words[0])
+	tx.Store(ccm+ccmMarks1, words[1])
+}
+
+// leafCap is the maximum number of live records a leaf can hold.
+func (t *Tree) leafCap() int {
+	return t.cfg.StableCap + t.cfg.Segments*t.cfg.SegCap
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// countTombstones walks the stable regions directly.
+func countTombstones(t *testing.T, tr *Tree, boot *htm.Thread) int {
+	t.Helper()
+	p := boot.P
+	// Walk the leaf chain from the leftmost leaf.
+	root := tr.a.LoadWord(p, tr.meta+metaRoot)
+	depth := tr.a.LoadWord(p, tr.meta+metaDepth)
+	node := root
+	for d := depth; d > 1; d-- {
+		node = tr.a.LoadWord(p, tr.intChild(simmem.Addr(node), 0))
+	}
+	tombs := 0
+	for l := simmem.Addr(node); l != 0; l = simmem.Addr(tr.a.LoadWord(p, l+offNext)) {
+		count := int(tr.a.LoadWord(p, l+offStableCount))
+		for i := 0; i < count; i++ {
+			if tr.a.LoadWord(p, tr.stableV(l, i)) == tree.Tombstone {
+				tombs++
+			}
+		}
+	}
+	return tombs
+}
+
+// TestDeferredRebalanceCompactsTombstones: deleting past the threshold
+// must trigger compaction that physically removes tombstones.
+func TestDeferredRebalanceCompactsTombstones(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.RebalanceThreshold = 4
+	tr, boot := newEuno(t, cfg)
+	// Build a few leaves whose records sit in the stable region.
+	for i := uint64(1); i <= 64; i++ {
+		tr.Put(boot, i, i)
+	}
+	before := tr.Compactions()
+	// Delete most records from the same neighborhood: crossing the
+	// threshold repeatedly must fire compactions.
+	for i := uint64(1); i <= 64; i += 2 {
+		tr.Delete(boot, i)
+	}
+	if tr.Compactions() == before {
+		t.Fatal("no rebalance compaction fired")
+	}
+	if got := countTombstones(t, tr, boot); got >= 16 {
+		t.Fatalf("%d tombstones remain; rebalance not effective", got)
+	}
+	// Semantics intact.
+	for i := uint64(1); i <= 64; i++ {
+		_, ok := tr.Get(boot, i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceUnderConcurrentTrafficSim: threshold compactions racing
+// with puts and gets must preserve correctness.
+func TestRebalanceUnderConcurrentTrafficSim(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.RebalanceThreshold = 3
+	tr, boot := newEuno(t, cfg)
+	for i := uint64(1); i <= 600; i++ {
+		tr.Put(boot, i, i)
+	}
+	sim := vclock.NewSim(8, 0)
+	sim.Run(func(p *vclock.SimProc) {
+		th := tr.h.NewThread(p, uint64(p.ID())+41)
+		r := vclock.NewRand(uint64(p.ID()) + 13)
+		for i := 0; i < 500; i++ {
+			k := uint64(r.Intn(600)) + 1
+			switch r.Intn(3) {
+			case 0:
+				tr.Put(th, k, k<<4)
+			case 1:
+				tr.Delete(th, k)
+			default:
+				if v, ok := tr.Get(th, k); ok && v>>4 != k && v != k {
+					t.Errorf("get(%d) = %d", k, v)
+				}
+			}
+		}
+	})
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+}

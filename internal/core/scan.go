@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+)
+
+// Scan implements tree.KV range queries (Section 4.2.4). Per leaf it:
+//
+//  1. acquires the leaf's advisory lock, serializing against splits,
+//     compactions and other scans (the paper locks scanned leaves);
+//  2. snapshots the leaf's live records inside a lower HTM region that
+//     re-validates the sequence number;
+//  3. merge-sorts the (already per-segment-sorted) records — staged through
+//     a transient reserved-keys buffer, the Section 5.7 footprint — and
+//     emits them to fn outside the region, so retries never re-deliver.
+//
+// The hop to the next leaf reuses the (address, seqno) pair sampled inside
+// the current leaf's region as the connection point; if validation of the
+// next leaf fails, the scan re-traverses from the root at the first
+// unvisited key.
+func (t *Tree) Scan(th *htm.Thread, from uint64, max int, fn func(key, val uint64) bool) int {
+	if max <= 0 {
+		return 0
+	}
+	visited := 0
+	cur := from
+	chainLeaf := simmem.NilAddr
+	var chainSeq uint64
+	buf := make([]pair, 0, t.leafCap())
+
+	for {
+		var leaf simmem.Addr
+		var s0 uint64
+		if chainLeaf != simmem.NilAddr {
+			leaf, s0 = chainLeaf, chainSeq
+		} else {
+			leaf, s0 = t.upper(th, cur)
+		}
+		ccm := t.ccmAddr(leaf)
+		t.lockLeaf(th.P, ccm)
+		ok := false
+		next := simmem.NilAddr
+		var nextSeq uint64
+		th.Execute(t.lowerPol, func(tx *htm.Tx) {
+			ok, next, nextSeq = false, simmem.NilAddr, 0
+			if tx.Load(leaf+offSeqno) != s0 {
+				return
+			}
+			buf = t.collectLive(tx, leaf, buf[:0])
+			next = simmem.Addr(tx.Load(leaf + offNext))
+			if next != simmem.NilAddr {
+				nextSeq = tx.Load(next + offSeqno)
+			}
+			ok = true
+		})
+		t.unlockLeaf(th.P, ccm)
+		if !ok {
+			t.rootRetries.Add(1)
+			chainLeaf = simmem.NilAddr
+			continue
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].k < buf[b].k })
+		// Transient reserved-keys staging, accounted under TagReserved.
+		var staging simmem.Addr
+		if len(buf) > 0 {
+			staging = t.a.AllocAligned(th.P, 2*len(buf), simmem.TagReserved)
+		}
+		stop := false
+		for _, r := range buf {
+			if r.k < cur {
+				continue
+			}
+			if !fn(r.k, r.v) {
+				stop = true
+				break
+			}
+			visited++
+			cur = r.k + 1
+			if visited == max {
+				stop = true
+				break
+			}
+		}
+		if staging != simmem.NilAddr {
+			t.a.Free(th.P, staging, 2*len(buf), simmem.TagReserved)
+		}
+		if stop || next == simmem.NilAddr {
+			return visited
+		}
+		chainLeaf, chainSeq = next, nextSeq
+	}
+}

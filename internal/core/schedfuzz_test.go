@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// TestScheduleFuzz explores different thread interleavings: the virtual
+// scheduler's slack parameter and the per-thread RNG seeds perturb the
+// (deterministic) schedule, so each variation is a distinct, reproducible
+// interleaving of the same workload. Every variation must preserve the
+// model and the structural invariants.
+func TestScheduleFuzz(t *testing.T) {
+	for _, slack := range []uint64{0, 7, 63, 511} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			slack, seed := slack, seed
+			t.Run(fmt.Sprintf("slack=%d/seed=%d", slack, seed), func(t *testing.T) {
+				a := simmem.NewArena(1 << 23)
+				h := htm.New(a, htm.DefaultConfig)
+				boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+				tr := New(h, boot, DefaultConfig)
+				const keys = 256
+				// Per-key last-writer tags: worker w writes w into the low
+				// byte; after the run each key's value must carry a valid
+				// worker tag and the key itself in the high bits.
+				sim := vclock.NewSim(6, slack)
+				sim.Run(func(p *vclock.SimProc) {
+					th := h.NewThread(p, seed*1000+uint64(p.ID()))
+					r := vclock.NewRand(seed*77 + uint64(p.ID()))
+					for i := 0; i < 400; i++ {
+						k := uint64(r.Intn(keys)) + 1
+						switch r.Intn(8) {
+						case 0:
+							tr.Delete(th, k)
+						case 1, 2, 3, 4:
+							tr.Put(th, k, k<<16|uint64(p.ID()))
+						default:
+							if v, ok := tr.Get(th, k); ok {
+								if v>>16 != k || v&0xffff >= 6 {
+									t.Errorf("get(%d) = %#x: foreign value", k, v)
+								}
+							}
+						}
+					}
+				})
+				for k := uint64(1); k <= keys; k++ {
+					if v, ok := tr.Get(boot, k); ok && (v>>16 != k || v&0xffff >= 6) {
+						t.Fatalf("final get(%d) = %#x", k, v)
+					}
+				}
+				if err := tr.Validate(boot.P); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// Internal nodes use the same conventional layout as the baseline tree —
+// the Eunomia redesign targets the leaf layer, where >90% of conflicts
+// occur; the interior is protected by the upper HTM region and updated only
+// by (rare) splits.
+const (
+	offCount   = 0 // internal node: number of separators
+	offLevel   = 2
+	offIntKeys = 8
+	metaRoot   = 0
+	metaDepth  = 1
+)
+
+// Tree is Euno-B+Tree. Create with New; all methods are safe for concurrent
+// use by distinct htm.Threads.
+type Tree struct {
+	h   *htm.HTM
+	a   *simmem.Arena
+	cfg Config
+
+	meta simmem.Addr
+
+	// Leaf layout, derived from cfg.
+	stableOff int // word offset of the stable region
+	segOff    int // word offset of segment 0
+	segStride int // words per segment block (line multiple)
+	ccmOff    int // word offset of the CCM line
+	leafWords int
+	intWords  int
+	nslots    uint
+
+	upperPol htm.RetryPolicy
+	lowerPol htm.RetryPolicy
+
+	// Diagnostics.
+	splits      atomic.Uint64
+	compactions atomic.Uint64
+	markRejects atomic.Uint64 // get/delete turned away by mark slots
+	rootRetries atomic.Uint64 // seqno mismatches forcing retry from root
+	maintRounds atomic.Uint64
+}
+
+// New creates an empty Euno-B+Tree with the given configuration.
+func New(h *htm.HTM, boot *htm.Thread, cfg Config) *Tree {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	t := &Tree{h: h, a: h.Arena(), cfg: cfg,
+		upperPol: htm.DefaultPolicy, lowerPol: htm.DefaultPolicy}
+
+	roundLine := func(w int) int {
+		return (w + simmem.WordsPerLine - 1) &^ (simmem.WordsPerLine - 1)
+	}
+	t.stableOff = offLeafData
+	if !cfg.PartLeaf {
+		// Keep the baseline's conventional co-located header (see leaf.go).
+		t.stableOff += convHeaderWords
+	}
+	t.segOff = roundLine(t.stableOff + 2*cfg.StableCap)
+	t.segStride = roundLine(1 + 2*cfg.SegCap)
+	t.ccmOff = t.segOff + cfg.Segments*t.segStride
+	t.leafWords = t.ccmOff + simmem.WordsPerLine
+	t.intWords = offIntKeys + 2*cfg.StableCap + 1
+	t.nslots = uint(2 * cfg.StableCap)
+	if t.nslots > 32 {
+		t.nslots = 32
+	}
+
+	t.meta = t.a.AllocAligned(boot.P, simmem.WordsPerLine, simmem.TagTreeMeta)
+	root := t.newLeaf(boot.P)
+	t.a.StoreWordDirect(boot.P, t.meta+metaRoot, uint64(root))
+	t.a.StoreWordDirect(boot.P, t.meta+metaDepth, 1)
+	return t
+}
+
+// Name implements tree.KV.
+func (t *Tree) Name() string { return "euno-btree" }
+
+// Config returns the active configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Splits, Compactions, MarkRejects and RootRetries expose diagnostics.
+func (t *Tree) Splits() uint64      { return t.splits.Load() }
+func (t *Tree) Compactions() uint64 { return t.compactions.Load() }
+func (t *Tree) MarkRejects() uint64 { return t.markRejects.Load() }
+func (t *Tree) RootRetries() uint64 { return t.rootRetries.Load() }
+
+func (t *Tree) newLeaf(p vclock.Proc) simmem.Addr {
+	addr := t.a.AllocAligned(p, t.leafWords, simmem.TagKeys)
+	t.retagLeaf(addr)
+	return addr
+}
+
+func (t *Tree) newLeafTx(tx *htm.Tx) simmem.Addr {
+	addr := tx.AllocAligned(t.leafWords, simmem.TagKeys)
+	t.retagLeaf(addr)
+	return addr
+}
+
+func (t *Tree) retagLeaf(addr simmem.Addr) {
+	t.a.Retag(addr, simmem.WordsPerLine, simmem.TagNodeMeta)
+	t.a.Retag(addr+simmem.Addr(t.ccmOff), simmem.WordsPerLine, simmem.TagCCM)
+}
+
+func (t *Tree) newInternalTx(tx *htm.Tx) simmem.Addr {
+	addr := tx.AllocAligned(t.intWords, simmem.TagKeys)
+	t.a.Retag(addr, simmem.WordsPerLine, simmem.TagNodeMeta)
+	return addr
+}
+
+func (t *Tree) intKey(node simmem.Addr, i int) simmem.Addr {
+	return node + simmem.Addr(offIntKeys+i)
+}
+func (t *Tree) intChild(node simmem.Addr, i int) simmem.Addr {
+	return node + simmem.Addr(offIntKeys+t.cfg.StableCap+i)
+}
+
+// descend walks from the root to the leaf covering key, optionally
+// recording the internal path, entirely within the given transaction.
+func (t *Tree) descend(tx *htm.Tx, key uint64, path *[]simmem.Addr) simmem.Addr {
+	node := simmem.Addr(tx.Load(t.meta + metaRoot))
+	depth := tx.Load(t.meta + metaDepth)
+	for d := depth; d > 1; d-- {
+		if path != nil {
+			*path = append(*path, node)
+		}
+		count := int(tx.Load(node + offCount))
+		lo, hi := 0, count
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tx.Load(t.intKey(node, mid)) <= key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		node = simmem.Addr(tx.Load(t.intChild(node, lo)))
+	}
+	return node
+}
+
+// upper executes the upper HTM region (Algorithm 2 lines 23-28): traverse
+// the index and sample the target leaf's sequence number.
+func (t *Tree) upper(th *htm.Thread, key uint64) (leaf simmem.Addr, s0 uint64) {
+	th.Execute(t.upperPol, func(tx *htm.Tx) {
+		leaf = t.descend(tx, key, nil)
+		s0 = tx.Load(leaf + offSeqno)
+	})
+	return leaf, s0
+}
+
+// ccmGate decides, per operation, whether the CCM applies: enabled by
+// configuration and — when adaptive — only on hot leaves.
+func (t *Tree) ccmGate(th *htm.Thread, ccm simmem.Addr) (useLock, useMark bool) {
+	if !t.cfg.CCMLockBits && !t.cfg.CCMMarkBits {
+		return false, false
+	}
+	hot := t.leafHot(th.P, ccm)
+	return t.cfg.CCMLockBits && hot, t.cfg.CCMMarkBits && hot
+}
+
+// Get implements tree.KV via the two-step traversal of Algorithm 2.
+func (t *Tree) Get(th *htm.Thread, key uint64) (uint64, bool) {
+	for {
+		leaf, s0 := t.upper(th, key)
+		ccm := t.ccmAddr(leaf)
+		slot := t.slotOf(key)
+		useLock, useMark := t.ccmGate(th, ccm)
+		if useMark && t.markCount(th.P, ccm, slot) == 0 {
+			// Mark slots say no key in this leaf hashes here. Validate the
+			// leaf is still current (a split could have moved the key);
+			// marks never under-count, so a clean seqno proves absence.
+			if t.a.LoadWord(th.P, leaf+offSeqno) == s0 {
+				t.markRejects.Add(1)
+				return 0, false
+			}
+			t.rootRetries.Add(1)
+			continue
+		}
+		if useLock {
+			t.lockSlot(th.P, ccm, slot)
+		}
+		var out outcome
+		var val uint64
+		before := th.Stats.Attempts
+		th.Execute(t.lowerPol, func(tx *htm.Tx) {
+			out, val = t.leafGet(tx, leaf, s0, key)
+		})
+		if useLock {
+			t.unlockSlot(th.P, ccm, slot)
+		}
+		t.noteConflicts(th, ccm, th.Stats.Attempts-before-1)
+		switch out {
+		case oMismatch:
+			t.rootRetries.Add(1)
+			continue
+		case oFound:
+			return val, true
+		default:
+			return 0, false
+		}
+	}
+}
+
+// Put implements tree.KV.
+func (t *Tree) Put(th *htm.Thread, key, val uint64) {
+	if val == tree.Tombstone {
+		panic("core: the tombstone value is reserved")
+	}
+	for {
+		leaf, s0 := t.upper(th, key)
+		ccm := t.ccmAddr(leaf)
+		slot := t.slotOf(key)
+		useLock, _ := t.ccmGate(th, ccm)
+		// Anticipate an insertion: marks are bumped *before* the lower
+		// region so a concurrent get can never miss a committed insert
+		// (Algorithm 2 line 38). A zero mark count proves the key absent,
+		// so the common update path costs only this one load; the rare
+		// insert-into-occupied-slot case is detected inside the lower
+		// region (oNeedMark) and re-run after pre-incrementing.
+		preMarked := false
+		if t.cfg.CCMMarkBits && t.markCount(th.P, ccm, slot) == 0 {
+			t.markAdd(th.P, ccm, slot, +1)
+			preMarked = true
+		}
+		if useLock {
+			t.lockSlot(th.P, ccm, slot)
+		}
+		var out outcome
+		before := th.Stats.Attempts
+		runLower := func() {
+			needMark := t.cfg.CCMMarkBits && !preMarked
+			th.Execute(t.lowerPol, func(tx *htm.Tx) {
+				out = t.leafPut(tx, leaf, s0, key, val, useLock, th.Rand, needMark)
+			})
+		}
+		runLower()
+		if out == oNeedMark {
+			t.markAdd(th.P, ccm, slot, +1)
+			preMarked = true
+			runLower()
+		}
+		if out == oMaint {
+			// Locked maintenance: compaction or sort-split-reorganize. The
+			// maintenance path may insert, so it needs the mark too.
+			if t.cfg.CCMMarkBits && !preMarked {
+				t.markAdd(th.P, ccm, slot, +1)
+				preMarked = true
+			}
+			t.maintRounds.Add(1)
+			t.lockLeaf(th.P, ccm)
+			out = t.leafMaint(th, leaf, s0, key, val)
+			t.unlockLeaf(th.P, ccm)
+			if out == oUpdated || out == oInserted {
+				t.compactions.Add(1)
+			}
+		}
+		if preMarked && out != oInserted {
+			// Update or retry: the anticipated insert did not materialize.
+			t.markAdd(th.P, ccm, slot, -1)
+		}
+		if useLock {
+			t.unlockSlot(th.P, ccm, slot)
+		}
+		t.noteConflicts(th, ccm, th.Stats.Attempts-before-1)
+		if out == oMismatch {
+			t.rootRetries.Add(1)
+			continue
+		}
+		return
+	}
+}
+
+// Delete implements tree.KV: the record is removed from its segment and/or
+// tombstoned in the stable region; physical cleanup happens at the next
+// compaction or split (deletion without rebalancing).
+func (t *Tree) Delete(th *htm.Thread, key uint64) bool {
+	for {
+		leaf, s0 := t.upper(th, key)
+		ccm := t.ccmAddr(leaf)
+		slot := t.slotOf(key)
+		useLock, useMark := t.ccmGate(th, ccm)
+		if useMark && t.markCount(th.P, ccm, slot) == 0 {
+			if t.a.LoadWord(th.P, leaf+offSeqno) == s0 {
+				t.markRejects.Add(1)
+				return false
+			}
+			t.rootRetries.Add(1)
+			continue
+		}
+		if useLock {
+			t.lockSlot(th.P, ccm, slot)
+		}
+		var out outcome
+		var tombstoned bool
+		before := th.Stats.Attempts
+		th.Execute(t.lowerPol, func(tx *htm.Tx) {
+			out, tombstoned = t.leafDelete(tx, leaf, s0, key)
+		})
+		if out == oFound && t.cfg.CCMMarkBits {
+			t.markAdd(th.P, ccm, slot, -1)
+		}
+		if tombstoned &&
+			t.a.AddWordDirect(th.P, ccm+ccmTombs, 1) >= t.cfg.RebalanceThreshold {
+			// Deferred rebalance (Section 4.2.4): enough deletions have
+			// accumulated on this leaf; compact it.
+			t.compactLeaf(th, leaf, s0)
+		}
+		if useLock {
+			t.unlockSlot(th.P, ccm, slot)
+		}
+		t.noteConflicts(th, ccm, th.Stats.Attempts-before-1)
+		switch out {
+		case oMismatch:
+			t.rootRetries.Add(1)
+			continue
+		case oFound:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Depth returns the number of tree levels (diagnostic).
+func (t *Tree) Depth(th *htm.Thread) int {
+	var d uint64
+	th.Execute(t.upperPol, func(tx *htm.Tx) {
+		d = tx.Load(t.meta + metaDepth)
+	})
+	return int(d)
+}
+
+// insertUp propagates a (separator, right-child) pair along the recorded
+// root-to-parent path, splitting internal nodes and the root as needed —
+// identical in shape to the conventional tree, since the interior keeps the
+// sorted layout (Section 4.2.3: "the internal nodes are still arranged in
+// an ordered way").
+func (t *Tree) insertUp(tx *htm.Tx, path []simmem.Addr, sep uint64, child simmem.Addr) {
+	F := t.cfg.StableCap
+	for i := len(path) - 1; i >= 0; i-- {
+		node := path[i]
+		count := int(tx.Load(node + offCount))
+		if count < F {
+			t.insertInternal(tx, node, count, sep, child)
+			return
+		}
+		mid := count / 2
+		upKey := tx.Load(t.intKey(node, mid))
+		right := t.newInternalTx(tx)
+		rc := count - mid - 1
+		for j := 0; j < rc; j++ {
+			tx.Store(t.intKey(right, j), tx.Load(t.intKey(node, mid+1+j)))
+		}
+		for j := 0; j <= rc; j++ {
+			tx.Store(t.intChild(right, j), tx.Load(t.intChild(node, mid+1+j)))
+		}
+		tx.Store(right+offCount, uint64(rc))
+		tx.Store(right+offLevel, tx.Load(node+offLevel))
+		tx.Store(node+offCount, uint64(mid))
+		if sep < upKey {
+			t.insertInternal(tx, node, mid, sep, child)
+		} else {
+			t.insertInternal(tx, right, rc, sep, child)
+		}
+		sep, child = upKey, right
+	}
+	oldRoot := simmem.Addr(tx.Load(t.meta + metaRoot))
+	depth := tx.Load(t.meta + metaDepth)
+	newRoot := t.newInternalTx(tx)
+	tx.Store(newRoot+offCount, 1)
+	tx.Store(newRoot+offLevel, depth)
+	tx.Store(t.intKey(newRoot, 0), sep)
+	tx.Store(t.intChild(newRoot, 0), uint64(oldRoot))
+	tx.Store(t.intChild(newRoot, 1), uint64(child))
+	tx.Store(t.meta+metaRoot, uint64(newRoot))
+	tx.Store(t.meta+metaDepth, depth+1)
+}
+
+func (t *Tree) insertInternal(tx *htm.Tx, node simmem.Addr, count int, sep uint64, child simmem.Addr) {
+	pos := 0
+	for pos < count && tx.Load(t.intKey(node, pos)) < sep {
+		pos++
+	}
+	for i := count; i > pos; i-- {
+		tx.Store(t.intKey(node, i), tx.Load(t.intKey(node, i-1)))
+	}
+	for i := count + 1; i > pos+1; i-- {
+		tx.Store(t.intChild(node, i), tx.Load(t.intChild(node, i-1)))
+	}
+	tx.Store(t.intKey(node, pos), sep)
+	tx.Store(t.intChild(node, pos+1), uint64(child))
+	tx.Store(node+offCount, uint64(count+1))
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// Validate walks the entire tree with direct (non-transactional) reads and
+// checks every structural invariant. It requires quiescence — no
+// concurrent operations — and is intended for tests and debugging.
+//
+// Checked invariants:
+//   - internal nodes: separator keys strictly ascending and within the
+//     node's inherited (low, high] bounds; child count = key count + 1;
+//   - leaves: stable region strictly sorted; every segment strictly
+//     sorted; all keys within the leaf's separator bounds; no key present
+//     twice among live locations (a stable entry shadowed by a segment
+//     copy is allowed, a duplicate within or across segments is not);
+//   - the leaf chain visits leaves in ascending key order and agrees with
+//     the set of leaves reachable from the root;
+//   - with mark slots enabled, every live key's slot has a nonzero count
+//     (marks may over-count, never under-count).
+func (t *Tree) Validate(p vclock.Proc) error {
+	root := simmem.Addr(t.a.LoadWord(p, t.meta+metaRoot))
+	depth := t.a.LoadWord(p, t.meta+metaDepth)
+	chain := map[simmem.Addr]bool{}
+	var prevLeafMax *uint64
+	if err := t.validateNode(p, root, depth, 0, ^uint64(0), chain, &prevLeafMax); err != nil {
+		return err
+	}
+	// The next-pointer chain must visit exactly the reachable leaves.
+	leftmost := root
+	for d := depth; d > 1; d-- {
+		leftmost = simmem.Addr(t.a.LoadWord(p, t.intChild(leftmost, 0)))
+	}
+	seen := 0
+	for l := leftmost; l != simmem.NilAddr; l = simmem.Addr(t.a.LoadWord(p, l+offNext)) {
+		if !chain[l] {
+			return fmt.Errorf("leaf %d on the chain but not reachable from the root", l)
+		}
+		seen++
+	}
+	if seen != len(chain) {
+		return fmt.Errorf("chain visits %d leaves, tree has %d", seen, len(chain))
+	}
+	return nil
+}
+
+// validateNode recursively checks the subtree at node, whose keys must lie
+// in (low, high]. (low is exclusive via "k >= low" convention below with
+// low=0 at the root; keys are >= 1 in practice.)
+func (t *Tree) validateNode(p vclock.Proc, node simmem.Addr, depth uint64, low, high uint64, chain map[simmem.Addr]bool, prevLeafMax **uint64) error {
+	if depth == 1 {
+		return t.validateLeaf(p, node, low, high, chain, prevLeafMax)
+	}
+	count := int(t.a.LoadWord(p, node+offCount))
+	if count < 1 || count > t.cfg.StableCap {
+		return fmt.Errorf("internal %d: count %d out of range", node, count)
+	}
+	prev := low
+	for i := 0; i < count; i++ {
+		k := t.a.LoadWord(p, t.intKey(node, i))
+		if k < prev || (i > 0 && k == prev) {
+			return fmt.Errorf("internal %d: separator %d at %d not ascending (prev %d)", node, k, i, prev)
+		}
+		if k > high {
+			return fmt.Errorf("internal %d: separator %d exceeds bound %d", node, k, high)
+		}
+		prev = k
+	}
+	childLow := low
+	for i := 0; i <= count; i++ {
+		childHigh := high
+		if i < count {
+			childHigh = t.a.LoadWord(p, t.intKey(node, i)) - 1
+		}
+		child := simmem.Addr(t.a.LoadWord(p, t.intChild(node, i)))
+		if child == simmem.NilAddr {
+			return fmt.Errorf("internal %d: nil child %d", node, i)
+		}
+		if err := t.validateNode(p, child, depth-1, childLow, childHigh, chain, prevLeafMax); err != nil {
+			return err
+		}
+		if i < count {
+			childLow = t.a.LoadWord(p, t.intKey(node, i))
+		}
+	}
+	return nil
+}
+
+func (t *Tree) validateLeaf(p vclock.Proc, leaf simmem.Addr, low, high uint64, chain map[simmem.Addr]bool, prevLeafMax **uint64) error {
+	if chain[leaf] {
+		return fmt.Errorf("leaf %d reachable twice", leaf)
+	}
+	chain[leaf] = true
+	live := map[uint64]bool{} // live key locations (segments first)
+	inStable := map[uint64]bool{}
+
+	stCount := int(t.a.LoadWord(p, leaf+offStableCount))
+	if stCount < 0 || stCount > t.cfg.StableCap {
+		return fmt.Errorf("leaf %d: stable count %d out of range", leaf, stCount)
+	}
+	prev := uint64(0)
+	for i := 0; i < stCount; i++ {
+		k := t.a.LoadWord(p, t.stableK(leaf, i))
+		if i > 0 && k <= prev {
+			return fmt.Errorf("leaf %d: stable not sorted at %d (%d after %d)", leaf, i, k, prev)
+		}
+		if k < low || k > high {
+			return fmt.Errorf("leaf %d: stable key %d outside (%d, %d]", leaf, k, low, high)
+		}
+		if inStable[k] {
+			return fmt.Errorf("leaf %d: duplicate stable key %d", leaf, k)
+		}
+		inStable[k] = true
+		prev = k
+	}
+	for j := 0; j < t.cfg.Segments; j++ {
+		seg := t.segBase(leaf, j)
+		count := int(t.a.LoadWord(p, seg))
+		if count < 0 || count > t.cfg.SegCap {
+			return fmt.Errorf("leaf %d: segment %d count %d out of range", leaf, j, count)
+		}
+		prev = 0
+		for i := 0; i < count; i++ {
+			k := t.a.LoadWord(p, seg+simmem.Addr(1+2*i))
+			if i > 0 && k <= prev {
+				return fmt.Errorf("leaf %d: segment %d not sorted at %d", leaf, j, i)
+			}
+			if k < low || k > high {
+				return fmt.Errorf("leaf %d: segment key %d outside (%d, %d]", leaf, k, low, high)
+			}
+			if live[k] {
+				return fmt.Errorf("leaf %d: key %d present in two segments", leaf, k)
+			}
+			live[k] = true
+			prev = k
+		}
+	}
+	// Stable entries not shadowed and not tombstoned are live too.
+	for i := 0; i < stCount; i++ {
+		k := t.a.LoadWord(p, t.stableK(leaf, i))
+		v := t.a.LoadWord(p, t.stableV(leaf, i))
+		if v == tree.Tombstone || live[k] {
+			continue
+		}
+		live[k] = true
+	}
+	// Marks must never under-count live keys.
+	if t.cfg.CCMMarkBits {
+		ccm := t.ccmAddr(leaf)
+		perSlot := map[uint]uint64{}
+		for k := range live {
+			perSlot[t.slotOf(k)]++
+		}
+		for slot, n := range perSlot {
+			got := t.markCount(p, ccm, slot)
+			if got < n && got < markSaturation {
+				return fmt.Errorf("leaf %d: slot %d marks %d < %d live keys", leaf, slot, got, n)
+			}
+		}
+	}
+	// Cross-leaf ordering via the recursion's in-order visit.
+	var maxKey uint64
+	for k := range live {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	if *prevLeafMax != nil && len(live) > 0 {
+		for k := range live {
+			if k <= **prevLeafMax {
+				return fmt.Errorf("leaf %d: key %d not greater than previous leaf max %d", leaf, k, **prevLeafMax)
+			}
+		}
+	}
+	if len(live) > 0 {
+		m := maxKey
+		*prevLeafMax = &m
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more named series as an ASCII line chart, so
+// `eunobench -chart` output resembles the paper's figures directly in a
+// terminal. X values are the shared domain (e.g. theta or thread count);
+// each series has one Y per X.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []ChartSeries
+
+	// Width and Height are the plot-area size in characters; zero values
+	// get defaults (60x16).
+	Width, Height int
+}
+
+// ChartSeries is one line on the chart.
+type ChartSeries struct {
+	Name string
+	Y    []float64
+}
+
+// seriesMarks distinguishes lines: first series '*', then 'o', '+', 'x', ...
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Fprint renders the chart.
+func (c *Chart) Fprint(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 60
+	}
+	if height == 0 {
+		height = 16
+	}
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("harness: empty chart %q", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("harness: series %q has %d points, X has %d", s.Name, len(s.Y), len(c.X))
+		}
+	}
+
+	xmin, xmax := minMax(c.X)
+	var ymax float64
+	for _, s := range c.Series {
+		_, m := minMax(s.Y)
+		if m > ymax {
+			ymax = m
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		if xmax == xmin {
+			return 0
+		}
+		return int((x - xmin) / (xmax - xmin) * float64(width-1))
+	}
+	row := func(y float64) int {
+		r := height - 1 - int(y/ymax*float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Connect consecutive points with linear interpolation.
+		for i := 0; i+1 < len(c.X); i++ {
+			c0, c1 := col(c.X[i]), col(c.X[i+1])
+			for cc := c0; cc <= c1; cc++ {
+				var y float64
+				if c1 == c0 {
+					y = s.Y[i]
+				} else {
+					f := float64(cc-c0) / float64(c1-c0)
+					y = s.Y[i]*(1-f) + s.Y[i+1]*f
+				}
+				grid[row(y)][cc] = mark
+			}
+		}
+		// Ensure actual data points are marked even on flat segments.
+		for i := range c.X {
+			grid[row(s.Y[i])][col(c.X[i])] = mark
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	axisWidth := len(formatTick(ymax))
+	for r, line := range grid {
+		label := strings.Repeat(" ", axisWidth)
+		switch r {
+		case 0:
+			label = pad(formatTick(ymax), axisWidth)
+		case height - 1:
+			label = pad("0", axisWidth)
+		case (height - 1) / 2:
+			label = pad(formatTick(ymax/2), axisWidth)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", axisWidth), strings.Repeat("-", width))
+	lo, hi := formatTick(xmin), formatTick(xmax)
+	gap := width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s   (%s)\n", strings.Repeat(" ", axisWidth), lo, strings.Repeat(" ", gap), hi, c.XLabel)
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s", strings.Repeat(" ", axisWidth), strings.Join(legend, "   "))
+	if c.YLabel != "" {
+		fmt.Fprintf(w, "   [y: %s]", c.YLabel)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	return nil
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersAllSeries(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "theta",
+		YLabel: "ops/s",
+		X:      []float64{0.2, 0.5, 0.9},
+		Series: []ChartSeries{
+			{Name: "alpha", Y: []float64{10e6, 11e6, 12e6}},
+			{Name: "beta", Y: []float64{9e6, 8e6, 2e6}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "alpha", "beta", "theta", "ops/s", "*", "o", "12.0M"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in chart:\n%s", want, out)
+		}
+	}
+	// Every line of the plot area must fit the declared width.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 90 {
+			t.Fatalf("line too long (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	empty := Chart{Title: "x"}
+	if err := empty.Fprint(&strings.Builder{}); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := Chart{
+		X:      []float64{1, 2},
+		Series: []ChartSeries{{Name: "a", Y: []float64{1}}},
+	}
+	if err := bad.Fprint(&strings.Builder{}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestChartDegenerateDomains(t *testing.T) {
+	// Single X point and all-zero Y must not panic or divide by zero.
+	c := Chart{
+		X:      []float64{5},
+		Series: []ChartSeries{{Name: "a", Y: []float64{0}}},
+	}
+	var sb strings.Builder
+	if err := c.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	flat := Chart{
+		X:      []float64{1, 2, 3},
+		Series: []ChartSeries{{Name: "a", Y: []float64{7, 7, 7}}},
+	}
+	if err := flat.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{{0, "0"}, {12, "12"}, {1500, "1.5K"}, {2.5e6, "2.5M"}, {3e9, "3.0G"}, {0.25, "0.25"}}
+	for _, c := range cases {
+		if got := formatTick(c.v); got != c.want {
+			t.Fatalf("formatTick(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package harness drives the paper's experiments: it builds an arena, an
+// HTM device and one of the four trees, preloads the key space, runs a
+// YCSB-style operation mix on N virtual cores in deterministic virtual
+// time, and reports throughput, the abort breakdown, wasted cycles, and
+// memory footprints — the quantities behind every figure in Section 5.
+package harness
+
+import (
+	"fmt"
+
+	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/tree/htmtree"
+	"eunomia/internal/tree/masstree"
+	"eunomia/internal/vclock"
+	"eunomia/internal/workload"
+)
+
+// TreeKind selects the tree under test.
+type TreeKind int
+
+// The four systems the paper compares.
+const (
+	EunoBTree TreeKind = iota
+	HTMBTree
+	Masstree
+	HTMMasstree
+)
+
+// String names the tree as in the paper's figures.
+func (k TreeKind) String() string {
+	switch k {
+	case EunoBTree:
+		return "Euno-B+Tree"
+	case HTMBTree:
+		return "HTM-B+Tree"
+	case Masstree:
+		return "Masstree"
+	case HTMMasstree:
+		return "HTM-Masstree"
+	default:
+		return fmt.Sprintf("tree(%d)", int(k))
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	Tree TreeKind
+	// EunoCfg overrides the Euno-B+Tree configuration (ablations); the
+	// zero value means core.DefaultConfig.
+	EunoCfg *core.Config
+
+	Threads      int
+	Keys         uint64 // key-space size (the paper uses 100M; defaults are smaller)
+	PreloadPct   int    // percentage of the key space inserted before measuring
+	Dist         workload.Spec
+	Mix          workload.Mix
+	OpsPerThread int
+	// DurationCycles, when nonzero, switches to the paper's fixed-duration
+	// methodology: each thread issues operations until its virtual clock
+	// passes this value, and OpsPerThread is ignored.
+	DurationCycles uint64
+	Seed           uint64
+
+	Fanout     int    // node fanout for the non-Euno trees
+	ArenaWords uint64 // arena capacity
+	Slack      uint64 // virtual-time scheduler slack (0 = exact)
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.PreloadPct == 0 {
+		c.PreloadPct = 50
+	}
+	if c.Dist.N == 0 {
+		c.Dist.N = c.Keys
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.DefaultMix
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 5_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.ArenaWords == 0 {
+		// Size to the data: ~16 words per record headroom, min 4M words.
+		c.ArenaWords = c.Keys * 24
+		if c.ArenaWords < 1<<22 {
+			c.ArenaWords = 1 << 22
+		}
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Config Config
+
+	Ops        uint64
+	Cycles     uint64  // virtual makespan of the measured phase
+	Seconds    float64 // Cycles at the paper's 2.3 GHz clock
+	Throughput float64 // ops per (virtual) second
+
+	Stats       htm.Stats // merged across threads
+	AbortsPerOp float64
+	// AbortBreakdown is aborts-per-operation by reason, the Figure 2/9
+	// decomposition.
+	AbortBreakdown [htm.NumAbortReasons]float64
+	WastedPct      float64 // % of consumed cycles spent in aborted attempts
+
+	Latency metrics.Histogram // per-op latency in cycles
+
+	LiveBytes     int64 // tree footprint after the run
+	ReservedPeak  int64 // peak transient reserved-keys bytes (approximate)
+	PreloadedKeys uint64
+}
+
+// buildTree constructs the tree under test.
+func buildTree(cfg Config, h *htm.HTM, boot *htm.Thread) tree.KV {
+	switch cfg.Tree {
+	case EunoBTree:
+		ec := core.DefaultConfig
+		if cfg.EunoCfg != nil {
+			ec = *cfg.EunoCfg
+		}
+		return core.New(h, boot, ec)
+	case HTMBTree:
+		return htmtree.New(h, boot, cfg.Fanout)
+	case Masstree:
+		return masstree.New(h, boot, cfg.Fanout, false)
+	case HTMMasstree:
+		return masstree.New(h, boot, cfg.Fanout, true)
+	default:
+		panic(fmt.Sprintf("harness: unknown tree kind %d", cfg.Tree))
+	}
+}
+
+// Run executes one experiment and returns its result. Runs are
+// deterministic for a fixed Config.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mix.Validate(); err != nil {
+		panic(err)
+	}
+	arena := simmem.NewArena(cfg.ArenaWords)
+	device := htm.New(arena, htm.DefaultConfig)
+	boot := device.NewThread(vclock.NewWallProc(0, 0), cfg.Seed)
+	kv := buildTree(cfg, device, boot)
+
+	// Load phase (not measured): insert the preload subset.
+	var preloaded uint64
+	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {
+		kv.Put(boot, key, key*31+7)
+		preloaded++
+	})
+	loadBytes := arena.LiveBytes()
+
+	// Measured phase: virtual-time lockstep across cfg.Threads cores.
+	sim := vclock.NewSim(cfg.Threads, cfg.Slack)
+	stats := make([]htm.Stats, cfg.Threads)
+	hists := make([]metrics.Histogram, cfg.Threads)
+	opsDone := make([]uint64, cfg.Threads)
+	var totalThreadCycles uint64
+	sim.Run(func(p *vclock.SimProc) {
+		th := device.NewThread(p, cfg.Seed+uint64(p.ID())*7919+1)
+		stream := workload.NewStream(cfg.Dist, cfg.Mix)
+		for i := 0; more(cfg, i, p); i++ {
+			opsDone[p.ID()]++
+			op := stream.Next(th.Rand)
+			start := p.Now()
+			switch op.Kind {
+			case workload.OpGet:
+				kv.Get(th, op.Key)
+			case workload.OpPut:
+				kv.Put(th, op.Key, op.Key<<8|uint64(i)&0xff)
+			case workload.OpDelete:
+				kv.Delete(th, op.Key)
+			case workload.OpScan:
+				kv.Scan(th, op.Key, op.ScanLen, func(k, v uint64) bool { return true })
+			}
+			hists[p.ID()].Observe(p.Now() - start)
+		}
+		stats[p.ID()] = th.Stats
+	})
+	for _, p := range sim.Procs() {
+		totalThreadCycles += p.Now()
+	}
+
+	var totalOps uint64
+	for _, n := range opsDone {
+		totalOps += n
+	}
+	res := Result{
+		Config:        cfg,
+		Ops:           totalOps,
+		Cycles:        sim.MaxClock(),
+		LiveBytes:     arena.LiveBytes(),
+		ReservedPeak:  loadBytes, // replaced below; kept for context
+		PreloadedKeys: preloaded,
+	}
+	res.Seconds = float64(res.Cycles) / vclock.CyclesPerSecond
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Ops) / res.Seconds
+	}
+	for i := range stats {
+		res.Stats.Merge(&stats[i])
+		res.Latency.Merge(&hists[i])
+	}
+	if res.Ops > 0 {
+		res.AbortsPerOp = float64(res.Stats.TotalAborts()) / float64(res.Ops)
+		for r := htm.AbortReason(1); r < htm.NumAbortReasons; r++ {
+			res.AbortBreakdown[r] = float64(res.Stats.Aborts[r]) / float64(res.Ops)
+		}
+	}
+	if totalThreadCycles > 0 {
+		res.WastedPct = 100 * float64(res.Stats.WastedCycles) / float64(totalThreadCycles)
+	}
+	res.ReservedPeak = arena.BytesByTag(simmem.TagReserved)
+	return res
+}
+
+// more is the measured-phase loop condition: op-count mode or the paper's
+// fixed-duration mode.
+func more(cfg Config, i int, p *vclock.SimProc) bool {
+	if cfg.DurationCycles > 0 {
+		return p.Now() < cfg.DurationCycles
+	}
+	return i < cfg.OpsPerThread
+}
+
+// MemoryComparison runs the same load on a tree kind and on the baseline
+// HTM-B+Tree and reports the Section 5.7 overhead percentage
+// (tree bytes vs. baseline bytes for identical contents).
+func MemoryComparison(cfg Config) (treeBytes, baseBytes int64, overheadPct float64) {
+	r1 := Run(cfg)
+	base := cfg
+	base.Tree = HTMBTree
+	r2 := Run(base)
+	treeBytes, baseBytes = r1.LiveBytes, r2.LiveBytes
+	if baseBytes > 0 {
+		overheadPct = 100 * (float64(treeBytes) - float64(baseBytes)) / float64(baseBytes)
+	}
+	return treeBytes, baseBytes, overheadPct
+}
+
+// ValidateTree runs the tree's quiescent structural validator, if it has
+// one (all three B+Tree implementations do).
+func ValidateTree(kv tree.KV, p vclock.Proc) error {
+	type validator interface {
+		Validate(p vclock.Proc) error
+	}
+	if v, ok := kv.(validator); ok {
+		return v.Validate(p)
+	}
+	return fmt.Errorf("harness: %s has no validator", kv.Name())
+}
+
+// RunAndValidate performs a Run and then re-builds the identical workload
+// to validate the final structure (Run's tree is internal to it, so the
+// deterministic replay is the cheapest way to get at the end state).
+func RunAndValidate(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Run(cfg)
+	// Replay on a fresh device, keeping the tree this time.
+	arena := simmem.NewArena(cfg.ArenaWords)
+	device := htm.New(arena, htm.DefaultConfig)
+	boot := device.NewThread(vclock.NewWallProc(0, 0), cfg.Seed)
+	kv := buildTree(cfg, device, boot)
+	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {
+		kv.Put(boot, key, key*31+7)
+	})
+	sim := vclock.NewSim(cfg.Threads, cfg.Slack)
+	sim.Run(func(p *vclock.SimProc) {
+		th := device.NewThread(p, cfg.Seed+uint64(p.ID())*7919+1)
+		stream := workload.NewStream(cfg.Dist, cfg.Mix)
+		for i := 0; more(cfg, i, p); i++ {
+			op := stream.Next(th.Rand)
+			switch op.Kind {
+			case workload.OpGet:
+				kv.Get(th, op.Key)
+			case workload.OpPut:
+				kv.Put(th, op.Key, op.Key<<8|uint64(i)&0xff)
+			case workload.OpDelete:
+				kv.Delete(th, op.Key)
+			case workload.OpScan:
+				kv.Scan(th, op.Key, op.ScanLen, func(k, v uint64) bool { return true })
+			}
+		}
+	})
+	return res, ValidateTree(kv, boot.P)
+}

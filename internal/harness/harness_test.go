@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"eunomia/internal/core"
+	"eunomia/internal/workload"
+)
+
+func smallCfg(k TreeKind) Config {
+	return Config{
+		Tree:         k,
+		Threads:      4,
+		Keys:         2000,
+		Dist:         workload.Spec{Kind: workload.Zipfian, Theta: 0.9},
+		OpsPerThread: 400,
+	}
+}
+
+func TestRunAllTreeKinds(t *testing.T) {
+	for _, k := range []TreeKind{EunoBTree, HTMBTree, Masstree, HTMMasstree} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			res := Run(smallCfg(k))
+			if res.Ops != 1600 {
+				t.Fatalf("ops = %d", res.Ops)
+			}
+			if res.Cycles == 0 || res.Throughput <= 0 {
+				t.Fatalf("no progress: cycles=%d tput=%v", res.Cycles, res.Throughput)
+			}
+			if res.PreloadedKeys == 0 {
+				t.Fatal("nothing preloaded")
+			}
+			if res.Latency.Count() != res.Ops {
+				t.Fatalf("latency count %d != ops %d", res.Latency.Count(), res.Ops)
+			}
+			if k == Masstree && res.Stats.Attempts != 0 {
+				t.Fatal("masstree used transactions")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(smallCfg(EunoBTree))
+	b := Run(smallCfg(EunoBTree))
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic harness: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestContentionIncreasesAborts(t *testing.T) {
+	low := smallCfg(HTMBTree)
+	low.Dist.Theta = 0.1
+	low.OpsPerThread = 800
+	high := smallCfg(HTMBTree)
+	high.Dist.Theta = 0.99
+	high.OpsPerThread = 800
+	rl, rh := Run(low), Run(high)
+	if rh.AbortsPerOp <= rl.AbortsPerOp {
+		t.Fatalf("aborts/op low=%.3f high=%.3f; contention had no effect",
+			rl.AbortsPerOp, rh.AbortsPerOp)
+	}
+}
+
+func TestEunoBeatsBaselineUnderHighContention(t *testing.T) {
+	// The paper's headline: under heavy skew Euno-B+Tree outperforms the
+	// monolithic HTM-B+Tree. Modest sizes keep this test quick; the full
+	// sweep lives in cmd/eunobench.
+	mk := func(k TreeKind) Config {
+		// The collapse regime needs paper-scale parameters: enough threads
+		// and enough keys that the hot leaves convoy the fallback lock.
+		c := smallCfg(k)
+		c.Threads = 20
+		c.Keys = 100_000
+		c.Dist.Theta = 0.99
+		c.OpsPerThread = 1000
+		return c
+	}
+	re := Run(mk(EunoBTree))
+	rb := Run(mk(HTMBTree))
+	if re.Throughput <= rb.Throughput {
+		t.Fatalf("Euno %.0f ops/s <= baseline %.0f ops/s under high contention",
+			re.Throughput, rb.Throughput)
+	}
+	t.Logf("speedup at theta=0.99: %.2fx (euno %.2fM vs base %.2fM ops/s)",
+		re.Throughput/rb.Throughput, re.Throughput/1e6, rb.Throughput/1e6)
+}
+
+func TestEunoAblationConfigsRun(t *testing.T) {
+	for _, ab := range core.AblationConfigs() {
+		cfg := smallCfg(EunoBTree)
+		ec := ab.Cfg
+		cfg.EunoCfg = &ec
+		res := Run(cfg)
+		if res.Throughput <= 0 {
+			t.Fatalf("%s made no progress", ab.Name)
+		}
+	}
+}
+
+func TestMixWithScansAndDeletes(t *testing.T) {
+	cfg := smallCfg(EunoBTree)
+	cfg.Mix = workload.Mix{GetPct: 40, PutPct: 40, DeletePct: 10, ScanPct: 10, ScanLen: 10}
+	res := Run(cfg)
+	if res.Throughput <= 0 {
+		t.Fatal("no progress with mixed ops")
+	}
+}
+
+func TestMemoryComparison(t *testing.T) {
+	cfg := smallCfg(EunoBTree)
+	cfg.Mix = workload.Mix{GetPct: 50, PutPct: 50}
+	treeB, baseB, pct := MemoryComparison(cfg)
+	if treeB <= 0 || baseB <= 0 {
+		t.Fatalf("bytes: %d vs %d", treeB, baseB)
+	}
+	t.Logf("euno=%dB base=%dB overhead=%.1f%%", treeB, baseB, pct)
+	if pct < -50 || pct > 300 {
+		t.Fatalf("implausible overhead %.1f%%", pct)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{Title: "Fig X", Header: []string{"theta", "ops/s"}}
+	tbl.AddRow("0.5", "123")
+	tbl.AddRow("0.99", "45")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig X", "theta", "0.99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "theta,ops/s\n0.5,123\n") {
+		t.Fatalf("csv:\n%s", csv.String())
+	}
+	bad := Table{Header: []string{"a,b"}}
+	if err := bad.CSV(&csv); err == nil {
+		t.Fatal("comma cell accepted")
+	}
+}
+
+func TestTreeKindStrings(t *testing.T) {
+	for _, k := range []TreeKind{EunoBTree, HTMBTree, Masstree, HTMMasstree} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestFixedDurationMode(t *testing.T) {
+	cfg := smallCfg(EunoBTree)
+	cfg.OpsPerThread = 0
+	cfg.DurationCycles = 400_000
+	r := Run(cfg)
+	if r.Ops == 0 {
+		t.Fatal("no ops in duration mode")
+	}
+	// Every thread ran until its clock passed the deadline, so the
+	// makespan is at least the deadline and not wildly beyond it.
+	if r.Cycles < cfg.DurationCycles {
+		t.Fatalf("makespan %d below duration %d", r.Cycles, cfg.DurationCycles)
+	}
+	if r.Cycles > cfg.DurationCycles*2 {
+		t.Fatalf("makespan %d far beyond duration %d", r.Cycles, cfg.DurationCycles)
+	}
+	if r.Latency.Count() != r.Ops {
+		t.Fatalf("latency count %d != ops %d", r.Latency.Count(), r.Ops)
+	}
+	// Deterministic like everything else.
+	r2 := Run(cfg)
+	if r2.Ops != r.Ops || r2.Cycles != r.Cycles {
+		t.Fatal("duration mode not deterministic")
+	}
+}
+
+func TestRunAndValidate(t *testing.T) {
+	for _, k := range []TreeKind{EunoBTree, HTMBTree, Masstree} {
+		cfg := smallCfg(k)
+		cfg.Mix = workload.Mix{GetPct: 40, PutPct: 40, DeletePct: 20}
+		res, err := RunAndValidate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%v: no ops", k)
+		}
+	}
+}

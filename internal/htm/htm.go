@@ -1,0 +1,418 @@
+// Package htm emulates Intel Restricted Transactional Memory (RTM) in
+// software over a simmem.Arena.
+//
+// Why an emulator: Go cannot issue xbegin/xend (no intrinsics), and even via
+// assembly stubs the runtime is hostile to hardware transactions — stack
+// growth, preemption signals, and the garbage collector's write barriers all
+// abort them. The paper's results, however, do not depend on transactions
+// being executed by hardware; they depend on the *semantics* of hardware
+// transactions: optimistic execution, conflict detection at cache-line
+// granularity, bounded capacity, all-or-nothing abort with full re-execution,
+// and a global-lock fallback for forward progress. This package reproduces
+// exactly those semantics:
+//
+//   - TL2-style concurrency control: a transaction snapshots the arena's
+//     global version clock (rv) at begin; every Load validates that the
+//     line is unlocked and no newer than rv (providing opacity — a running
+//     transaction never observes an inconsistent snapshot, which is what
+//     RTM's eager conflict detection guarantees); Stores are buffered;
+//     commit locks the write lines, validates the read set, applies, and
+//     releases at a new clock value.
+//
+//   - Conflicts are detected per 64-byte line, so consecutive key layout
+//     produces the false conflicts the paper measures.
+//
+//   - Read and write sets are capped at an L1d's worth of lines, producing
+//     RTM capacity aborts.
+//
+//   - Aborts are classified for the Figure 2/9 decomposition: a conflict on
+//     a metadata-tagged line is a shared-metadata abort; a conflict on a
+//     data line is a true conflict if the last committed writer touched the
+//     same word(s) the aborter accessed, and a false (cache-line-sharing)
+//     conflict otherwise.
+//
+//   - A global fallback lock provides the standard lock-elision escape
+//     hatch: every transaction subscribes to the lock word, and Execute
+//     retries with per-reason thresholds (the DBX/DrTM policy) before
+//     acquiring the lock and running the body non-transactionally.
+package htm
+
+import (
+	"fmt"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// AbortReason says why a transaction attempt failed.
+type AbortReason uint8
+
+// Abort reasons. The three conflict reasons correspond to the paper's
+// decomposition in Figures 2 and 9.
+const (
+	AbortNone          AbortReason = iota
+	AbortConflictTrue              // conflicting access to the same word ("same record")
+	AbortConflictFalse             // same cache line, disjoint words ("different records")
+	AbortConflictMeta              // conflict on a shared-metadata line
+	AbortCapacity                  // read or write set exceeded L1 capacity
+	AbortExplicit                  // xabort issued by the program
+	AbortFallbackLock              // fallback lock held or acquired mid-flight
+	NumAbortReasons
+)
+
+// String returns a short name for the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortConflictTrue:
+		return "conflict-true"
+	case AbortConflictFalse:
+		return "conflict-false"
+	case AbortConflictMeta:
+		return "conflict-meta"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	case AbortFallbackLock:
+		return "fallback-lock"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// IsConflict reports whether the reason is one of the three conflict kinds.
+func (r AbortReason) IsConflict() bool {
+	return r == AbortConflictTrue || r == AbortConflictFalse || r == AbortConflictMeta
+}
+
+// Config sets the emulated hardware limits.
+type Config struct {
+	// MaxReadLines and MaxWriteLines bound the transactional working set,
+	// modeling L1d capacity (32 KB / 64 B = 512 lines).
+	MaxReadLines  int
+	MaxWriteLines int
+}
+
+// DefaultConfig models the paper's Haswell-class parts.
+var DefaultConfig = Config{MaxReadLines: 512, MaxWriteLines: 512}
+
+// HTM is an emulated transactional-memory device bound to one arena.
+type HTM struct {
+	arena    *simmem.Arena
+	cfg      Config
+	fallback simmem.Addr // global elision lock word, on its own line
+}
+
+// New creates an HTM emulator over the arena.
+func New(a *simmem.Arena, cfg Config) *HTM {
+	if cfg.MaxReadLines <= 0 {
+		cfg.MaxReadLines = DefaultConfig.MaxReadLines
+	}
+	if cfg.MaxWriteLines <= 0 {
+		cfg.MaxWriteLines = DefaultConfig.MaxWriteLines
+	}
+	boot := vclock.NewWallProc(0, 0)
+	return &HTM{
+		arena:    a,
+		cfg:      cfg,
+		fallback: a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback),
+	}
+}
+
+// Arena returns the memory the device is bound to.
+func (h *HTM) Arena() *simmem.Arena { return h.arena }
+
+// FallbackHeld reports whether the global fallback lock is currently taken
+// (a diagnostic; the answer may be stale by the time it returns).
+func (h *HTM) FallbackHeld() bool { return h.arena.WordRaw(h.fallback) != 0 }
+
+type readEntry struct {
+	line uint64
+	mask uint8 // words of the line read by this transaction
+}
+
+type writeEntry struct {
+	addr simmem.Addr
+	val  uint64
+}
+
+type writeLine struct {
+	line uint64
+	mask uint8
+}
+
+type allocRec struct {
+	addr  simmem.Addr
+	words int
+	tag   simmem.Tag
+}
+
+// Tx is one transaction attempt. A Tx is only valid inside the body passed
+// to Thread.Run / Thread.Execute; it must not be retained. In fallback mode
+// (after the retry policy is exhausted) the same body runs with a Tx whose
+// operations go directly to memory under the global lock.
+type Tx struct {
+	h      *HTM
+	p      vclock.Proc
+	st     *Stats
+	rv     uint64
+	direct bool
+
+	rs     []readEntry
+	ws     []writeEntry
+	wls    []writeLine
+	allocs []allocRec
+
+	startCycles uint64
+}
+
+// txAbort is the panic payload used to unwind an aborted attempt.
+type txAbort struct {
+	reason AbortReason
+	line   uint64
+	code   uint8
+}
+
+// Proc returns the executing virtual thread.
+func (tx *Tx) Proc() vclock.Proc { return tx.p }
+
+// Direct reports whether the transaction is running in fallback (non-
+// transactional, global-lock) mode. Bodies rarely need this; it is exposed
+// for tests and diagnostics.
+func (tx *Tx) Direct() bool { return tx.direct }
+
+// abort unwinds the attempt with the given reason.
+func (tx *Tx) abort(reason AbortReason, line uint64, code uint8) {
+	panic(&txAbort{reason: reason, line: line, code: code})
+}
+
+// Abort issues an explicit abort (RTM xabort) carrying a user code.
+func (tx *Tx) Abort(code uint8) {
+	if tx.direct {
+		// A fallback execution cannot abort; this mirrors RTM, where the
+		// fallback path runs non-speculatively. Bodies that can reach
+		// Abort must check Direct() or structure the check so the direct
+		// run never needs it.
+		panic("htm: Abort called in fallback mode")
+	}
+	tx.abort(AbortExplicit, 0, code)
+}
+
+// accessMask returns every word of the line this transaction has touched so
+// far (reads and buffered writes), plus extra bits for the access that is
+// currently being attempted.
+func (tx *Tx) accessMask(line uint64, extra uint8) uint8 {
+	m := extra
+	for i := range tx.rs {
+		if tx.rs[i].line == line {
+			m |= tx.rs[i].mask
+			break
+		}
+	}
+	for i := range tx.wls {
+		if tx.wls[i].line == line {
+			m |= tx.wls[i].mask
+			break
+		}
+	}
+	return m
+}
+
+// classifyConflict maps a conflicting line to the paper's abort taxonomy.
+// accessMask is the set of words this transaction touched in the line.
+func (tx *Tx) classifyConflict(line uint64, accessMask uint8) AbortReason {
+	a := tx.h.arena
+	switch a.TagOf(line) {
+	case simmem.TagFallback:
+		return AbortFallbackLock
+	case simmem.TagTreeMeta, simmem.TagNodeMeta:
+		return AbortConflictMeta
+	}
+	if a.WriteMask(line)&accessMask != 0 {
+		return AbortConflictTrue
+	}
+	return AbortConflictFalse
+}
+
+// Load performs a transactional read of one word.
+func (tx *Tx) Load(addr simmem.Addr) uint64 {
+	tx.st.TxLoads++
+	a := tx.h.arena
+	if tx.direct {
+		return a.LoadWord(tx.p, addr)
+	}
+	// Read-your-writes: the most recent buffered store to this address wins
+	// (a store-buffer hit, charged at hit cost).
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		if tx.ws[i].addr == addr {
+			tx.p.Tick(a.Costs().Load)
+			return tx.ws[i].val
+		}
+	}
+	line := addr.Line()
+	bit := uint8(1) << addr.WordInLine()
+	s1 := a.LineState(line)
+	if simmem.StateLocked(s1) || simmem.StateVersion(s1) > tx.rv {
+		tx.abort(tx.classifyConflict(line, tx.accessMask(line, bit)), line, 0)
+	}
+	v := a.WordRaw(addr)
+	if a.LineState(line) != s1 {
+		tx.abort(tx.classifyConflict(line, tx.accessMask(line, bit)), line, 0)
+	}
+	// Record in the read set, merging with an existing entry for the line.
+	found := false
+	for i := range tx.rs {
+		if tx.rs[i].line == line {
+			tx.rs[i].mask |= bit
+			found = true
+			break
+		}
+	}
+	if !found {
+		if len(tx.rs) >= tx.h.cfg.MaxReadLines {
+			tx.abort(AbortCapacity, line, 0)
+		}
+		tx.rs = append(tx.rs, readEntry{line: line, mask: bit})
+	}
+	a.ChargeAccess(tx.p, addr, false)
+	return v
+}
+
+// Store performs a transactional (buffered) write of one word.
+func (tx *Tx) Store(addr simmem.Addr, v uint64) {
+	tx.st.TxStores++
+	a := tx.h.arena
+	if tx.direct {
+		a.StoreWordDirect(tx.p, addr, v)
+		return
+	}
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		if tx.ws[i].addr == addr {
+			tx.ws[i].val = v
+			tx.p.Tick(a.Costs().Store)
+			return
+		}
+	}
+	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v})
+	line := addr.Line()
+	bit := uint8(1) << addr.WordInLine()
+	found := false
+	for i := range tx.wls {
+		if tx.wls[i].line == line {
+			tx.wls[i].mask |= bit
+			found = true
+			break
+		}
+	}
+	if !found {
+		if len(tx.wls) >= tx.h.cfg.MaxWriteLines {
+			tx.abort(AbortCapacity, line, 0)
+		}
+		tx.wls = append(tx.wls, writeLine{line: line, mask: bit})
+	}
+	tx.p.Tick(a.Costs().Store)
+}
+
+// Prefetch models a burst of independent line fetches (memory-level
+// parallelism): it only touches the cost model's cache state, never the
+// read set, so it is safe in any mode.
+func (tx *Tx) Prefetch(addrs ...simmem.Addr) {
+	tx.h.arena.Prefetch(tx.p, addrs...)
+}
+
+// AllocAligned allocates arena memory from inside the transaction. If the
+// attempt later aborts, the allocation is automatically returned to the
+// free list (real RTM leaks or double-books allocator state on abort, a
+// pathology noted by Dice et al.; we model the clean variant).
+func (tx *Tx) AllocAligned(nWords int, tag simmem.Tag) simmem.Addr {
+	addr := tx.h.arena.AllocAligned(tx.p, nWords, tag)
+	if !tx.direct {
+		tx.allocs = append(tx.allocs, allocRec{addr: addr, words: nWords, tag: tag})
+	}
+	return addr
+}
+
+// commit finishes a (non-direct) attempt: it locks the write lines,
+// validates the read set against rv, applies the buffered stores, and
+// releases the lines at a fresh clock value. On any failure it unwinds via
+// abort after releasing what it locked.
+func (tx *Tx) commit() {
+	a := tx.h.arena
+	costs := a.Costs()
+	if len(tx.ws) == 0 {
+		// Read-only transactions were fully validated at read time.
+		tx.p.Tick(costs.TxCommit)
+		return
+	}
+	type held struct {
+		line uint64
+		prev uint64
+	}
+	locked := make([]held, 0, len(tx.wls))
+	release := func() {
+		for _, l := range locked {
+			a.RestoreLine(l.line, l.prev)
+		}
+	}
+	for _, wl := range tx.wls {
+		prev, ok := a.TryLockLine(wl.line)
+		if !ok {
+			release()
+			tx.abort(tx.classifyConflict(wl.line, tx.accessMask(wl.line, 0)), wl.line, 0)
+		}
+		if simmem.StateVersion(prev) > tx.rv {
+			// The line was committed past our snapshot. If we also read
+			// it, that read is invalid; even if we only wrote it, a TL2
+			// commit at version > rv could order us inconsistently, so
+			// abort (hardware would have aborted on the coherence event).
+			locked = append(locked, held{wl.line, prev})
+			release()
+			tx.abort(tx.classifyConflict(wl.line, tx.accessMask(wl.line, 0)), wl.line, 0)
+		}
+		locked = append(locked, held{wl.line, prev})
+	}
+	tx.p.Tick(costs.CAS) // clock advance
+	wv := a.AdvanceClock()
+	// Validate the read set. Lines we hold were validated via prev above.
+	for _, re := range tx.rs {
+		owned := false
+		for _, l := range locked {
+			if l.line == re.line {
+				owned = true
+				break
+			}
+		}
+		if owned {
+			continue
+		}
+		s := a.LineState(re.line)
+		if simmem.StateLocked(s) || simmem.StateVersion(s) > tx.rv {
+			release()
+			tx.abort(tx.classifyConflict(re.line, tx.accessMask(re.line, 0)), re.line, 0)
+		}
+	}
+	// Apply and release. Write-back charges per-line coherence costs and
+	// refreshes the committer's own cached copies at the new version.
+	for _, w := range tx.ws {
+		a.SetWordRaw(w.addr, w.val)
+	}
+	for _, wl := range tx.wls {
+		a.ChargeAccess(tx.p, simmem.Addr(wl.line*simmem.WordsPerLine), true)
+		a.SetWriteMask(wl.line, wl.mask)
+		a.UnlockLine(wl.line, wv)
+		a.NoteLineWritten(tx.p, wl.line, wv)
+	}
+	tx.p.Tick(costs.TxCommit + costs.TxCommitPer*uint64(len(tx.wls)))
+}
+
+// reset prepares the Tx for a fresh attempt, retaining buffer capacity.
+func (tx *Tx) reset(direct bool) {
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	tx.wls = tx.wls[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.direct = direct
+	tx.startCycles = tx.p.Now()
+}

@@ -1,0 +1,428 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+func newDevice(words uint64) (*HTM, *simmem.Arena) {
+	a := simmem.NewArena(words)
+	return New(a, DefaultConfig), a
+}
+
+func TestCommitMakesWritesVisible(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	ok, reason := th.Run(func(tx *Tx) {
+		tx.Store(x, 11)
+		tx.Store(x+1, 22)
+	})
+	if !ok {
+		t.Fatalf("commit failed: %v", reason)
+	}
+	if got := a.LoadWord(p, x); got != 11 {
+		t.Fatalf("word0 = %d", got)
+	}
+	if got := a.LoadWord(p, x+1); got != 22 {
+		t.Fatalf("word1 = %d", got)
+	}
+	if th.Stats.Commits != 1 || th.Stats.TotalAborts() != 0 {
+		t.Fatalf("stats: %s", th.Stats.String())
+	}
+}
+
+func TestBufferedWritesInvisibleUntilCommit(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	th.Run(func(tx *Tx) {
+		tx.Store(x, 5)
+		if got := a.WordRaw(x); got != 0 {
+			t.Fatalf("write leaked before commit: %d", got)
+		}
+	})
+}
+
+func TestReadYourWrites(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	ok, _ := th.Run(func(tx *Tx) {
+		tx.Store(x, 7)
+		if got := tx.Load(x); got != 7 {
+			t.Fatalf("read-own-write = %d", got)
+		}
+		tx.Store(x, 9)
+		if got := tx.Load(x); got != 9 {
+			t.Fatalf("after overwrite = %d", got)
+		}
+	})
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	if got := a.LoadWord(p, x); got != 9 {
+		t.Fatalf("final = %d", got)
+	}
+}
+
+func TestExplicitAbortDiscardsWrites(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	ok, reason := th.Run(func(tx *Tx) {
+		tx.Store(x, 42)
+		tx.Abort(3)
+	})
+	if ok || reason != AbortExplicit {
+		t.Fatalf("ok=%v reason=%v", ok, reason)
+	}
+	if got := a.LoadWord(p, x); got != 0 {
+		t.Fatalf("aborted write persisted: %d", got)
+	}
+	if th.Stats.Aborts[AbortExplicit] != 1 {
+		t.Fatalf("stats: %s", th.Stats.String())
+	}
+	if th.Stats.WastedCycles == 0 {
+		t.Fatal("wasted cycles not accounted")
+	}
+}
+
+func TestAbortReturnsAllocations(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	before := a.LiveBytes()
+
+	th.Run(func(tx *Tx) {
+		tx.AllocAligned(16, simmem.TagKeys)
+		tx.Abort(1)
+	})
+	if got := a.LiveBytes(); got != before {
+		t.Fatalf("leaked %d bytes on abort", got-before)
+	}
+
+	// And a committed transaction keeps its allocation.
+	ok, _ := th.Run(func(tx *Tx) {
+		tx.AllocAligned(16, simmem.TagKeys)
+	})
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	if got := a.LiveBytes(); got != before+128 {
+		t.Fatalf("live = %d, want %d", got, before+128)
+	}
+}
+
+func TestCapacityAbortReads(t *testing.T) {
+	a := simmem.NewArena(1 << 16)
+	h := New(a, Config{MaxReadLines: 16, MaxWriteLines: 16})
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	base := a.AllocAligned(p, 64*simmem.WordsPerLine, simmem.TagKeys)
+
+	ok, reason := th.Run(func(tx *Tx) {
+		for i := 0; i < 32; i++ {
+			tx.Load(base + simmem.Addr(i*simmem.WordsPerLine))
+		}
+	})
+	if ok || reason != AbortCapacity {
+		t.Fatalf("ok=%v reason=%v, want capacity abort", ok, reason)
+	}
+}
+
+func TestCapacityAbortWrites(t *testing.T) {
+	a := simmem.NewArena(1 << 16)
+	h := New(a, Config{MaxReadLines: 64, MaxWriteLines: 8})
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	base := a.AllocAligned(p, 64*simmem.WordsPerLine, simmem.TagKeys)
+
+	ok, reason := th.Run(func(tx *Tx) {
+		for i := 0; i < 16; i++ {
+			tx.Store(base+simmem.Addr(i*simmem.WordsPerLine), 1)
+		}
+	})
+	if ok || reason != AbortCapacity {
+		t.Fatalf("ok=%v reason=%v, want capacity abort", ok, reason)
+	}
+}
+
+func TestStrongAtomicityDirectStoreAbortsReader(t *testing.T) {
+	// A transaction that read a line must abort when a non-transactional
+	// store hits the same line before it commits (writes something so the
+	// commit validates the read set).
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+	y := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	first := true
+	ok, reason := th.Run(func(tx *Tx) {
+		v := tx.Load(x)
+		tx.Store(y, v+1)
+		if first {
+			first = false
+			a.StoreWordDirect(p, x, 99) // conflicting direct write
+		}
+	})
+	if ok || !reason.IsConflict() {
+		t.Fatalf("ok=%v reason=%v, want conflict", ok, reason)
+	}
+}
+
+func TestConflictClassificationTrueVsFalse(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys) // one line, words x..x+7
+
+	// True conflict: reader read word 2; writer wrote word 2.
+	step := 0
+	_, reason := th.Run(func(tx *Tx) {
+		tx.Load(x + 2)
+		tx.Store(x+7, 1) // make it a writing tx so commit validates
+		if step == 0 {
+			step = 1
+			a.StoreWordDirect(p, x+2, 5)
+		}
+	})
+	if reason != AbortConflictTrue {
+		t.Fatalf("reason = %v, want conflict-true", reason)
+	}
+
+	// False conflict: reader read word 2; writer wrote word 6 (same line).
+	step = 0
+	_, reason = th.Run(func(tx *Tx) {
+		tx.Load(x + 2)
+		tx.Store(x+7, 1)
+		if step == 0 {
+			step = 1
+			a.StoreWordDirect(p, x+6, 5)
+		}
+	})
+	if reason != AbortConflictFalse {
+		t.Fatalf("reason = %v, want conflict-false", reason)
+	}
+}
+
+func TestConflictClassificationMeta(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	m := a.AllocAligned(p, 8, simmem.TagNodeMeta)
+
+	step := 0
+	_, reason := th.Run(func(tx *Tx) {
+		tx.Load(m)
+		tx.Store(m+1, 1)
+		if step == 0 {
+			step = 1
+			a.StoreWordDirect(p, m+3, 5)
+		}
+	})
+	if reason != AbortConflictMeta {
+		t.Fatalf("reason = %v, want conflict-meta", reason)
+	}
+}
+
+func TestFallbackLockAbortsTransactions(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	// Take the fallback lock directly; a new attempt must abort at begin.
+	if !a.CASWordDirect(p, h.fallback, 0, 1) {
+		t.Fatal("could not take fallback lock")
+	}
+	ok, reason := th.Run(func(tx *Tx) { tx.Load(x) })
+	if ok || reason != AbortFallbackLock {
+		t.Fatalf("ok=%v reason=%v, want fallback-lock abort", ok, reason)
+	}
+	a.StoreWordDirect(p, h.fallback, 0)
+}
+
+func TestExecuteFallsBackAfterExplicitRetries(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+
+	// The body aborts explicitly on every transactional attempt; Execute
+	// must eventually run it in fallback mode, where Abort is unreachable
+	// because the body checks Direct().
+	runs := 0
+	th.Execute(RetryPolicy{Conflict: 2, Capacity: 1, Explicit: 3}, func(tx *Tx) {
+		runs++
+		tx.Store(x, uint64(runs))
+		if !tx.Direct() {
+			tx.Abort(1)
+		}
+	})
+	if th.Stats.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1; %s", th.Stats.Fallbacks, th.Stats.String())
+	}
+	if got := a.LoadWord(p, x); got == 0 {
+		t.Fatal("fallback execution did not apply writes")
+	}
+	if !h.FallbackHeld() == false && h.FallbackHeld() {
+		t.Fatal("fallback lock leaked")
+	}
+}
+
+func TestExecuteCommitsSimpleBody(t *testing.T) {
+	h, a := newDevice(1 << 14)
+	p := vclock.NewWallProc(0, 0)
+	th := h.NewThread(p, 1)
+	x := a.AllocAligned(p, 8, simmem.TagKeys)
+	th.Execute(DefaultPolicy, func(tx *Tx) {
+		tx.Store(x, tx.Load(x)+1)
+	})
+	if got := a.LoadWord(p, x); got != 1 {
+		t.Fatalf("x = %d", got)
+	}
+	if th.Stats.Fallbacks != 0 {
+		t.Fatal("unexpected fallback")
+	}
+}
+
+func TestConcurrentCountersExactWall(t *testing.T) {
+	// 8 goroutines × 300 transactional increments of 4 counters that all
+	// share one line: heavy conflicts, but the final sums must be exact.
+	h, a := newDevice(1 << 16)
+	setup := vclock.NewWallProc(0, 0)
+	x := a.AllocAligned(setup, 8, simmem.TagKeys)
+	const workers, each = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := h.NewThread(vclock.NewWallProc(id, 32), uint64(id)+1)
+			for i := 0; i < each; i++ {
+				slot := simmem.Addr(i % 4)
+				th.Execute(DefaultPolicy, func(tx *Tx) {
+					tx.Store(x+slot, tx.Load(x+slot)+1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += a.LoadWord(setup, x+simmem.Addr(i))
+	}
+	if total != workers*each {
+		t.Fatalf("total = %d, want %d", total, workers*each)
+	}
+}
+
+func TestOpacityInvariantUnderSim(t *testing.T) {
+	// Writers keep x+y constant inside transactions; readers must never
+	// observe a violated invariant inside a transaction (opacity), in
+	// deterministic virtual time.
+	a := simmem.NewArena(1 << 16)
+	h := New(a, DefaultConfig)
+	boot := vclock.NewWallProc(0, 0)
+	x := a.AllocAligned(boot, 8, simmem.TagKeys)
+	y := a.AllocAligned(boot, 8, simmem.TagKeys)
+	a.StoreWordDirect(boot, x, 1000)
+
+	sim := vclock.NewSim(6, 0)
+	violations := 0
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+1)
+		if p.ID() < 3 { // writers: move value between x and y
+			for i := 0; i < 400; i++ {
+				th.Execute(DefaultPolicy, func(tx *Tx) {
+					vx, vy := tx.Load(x), tx.Load(y)
+					tx.Store(x, vx-1)
+					tx.Store(y, vy+1)
+				})
+			}
+		} else { // readers
+			for i := 0; i < 400; i++ {
+				th.Execute(DefaultPolicy, func(tx *Tx) {
+					if tx.Load(x)+tx.Load(y) != 1000 {
+						violations++
+					}
+				})
+			}
+		}
+	})
+	if violations != 0 {
+		t.Fatalf("%d opacity violations", violations)
+	}
+	if got := a.LoadWord(boot, x) + a.LoadWord(boot, y); got != 1000 {
+		t.Fatalf("final sum = %d", got)
+	}
+}
+
+func TestSimRunsAreDeterministic(t *testing.T) {
+	run := func() (uint64, Stats) {
+		a := simmem.NewArena(1 << 16)
+		h := New(a, DefaultConfig)
+		boot := vclock.NewWallProc(0, 0)
+		x := a.AllocAligned(boot, 8, simmem.TagKeys)
+		sim := vclock.NewSim(4, 0)
+		var agg Stats
+		sim.Run(func(p *vclock.SimProc) {
+			th := h.NewThread(p, uint64(p.ID())+1)
+			for i := 0; i < 200; i++ {
+				th.Execute(DefaultPolicy, func(tx *Tx) {
+					tx.Store(x, tx.Load(x)+1)
+				})
+			}
+			agg.Merge(&th.Stats)
+		})
+		return sim.MaxClock(), agg
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 {
+		t.Fatalf("makespan differs: %d vs %d", c1, c2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestAbortReasonStrings(t *testing.T) {
+	for r := AbortNone; r < NumAbortReasons; r++ {
+		if r.String() == "" {
+			t.Fatalf("empty name for reason %d", r)
+		}
+	}
+	if !AbortConflictMeta.IsConflict() || AbortCapacity.IsConflict() {
+		t.Fatal("IsConflict misclassifies")
+	}
+}
+
+func TestStatsMergeAndString(t *testing.T) {
+	var a, b Stats
+	a.Commits, a.Aborts[AbortCapacity] = 3, 2
+	b.Commits, b.Aborts[AbortConflictTrue], b.Fallbacks = 4, 5, 1
+	a.Merge(&b)
+	if a.Commits != 7 || a.TotalAborts() != 7 || a.Fallbacks != 1 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	if a.ConflictAborts() != 5 {
+		t.Fatalf("conflict aborts = %d", a.ConflictAborts())
+	}
+	if a.String() == "" {
+		t.Fatal("empty string")
+	}
+}

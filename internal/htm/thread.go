@@ -1,0 +1,218 @@
+package htm
+
+import (
+	"fmt"
+	"strings"
+
+	"eunomia/internal/vclock"
+)
+
+// Stats accumulates per-thread transaction statistics. Threads own their
+// Stats exclusively; harnesses merge them after a run.
+type Stats struct {
+	Attempts  uint64 // transaction attempts (xbegin count)
+	Commits   uint64 // successful commits
+	Fallbacks uint64 // executions that took the global-lock path
+	Aborts    [NumAbortReasons]uint64
+	// WastedCycles is virtual time spent inside attempts that aborted —
+	// the paper's ">94% of CPU cycles wasted at theta=0.9" metric.
+	WastedCycles uint64
+	// TxLoads and TxStores count transactional memory accesses, the proxy
+	// for the paper's executed-instruction comparisons.
+	TxLoads  uint64
+	TxStores uint64
+}
+
+// TotalAborts sums aborts across all reasons.
+func (s *Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t
+}
+
+// ConflictAborts sums only the three conflict reasons.
+func (s *Stats) ConflictAborts() uint64 {
+	return s.Aborts[AbortConflictTrue] + s.Aborts[AbortConflictFalse] + s.Aborts[AbortConflictMeta]
+}
+
+// Merge adds o into s.
+func (s *Stats) Merge(o *Stats) {
+	s.Attempts += o.Attempts
+	s.Commits += o.Commits
+	s.Fallbacks += o.Fallbacks
+	for i := range s.Aborts {
+		s.Aborts[i] += o.Aborts[i]
+	}
+	s.WastedCycles += o.WastedCycles
+	s.TxLoads += o.TxLoads
+	s.TxStores += o.TxStores
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commits=%d aborts=%d fallbacks=%d", s.Commits, s.TotalAborts(), s.Fallbacks)
+	for r := AbortReason(1); r < NumAbortReasons; r++ {
+		if s.Aborts[r] > 0 {
+			fmt.Fprintf(&b, " %s=%d", r, s.Aborts[r])
+		}
+	}
+	return b.String()
+}
+
+// RetryPolicy gives the per-abort-reason retry thresholds before an
+// execution falls back to the global lock, mirroring the DBX policy the
+// paper reuses ("we set different thresholds for different types of
+// aborts").
+type RetryPolicy struct {
+	Conflict int // retries allowed for conflict aborts
+	Capacity int // retries allowed for capacity aborts
+	Explicit int // retries allowed for explicit aborts
+	// LockBusy bounds retries that abort on the held fallback lock. As in
+	// simple lock-elision fallbacks, an attempt that begins while the lock
+	// is held aborts and immediately retries — each failure is a real
+	// abort — until this threshold sends the thread to the blocking
+	// acquire. This "lemming" behavior is what lets one fallback trigger
+	// an abort storm across all threads under contention, a major
+	// component of the paper's collapsed baseline.
+	LockBusy int
+}
+
+// DefaultPolicy matches the DBX-style configuration: a small conflict-retry
+// budget before taking the lock (aggressive fallback is what produces the
+// serialization collapse the paper analyses).
+var DefaultPolicy = RetryPolicy{Conflict: 3, Capacity: 2, Explicit: 16, LockBusy: 16}
+
+// Thread is a per-worker handle on the HTM device. It owns a reusable Tx,
+// the worker's statistics, and a deterministic RNG. A Thread must not be
+// shared between goroutines.
+type Thread struct {
+	H     *HTM
+	P     vclock.Proc
+	Rand  *vclock.Rand
+	Stats Stats
+	tx    Tx
+}
+
+// NewThread creates a worker handle executing on proc p.
+func (h *HTM) NewThread(p vclock.Proc, seed uint64) *Thread {
+	t := &Thread{H: h, P: p, Rand: vclock.NewRand(seed)}
+	t.tx.h = h
+	t.tx.p = p
+	t.tx.st = &t.Stats
+	return t
+}
+
+// Run executes body as a single transaction attempt and reports whether it
+// committed, and if not, why it aborted. The body may be re-invoked by
+// callers; it must be written to tolerate re-execution from the top (all
+// effects inside the attempt are rolled back on abort).
+func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
+	tx := &t.tx
+	tx.reset(false)
+	tx.rv = t.H.arena.Clock()
+	t.Stats.Attempts++
+	t.P.Tick(t.H.arena.Costs().TxBegin)
+
+	reason = AbortNone
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ab, ok := r.(*txAbort)
+				if !ok {
+					panic(r)
+				}
+				reason = ab.reason
+			}
+		}()
+		// Subscribe to the fallback lock: reading it into the read set
+		// guarantees this attempt cannot commit concurrently with a
+		// lock-holder (lock elision).
+		if tx.Load(t.H.fallback) != 0 {
+			tx.abort(AbortFallbackLock, t.H.fallback.Line(), 0)
+		}
+		body(tx)
+		tx.commit()
+	}()
+
+	if reason == AbortNone {
+		t.Stats.Commits++
+		return true, AbortNone
+	}
+	t.Stats.Aborts[reason]++
+	t.Stats.WastedCycles += t.P.Now() - tx.startCycles
+	for _, al := range tx.allocs {
+		t.H.arena.Free(t.P, al.addr, al.words, al.tag)
+	}
+	t.P.Tick(t.H.arena.Costs().TxAbort)
+	return false, reason
+}
+
+// Execute runs body transactionally with retries per the policy and falls
+// back to the global lock when a threshold is exceeded. The body observes
+// identical semantics on both paths (in fallback mode its Tx routes
+// operations directly to memory under the lock).
+func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
+	conflicts, caps, expl, busy := 0, 0, 0, 0
+	if pol.LockBusy <= 0 {
+		pol.LockBusy = DefaultPolicy.LockBusy
+	}
+	for {
+		ok, reason := t.Run(body)
+		if ok {
+			return
+		}
+		switch {
+		case reason == AbortFallbackLock:
+			busy++
+			if busy > pol.LockBusy {
+				t.RunFallback(body)
+				return
+			}
+			t.P.Tick(t.H.arena.Costs().SpinIter)
+		case reason.IsConflict():
+			conflicts++
+			if conflicts > pol.Conflict {
+				t.RunFallback(body)
+				return
+			}
+			// DBX retries essentially immediately; a token pause avoids a
+			// zero-length livelock in virtual time. (No exponential
+			// backoff — its absence is part of why contended HTM trees
+			// convoy and collapse, which is the behavior under study.)
+			t.P.Tick(t.H.arena.Costs().SpinIter)
+		case reason == AbortCapacity:
+			caps++
+			if caps > pol.Capacity {
+				t.RunFallback(body)
+				return
+			}
+		default: // AbortExplicit
+			expl++
+			if expl > pol.Explicit {
+				t.RunFallback(body)
+				return
+			}
+		}
+	}
+}
+
+// RunFallback acquires the global fallback lock and executes body
+// non-transactionally. All concurrent transactions abort (they subscribed
+// to the lock word), so the execution is mutually exclusive with every
+// transactional and fallback execution on this HTM device.
+func (t *Thread) RunFallback(body func(*Tx)) {
+	a := t.H.arena
+	for !a.CASWordDirect(t.P, t.H.fallback, 0, 1) {
+		for a.LoadWord(t.P, t.H.fallback) != 0 {
+			t.P.Tick(a.Costs().SpinIter)
+		}
+	}
+	t.Stats.Fallbacks++
+	tx := &t.tx
+	tx.reset(true)
+	body(tx)
+	a.StoreWordDirect(t.P, t.H.fallback, 0)
+}

@@ -1,0 +1,93 @@
+// Package metrics provides the small measurement utilities the benchmark
+// harness aggregates: a log-scaled latency histogram and helpers for
+// formatting rates.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a power-of-two-bucketed histogram of uint64 observations
+// (typically per-operation cycle counts). Bucket i covers [2^(i-1), 2^i).
+// It is not safe for concurrent use; record per thread and Merge.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation, or 0 with no data.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the top
+// of the bucket containing it. Resolution is a factor of two, which is
+// adequate for latency orders of magnitude.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// FormatOps renders an operations-per-second rate compactly (e.g. "18.6M").
+func FormatOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e9:
+		return fmt.Sprintf("%.2fG", opsPerSec/1e9)
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1fK", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f", opsPerSec)
+	}
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Median of 1..1000 is ~500; bucket resolution is a factor of two, so
+	// the reported bound must be in [500, 1023].
+	if q := h.Quantile(0.5); q < 500 || q > 1023 {
+		t.Fatalf("p50 = %d", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 = %d", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1 << 20)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Max() != 1<<20 {
+		t.Fatalf("max = %d", a.Max())
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		last := uint64(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{5, "5"}, {1500, "1.5K"}, {18_600_000, "18.60M"}, {2.3e9, "2.30G"},
+	}
+	for _, c := range cases {
+		if got := FormatOps(c.v); got != c.want {
+			t.Fatalf("FormatOps(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package simmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/vclock"
+)
+
+func testProc() *vclock.WallProc { return vclock.NewWallProc(0, 0) }
+
+func TestAddrMath(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line uint64
+		off  uint
+	}{
+		{0, 0, 0}, {7, 0, 7}, {8, 1, 0}, {9, 1, 1}, {63, 7, 7}, {64, 8, 0},
+	}
+	for _, c := range cases {
+		if c.addr.Line() != c.line || c.addr.WordInLine() != c.off {
+			t.Errorf("addr %d: line=%d off=%d, want %d/%d",
+				c.addr, c.addr.Line(), c.addr.WordInLine(), c.line, c.off)
+		}
+	}
+}
+
+func TestAddrMathProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return uint64(addr) == addr.Line()*WordsPerLine+uint64(addr.WordInLine())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAlignedAndTagged(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 5, TagKeys) // rounds to 8 words
+	if x == NilAddr {
+		t.Fatal("nil addr")
+	}
+	if uint64(x)%WordsPerLine != 0 {
+		t.Fatalf("addr %d not line aligned", x)
+	}
+	if a.TagOf(x.Line()) != TagKeys {
+		t.Fatalf("tag = %v, want keys", a.TagOf(x.Line()))
+	}
+	y := a.AllocAligned(p, 17, TagNodeMeta) // rounds to 24 words, 3 lines
+	for l := y.Line(); l <= y.Line()+2; l++ {
+		if a.TagOf(l) != TagNodeMeta {
+			t.Fatalf("line %d tag = %v", l, a.TagOf(l))
+		}
+	}
+	if x.Line() == y.Line() {
+		t.Fatal("allocations share a line")
+	}
+}
+
+func TestAddrZeroNeverAllocated(t *testing.T) {
+	a := NewArena(1 << 10)
+	p := testProc()
+	for i := 0; i < 16; i++ {
+		if got := a.AllocAligned(p, 8, TagOther); got == NilAddr {
+			t.Fatal("allocated address 0")
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagReserved)
+	if got := a.LiveBytes(); got != 64 {
+		t.Fatalf("live = %d, want 64", got)
+	}
+	if got := a.BytesByTag(TagReserved); got != 64 {
+		t.Fatalf("byTag = %d, want 64", got)
+	}
+	y := a.AllocAligned(p, 16, TagKeys)
+	if got := a.LiveBytes(); got != 64+128 {
+		t.Fatalf("live = %d, want 192", got)
+	}
+	a.Free(p, x, 8, TagReserved)
+	if got := a.LiveBytes(); got != 128 {
+		t.Fatalf("live after free = %d, want 128", got)
+	}
+	if got := a.BytesByTag(TagReserved); got != 0 {
+		t.Fatalf("reserved bytes = %d, want 0", got)
+	}
+	if got := a.PeakBytes(); got != 192 {
+		t.Fatalf("peak = %d, want 192", got)
+	}
+	a.Free(p, y, 16, TagKeys)
+	if got := a.LiveBytes(); got != 0 {
+		t.Fatalf("live = %d, want 0", got)
+	}
+}
+
+func TestFreeListReuseIsZeroed(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagKeys)
+	for w := 0; w < 8; w++ {
+		a.StoreWordDirect(p, x+Addr(w), uint64(w)+100)
+	}
+	a.Free(p, x, 8, TagKeys)
+	y := a.AllocAligned(p, 8, TagKeys)
+	if y != x {
+		t.Fatalf("free list did not reuse: got %d, want %d", y, x)
+	}
+	for w := 0; w < 8; w++ {
+		if v := a.LoadWord(p, y+Addr(w)); v != 0 {
+			t.Fatalf("word %d not zeroed: %d", w, v)
+		}
+	}
+}
+
+func TestFreeBumpsVersion(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagKeys)
+	before := StateVersion(a.LineState(x.Line()))
+	a.Free(p, x, 8, TagKeys)
+	after := StateVersion(a.LineState(x.Line()))
+	if after <= before {
+		t.Fatalf("free did not advance line version: %d -> %d", before, after)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena(4 * WordsPerLine)
+	p := testProc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exhaustion")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		a.AllocAligned(p, 8, TagOther)
+	}
+}
+
+func TestDirectStoreBumpsVersionAndMask(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagKeys)
+	v0 := StateVersion(a.LineState(x.Line()))
+	a.StoreWordDirect(p, x+3, 42)
+	if got := a.LoadWord(p, x+3); got != 42 {
+		t.Fatalf("load = %d", got)
+	}
+	if v1 := StateVersion(a.LineState(x.Line())); v1 <= v0 {
+		t.Fatalf("version not bumped: %d -> %d", v0, v1)
+	}
+	if m := a.WriteMask(x.Line()); m != 1<<3 {
+		t.Fatalf("mask = %08b, want %08b", m, 1<<3)
+	}
+	if StateLocked(a.LineState(x.Line())) {
+		t.Fatal("line left locked")
+	}
+}
+
+func TestCASDirectSemantics(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagCCM)
+	if !a.CASWordDirect(p, x, 0, 7) {
+		t.Fatal("CAS from 0 failed")
+	}
+	v1 := StateVersion(a.LineState(x.Line()))
+	if a.CASWordDirect(p, x, 0, 9) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if v2 := StateVersion(a.LineState(x.Line())); v2 != v1 {
+		t.Fatalf("failed CAS changed version: %d -> %d", v1, v2)
+	}
+	if got := a.LoadWord(p, x); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestAddWordDirect(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagCCM)
+	if got := a.AddWordDirect(p, x, 5); got != 5 {
+		t.Fatalf("add = %d", got)
+	}
+	if got := a.AddWordDirect(p, x, ^uint64(0)); got != 4 { // -1
+		t.Fatalf("add -1 = %d", got)
+	}
+}
+
+func TestLineLockPrimitives(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := testProc()
+	x := a.AllocAligned(p, 8, TagKeys)
+	line := x.Line()
+	prev, ok := a.TryLockLine(line)
+	if !ok {
+		t.Fatal("lock failed")
+	}
+	if _, ok := a.TryLockLine(line); ok {
+		t.Fatal("double lock succeeded")
+	}
+	a.RestoreLine(line, prev)
+	if StateLocked(a.LineState(line)) {
+		t.Fatal("restore left lock")
+	}
+	if StateVersion(a.LineState(line)) != StateVersion(prev) {
+		t.Fatal("restore changed version")
+	}
+	if _, ok := a.TryLockLine(line); !ok {
+		t.Fatal("relock failed")
+	}
+	a.UnlockLine(line, 99)
+	if got := StateVersion(a.LineState(line)); got != 99 {
+		t.Fatalf("version = %d, want 99", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	a := NewArena(1 << 10)
+	last := a.Clock()
+	for i := 0; i < 100; i++ {
+		now := a.AdvanceClock()
+		if now <= last {
+			t.Fatalf("clock not monotonic: %d -> %d", last, now)
+		}
+		last = now
+	}
+}
+
+func TestConcurrentDirectOps(t *testing.T) {
+	// N goroutines increment one word through CAS loops; the total must be
+	// exact and no line may be left locked.
+	a := NewArena(1 << 12)
+	setup := testProc()
+	x := a.AllocAligned(setup, 8, TagCCM)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := vclock.NewWallProc(id, 16)
+			for i := 0; i < each; i++ {
+				for {
+					old := a.LoadWord(p, x)
+					if a.CASWordDirect(p, x, old, old+1) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.LoadWord(setup, x); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if StateLocked(a.LineState(x.Line())) {
+		t.Fatal("line left locked")
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for tag := TagNone; tag < NumTags; tag++ {
+		s := tag.String()
+		if s == "" || seen[s] {
+			t.Fatalf("tag %d has bad/duplicate name %q", tag, s)
+		}
+		seen[s] = true
+	}
+}

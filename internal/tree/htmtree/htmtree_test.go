@@ -1,0 +1,56 @@
+package htmtree
+
+import (
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/tree"
+	"eunomia/internal/tree/treetest"
+)
+
+func factory(h *htm.HTM, boot *htm.Thread) tree.KV {
+	return New(h, boot, 16)
+}
+
+func TestKit(t *testing.T) {
+	treetest.RunAll(t, factory)
+}
+
+func TestDepthGrows(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 8)
+	if d := tr.Depth(boot); d != 1 {
+		t.Fatalf("fresh depth = %d", d)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		tr.Put(boot, i, i)
+	}
+	if d := tr.Depth(boot); d < 3 {
+		t.Fatalf("depth after 500 inserts at fanout 8 = %d, want >= 3", d)
+	}
+}
+
+func TestMonolithicOpIsOneTransaction(t *testing.T) {
+	// A get on a warm tree must cost exactly one transaction attempt when
+	// uncontended (the defining property of the baseline design).
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 16)
+	for i := uint64(1); i <= 100; i++ {
+		tr.Put(boot, i, i)
+	}
+	before := boot.Stats.Attempts
+	tr.Get(boot, 50)
+	if got := boot.Stats.Attempts - before; got != 1 {
+		t.Fatalf("get used %d attempts, want 1", got)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 18)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for fanout 2")
+		}
+	}()
+	New(h, boot, 2)
+}

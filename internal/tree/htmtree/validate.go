@@ -1,0 +1,89 @@
+package htmtree
+
+import (
+	"fmt"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// Validate walks the tree with direct reads and checks structural
+// invariants. It requires quiescence and is intended for tests.
+func (t *Tree) Validate(p vclock.Proc) error {
+	root := simmem.Addr(t.a.LoadWord(p, t.meta+metaRoot))
+	depth := t.a.LoadWord(p, t.meta+metaDepth)
+	var prevKey uint64
+	leaves := map[simmem.Addr]bool{}
+	if err := t.validateNode(p, root, depth, 0, ^uint64(0), &prevKey, leaves); err != nil {
+		return err
+	}
+	// Leaf chain agrees with reachability and visits ascending keys.
+	leftmost := root
+	for d := depth; d > 1; d-- {
+		leftmost = simmem.Addr(t.a.LoadWord(p, leftmost+t.childOff(0)))
+	}
+	seen := 0
+	for l := leftmost; l != simmem.NilAddr; l = simmem.Addr(t.a.LoadWord(p, l+offNext)) {
+		if !leaves[l] {
+			return fmt.Errorf("leaf %d on chain but unreachable", l)
+		}
+		seen++
+	}
+	if seen != len(leaves) {
+		return fmt.Errorf("chain has %d leaves, tree has %d", seen, len(leaves))
+	}
+	return nil
+}
+
+func (t *Tree) validateNode(p vclock.Proc, node simmem.Addr, depth, low, high uint64, prevKey *uint64, leaves map[simmem.Addr]bool) error {
+	count := int(t.a.LoadWord(p, node+offCount))
+	if depth == 1 {
+		if leaves[node] {
+			return fmt.Errorf("leaf %d reachable twice", node)
+		}
+		leaves[node] = true
+		if count < 0 || count > t.fanout {
+			return fmt.Errorf("leaf %d: count %d out of range", node, count)
+		}
+		for i := 0; i < count; i++ {
+			k := t.a.LoadWord(p, node+t.keyOff(i))
+			if k <= *prevKey && *prevKey != 0 {
+				return fmt.Errorf("leaf %d: key %d not ascending after %d", node, k, *prevKey)
+			}
+			if k < low || k > high {
+				return fmt.Errorf("leaf %d: key %d outside [%d, %d]", node, k, low, high)
+			}
+			*prevKey = k
+		}
+		return nil
+	}
+	if count < 1 || count > t.fanout {
+		return fmt.Errorf("internal %d: count %d out of range", node, count)
+	}
+	prev := low
+	for i := 0; i < count; i++ {
+		k := t.a.LoadWord(p, node+t.keyOff(i))
+		if (i > 0 && k <= prev) || k < low || k > high {
+			return fmt.Errorf("internal %d: separator %d at %d violates (%d..%d, prev %d)", node, k, i, low, high, prev)
+		}
+		prev = k
+	}
+	childLow := low
+	for i := 0; i <= count; i++ {
+		childHigh := high
+		if i < count {
+			childHigh = t.a.LoadWord(p, node+t.keyOff(i)) - 1
+		}
+		child := simmem.Addr(t.a.LoadWord(p, node+t.childOff(i)))
+		if child == simmem.NilAddr {
+			return fmt.Errorf("internal %d: nil child %d", node, i)
+		}
+		if err := t.validateNode(p, child, depth-1, childLow, childHigh, prevKey, leaves); err != nil {
+			return err
+		}
+		if i < count {
+			childLow = t.a.LoadWord(p, node+t.keyOff(i))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package htmtree
+
+import (
+	"testing"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree/treetest"
+	"eunomia/internal/vclock"
+)
+
+func TestValidateAfterChurn(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 23)
+	tr := New(h, boot, 16)
+	r := vclock.NewRand(9)
+	for i := 0; i < 8000; i++ {
+		k := uint64(r.Intn(900)) + 1
+		switch r.Intn(4) {
+		case 0, 1:
+			tr.Put(boot, k, r.Uint64()>>1)
+		case 2:
+			tr.Delete(boot, k)
+		default:
+			tr.Get(boot, k)
+		}
+	}
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAfterConcurrentSim(t *testing.T) {
+	h, _ := treetest.NewDevice(1 << 24)
+	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+	tr := New(h, boot, 8)
+	sim := vclock.NewSim(8, 0)
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+3)
+		r := vclock.NewRand(uint64(p.ID()) + 41)
+		for i := 0; i < 700; i++ {
+			k := uint64(r.Intn(1500)) + 1
+			if r.Intn(3) == 0 {
+				tr.Delete(th, k)
+			} else {
+				tr.Put(th, k, k)
+			}
+		}
+	})
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 16)
+	for i := uint64(1); i <= 300; i++ {
+		tr.Put(boot, i, i)
+	}
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a leaf count.
+	leaf := tr.findLeafDirect(boot.P, 150)
+	tr.a.StoreWordDirect(boot.P, leaf+offCount, 999)
+	if err := tr.Validate(boot.P); err == nil {
+		t.Fatal("validator accepted corrupted count")
+	}
+}
+
+// findLeafDirect is a test helper walking with direct reads.
+func (t *Tree) findLeafDirect(p vclock.Proc, key uint64) (leaf simmem.Addr) {
+	node := simmem.Addr(t.a.LoadWord(p, t.meta+metaRoot))
+	depth := t.a.LoadWord(p, t.meta+metaDepth)
+	for d := depth; d > 1; d-- {
+		count := int(t.a.LoadWord(p, node+offCount))
+		i := 0
+		for i < count && t.a.LoadWord(p, node+t.keyOff(i)) <= key {
+			i++
+		}
+		node = simmem.Addr(t.a.LoadWord(p, node+t.childOff(i)))
+	}
+	return node
+}

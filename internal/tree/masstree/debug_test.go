@@ -1,0 +1,61 @@
+package masstree
+
+import (
+	"testing"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree/treetest"
+	"eunomia/internal/vclock"
+)
+
+// TestDebugLostKeys reproduces the deterministic sim-mode loss and reports
+// whether missing keys are orphaned (present in the leaf chain but not
+// reachable from the root) or never inserted.
+func TestDebugLostKeys(t *testing.T) {
+	h, _ := treetest.NewDevice(1 << 24)
+	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+	tr := New(h, boot, 16, false)
+	sim := vclock.NewSim(8, 0)
+	const per = 250
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+11)
+		base := uint64(p.ID()*per) + 1
+		for i := uint64(0); i < per; i++ {
+			tr.Put(th, base+i, (base+i)*5)
+		}
+	})
+	// Collect every key in the leaf chain: find the leftmost leaf by
+	// descending always to child 0.
+	m := mem{t: tr, p: boot.P}
+	node, depth := m.root()
+	for d := depth; d > 1; d-- {
+		node = simmem.Addr(m.load(node + tr.childOff(0)))
+	}
+	inChain := map[uint64]bool{}
+	leaves := 0
+	for node != simmem.NilAddr {
+		leaves++
+		count := int(m.load(node + offCount))
+		for i := 0; i < count; i++ {
+			inChain[m.load(node+tr.keyOff(i))] = true
+		}
+		node = simmem.Addr(m.load(node + offNext))
+	}
+	lostRouting, lostFully := 0, 0
+	for k := uint64(1); k <= 8*per; k++ {
+		if _, ok := tr.Get(boot, k); ok {
+			continue
+		}
+		if inChain[k] {
+			lostRouting++
+			t.Logf("key %d: in leaf chain but not routable from root", k)
+		} else {
+			lostFully++
+			t.Logf("key %d: absent everywhere", k)
+		}
+	}
+	t.Logf("leaves=%d chainKeys=%d", leaves, len(inChain))
+	if lostRouting+lostFully > 0 {
+		t.Fatalf("lost %d keys (%d routing, %d fully)", lostRouting+lostFully, lostRouting, lostFully)
+	}
+}

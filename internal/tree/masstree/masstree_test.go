@@ -1,0 +1,124 @@
+package masstree
+
+import (
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/tree/treetest"
+	"eunomia/internal/vclock"
+)
+
+func TestKitMasstree(t *testing.T) {
+	treetest.RunAll(t, func(h *htm.HTM, boot *htm.Thread) tree.KV {
+		return New(h, boot, 16, false)
+	})
+}
+
+func TestKitHTMMasstree(t *testing.T) {
+	treetest.RunAll(t, func(h *htm.HTM, boot *htm.Thread) tree.KV {
+		return New(h, boot, 16, true)
+	})
+}
+
+func TestKitSmallFanout(t *testing.T) {
+	treetest.RunAll(t, func(h *htm.HTM, boot *htm.Thread) tree.KV {
+		return New(h, boot, 5, false)
+	})
+}
+
+func TestNames(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 20)
+	if got := New(h, boot, 16, false).Name(); got != "masstree" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := New(h, boot, 16, true).Name(); got != "htm-masstree" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestRootDepthPacking(t *testing.T) {
+	for _, c := range []struct {
+		root  uint64
+		depth uint64
+	}{{8, 1}, {1 << 40, 7}, {1<<56 - 8, 200}} {
+		r, d := unpackRootDepth(packRootDepth(simmem.Addr(c.root), c.depth))
+		if uint64(r) != c.root || d != c.depth {
+			t.Fatalf("pack/unpack(%d,%d) = (%d,%d)", c.root, c.depth, r, d)
+		}
+	}
+}
+
+func TestMasstreeUsesNoTransactions(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 16, false)
+	for i := uint64(1); i <= 500; i++ {
+		tr.Put(boot, i, i)
+	}
+	tr.Get(boot, 250)
+	tr.Delete(boot, 250)
+	if boot.Stats.Attempts != 0 {
+		t.Fatalf("lock-based masstree issued %d transactions", boot.Stats.Attempts)
+	}
+}
+
+func TestHTMMasstreeOneTxPerOp(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 16, true)
+	for i := uint64(1); i <= 100; i++ {
+		tr.Put(boot, i, i)
+	}
+	before := boot.Stats.Attempts
+	tr.Get(boot, 50)
+	if got := boot.Stats.Attempts - before; got != 1 {
+		t.Fatalf("htm-masstree get used %d attempts, want 1", got)
+	}
+}
+
+func TestVersionBumpsOnWrite(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 16, false)
+	tr.Put(boot, 1, 1)
+	m := mem{t: tr, p: boot.P}
+	root, depth := m.root()
+	if depth != 1 {
+		t.Fatalf("depth = %d", depth)
+	}
+	v0 := m.stableVersion(root)
+	tr.Put(boot, 2, 2)
+	v1 := m.stableVersion(root)
+	if v1 <= v0 {
+		t.Fatalf("version did not advance on write: %d -> %d", v0, v1)
+	}
+	tr.Get(boot, 1)
+	if v2 := m.stableVersion(root); v2 != v1 {
+		t.Fatalf("read bumped version: %d -> %d", v1, v2)
+	}
+}
+
+func TestConcurrentSplitStormWall(t *testing.T) {
+	// Many goroutines inserting ascending interleaved keys forces frequent
+	// splits through the SMO path.
+	h, boot := treetest.NewDevice(1 << 24)
+	tr := New(h, boot, 4, false)
+	done := make(chan struct{})
+	const workers, per = 6, 500
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			th := h.NewThread(vclock.NewWallProc(w+1, 48), uint64(w)+9)
+			for i := uint64(0); i < per; i++ {
+				tr.Put(th, i*workers+uint64(w)+1, i)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for k := uint64(1); k <= workers*per; k++ {
+		if _, ok := tr.Get(boot, k); !ok {
+			t.Fatalf("key %d lost in split storm", k)
+		}
+	}
+}

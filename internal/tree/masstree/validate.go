@@ -1,0 +1,77 @@
+package masstree
+
+import (
+	"fmt"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// Validate checks the B-link structural invariants with direct reads. It
+// requires quiescence and is intended for tests:
+//
+//   - per-level right-links form a chain with strictly increasing,
+//     boundary-consistent high keys ending at maxHigh;
+//   - keys in every node are strictly ascending and below the node's high
+//     key; separators bound their children;
+//   - no node is locked and the SMO lock is free.
+func (t *Tree) Validate(p vclock.Proc) error {
+	if t.a.LoadWord(p, t.meta+metaSMO) != 0 {
+		return fmt.Errorf("SMO lock held at quiescence")
+	}
+	root, depth := unpackRootDepth(t.a.LoadWord(p, t.meta+metaRootDepth))
+	// Walk each level via leftmost descent + right-links.
+	node := root
+	for d := depth; d >= 1; d-- {
+		if err := t.validateLevel(p, node, d); err != nil {
+			return err
+		}
+		if d > 1 {
+			node = simmem.Addr(t.a.LoadWord(p, node+t.childOff(0)))
+		}
+	}
+	return nil
+}
+
+func (t *Tree) validateLevel(p vclock.Proc, leftmost simmem.Addr, level uint64) error {
+	low := uint64(0)
+	for node := leftmost; node != simmem.NilAddr; {
+		ver := t.a.LoadWord(p, node+offVersion)
+		if ver&1 != 0 {
+			return fmt.Errorf("level %d node %d locked at quiescence", level, node)
+		}
+		high := t.a.LoadWord(p, node+offHigh)
+		if high <= low && high != maxHigh {
+			return fmt.Errorf("level %d node %d: high %d <= low %d", level, node, high, low)
+		}
+		count := int(t.a.LoadWord(p, node+offCount))
+		if count < 0 || count > t.fanout {
+			return fmt.Errorf("level %d node %d: count %d", level, node, count)
+		}
+		prev := uint64(0)
+		for i := 0; i < count; i++ {
+			k := t.a.LoadWord(p, node+t.keyOff(i))
+			if i > 0 && k <= prev {
+				return fmt.Errorf("level %d node %d: key %d not ascending", level, node, k)
+			}
+			if k >= high || k < low {
+				return fmt.Errorf("level %d node %d: key %d outside [%d, %d)", level, node, k, low, high)
+			}
+			prev = k
+		}
+		if level > 1 {
+			for i := 0; i <= count; i++ {
+				if t.a.LoadWord(p, node+t.childOff(i)) == 0 {
+					return fmt.Errorf("level %d node %d: nil child %d", level, node, i)
+				}
+			}
+		}
+		next := simmem.Addr(t.a.LoadWord(p, node+offNext))
+		if next == simmem.NilAddr && high != maxHigh {
+			return fmt.Errorf("level %d node %d: rightmost with high %d", level, node, high)
+		}
+		low = high
+		node = next
+	}
+	return nil
+}

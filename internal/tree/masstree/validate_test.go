@@ -1,0 +1,75 @@
+package masstree
+
+import (
+	"testing"
+
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree/treetest"
+	"eunomia/internal/vclock"
+)
+
+func TestValidateAfterChurn(t *testing.T) {
+	for _, useHTM := range []bool{false, true} {
+		h, boot := treetest.NewDevice(1 << 23)
+		tr := New(h, boot, 16, useHTM)
+		r := vclock.NewRand(13)
+		for i := 0; i < 8000; i++ {
+			k := uint64(r.Intn(900)) + 1
+			switch r.Intn(4) {
+			case 0, 1:
+				tr.Put(boot, k, r.Uint64()>>1)
+			case 2:
+				tr.Delete(boot, k)
+			default:
+				tr.Get(boot, k)
+			}
+		}
+		if err := tr.Validate(boot.P); err != nil {
+			t.Fatalf("useHTM=%v: %v", useHTM, err)
+		}
+	}
+}
+
+func TestValidateAfterSplitStormSim(t *testing.T) {
+	h, _ := treetest.NewDevice(1 << 24)
+	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+	tr := New(h, boot, 4, false) // tiny fanout: many splits, deep tree
+	sim := vclock.NewSim(8, 0)
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+3)
+		base := uint64(p.ID())
+		for i := uint64(0); i < 600; i++ {
+			tr.Put(th, i*8+base+1, i)
+		}
+	})
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+	// Every key present after the storm.
+	for k := uint64(1); k <= 600*8; k++ {
+		if _, ok := tr.Get(boot, k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestValidateDetectsBrokenLink(t *testing.T) {
+	h, boot := treetest.NewDevice(1 << 22)
+	tr := New(h, boot, 8, false)
+	for i := uint64(1); i <= 400; i++ {
+		tr.Put(boot, i, i)
+	}
+	if err := tr.Validate(boot.P); err != nil {
+		t.Fatal(err)
+	}
+	// Break a high key on the leftmost leaf.
+	m := mem{t: tr, p: boot.P}
+	node, depth := m.root()
+	for d := depth; d > 1; d-- {
+		node = simmem.Addr(m.load(node + tr.childOff(0)))
+	}
+	tr.a.StoreWordDirect(boot.P, node+offHigh, 0)
+	if err := tr.Validate(boot.P); err == nil {
+		t.Fatal("validator accepted a zero high key")
+	}
+}

@@ -1,0 +1,28 @@
+// Package tree defines the interface shared by the four concurrent search
+// tree implementations the paper compares: the conventional HTM-B+Tree
+// (internal/tree/htmtree), Euno-B+Tree (internal/core), and the fine-grained
+// "Masstree" with its HTM-wrapped variant (internal/tree/masstree).
+package tree
+
+import "eunomia/internal/htm"
+
+// Tombstone is a reserved value used internally by trees that defer
+// deletion (Euno-B+Tree labels records deleted rather than rebalancing,
+// following Section 4.2.4). User values must not equal Tombstone.
+const Tombstone = ^uint64(0)
+
+// KV is the key-value interface every tree implements. All methods take the
+// calling worker's htm.Thread, which carries the virtual-time proc, the
+// deterministic RNG, and the per-thread HTM statistics.
+//
+// Put inserts key with value val, or updates it in place if present (the
+// paper's put semantics). Delete removes the key, reporting whether it was
+// present. Scan visits up to max keys >= from in ascending order, stopping
+// early if fn returns false, and returns the number visited.
+type KV interface {
+	Get(th *htm.Thread, key uint64) (val uint64, ok bool)
+	Put(th *htm.Thread, key, val uint64)
+	Delete(th *htm.Thread, key uint64) bool
+	Scan(th *htm.Thread, from uint64, max int, fn func(key, val uint64) bool) int
+	Name() string
+}

@@ -1,0 +1,133 @@
+package treetest
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"eunomia/internal/vclock"
+)
+
+// Linearizability checking.
+//
+// In simulated mode every proc's clock is a point on one global virtual
+// timeline, so operation invocation/response windows from different procs
+// are directly comparable. We record per-key register histories (each
+// write carries a globally unique value) and apply sound precedence rules
+// — any violation is a genuine linearizability bug, though the check is
+// deliberately incomplete (full register-history checking is costlier and
+// unnecessary to catch the bugs that matter here):
+//
+//  1. a read must not return a value whose write had not been invoked
+//     before the read responded;
+//  2. a read must not return a value v when another write to the key
+//     completed strictly after write(v) completed and strictly before the
+//     read was invoked (definitely-overwritten);
+//  3. once any write to a key has completed, later reads must not report
+//     the key absent (the workload performs no deletes on checked keys).
+
+type opRecord struct {
+	key      uint64
+	write    bool
+	val      uint64 // value written, or value read (^0 = absent read)
+	inv, rsp uint64 // virtual timestamps
+}
+
+const absentVal = ^uint64(0)
+
+// checkKeyHistory applies the precedence rules to one key's history.
+func checkKeyHistory(key uint64, ops []opRecord) error {
+	var writes []opRecord
+	for _, o := range ops {
+		if o.write {
+			writes = append(writes, o)
+		}
+	}
+	byVal := make(map[uint64]opRecord, len(writes))
+	for _, w := range writes {
+		byVal[w.val] = w
+	}
+	for _, o := range ops {
+		if o.write {
+			continue
+		}
+		if o.val == absentVal {
+			for _, w := range writes {
+				if w.rsp < o.inv {
+					return fmt.Errorf("key %d: read at [%d,%d] found nothing after write(%d) completed at %d",
+						key, o.inv, o.rsp, w.val, w.rsp)
+				}
+			}
+			continue
+		}
+		w, ok := byVal[o.val]
+		if !ok {
+			return fmt.Errorf("key %d: read returned value %d that was never written", key, o.val)
+		}
+		if w.inv > o.rsp {
+			return fmt.Errorf("key %d: read at [%d,%d] returned value written at [%d,%d] (from the future)",
+				key, o.inv, o.rsp, w.inv, w.rsp)
+		}
+		for _, w2 := range writes {
+			if w2.val != w.val && w2.inv > w.rsp && w2.rsp < o.inv {
+				return fmt.Errorf("key %d: read at [%d,%d] returned %d, definitely overwritten by %d at [%d,%d]",
+					key, o.inv, o.rsp, o.val, w2.val, w2.inv, w2.rsp)
+			}
+		}
+	}
+	return nil
+}
+
+// runLinearizabilitySim drives concurrent reads/writes over a hot key set
+// in virtual time and checks every per-key history.
+func runLinearizabilitySim(t *testing.T, mk Factory) {
+	h, _ := NewDevice(1 << 24)
+	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+	kv := mk(h, boot)
+	const procs, opsEach, hotKeys = 8, 400, 12
+
+	// Ops are appended by whichever proc holds the simulation token, so no
+	// locking is needed and the order is deterministic.
+	history := make([]opRecord, 0, procs*opsEach)
+	seq := uint64(0)
+	sim := vclock.NewSim(procs, 0)
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())+23)
+		r := vclock.NewRand(uint64(p.ID()) + 91)
+		for i := 0; i < opsEach; i++ {
+			key := uint64(r.Intn(hotKeys)) + 1
+			if r.Intn(2) == 0 {
+				seq++
+				val := seq<<8 | uint64(p.ID())
+				inv := p.Now()
+				kv.Put(th, key, val)
+				history = append(history, opRecord{key: key, write: true, val: val, inv: inv, rsp: p.Now()})
+			} else {
+				inv := p.Now()
+				v, ok := kv.Get(th, key)
+				if !ok {
+					v = absentVal
+				}
+				history = append(history, opRecord{key: key, val: v, inv: inv, rsp: p.Now()})
+			}
+		}
+	})
+
+	perKey := map[uint64][]opRecord{}
+	for _, o := range history {
+		perKey[o.key] = append(perKey[o.key], o)
+	}
+	keys := make([]uint64, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if err := checkKeyHistory(k, perKey[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(history) != procs*opsEach {
+		t.Fatalf("recorded %d ops, want %d", len(history), procs*opsEach)
+	}
+}

@@ -1,0 +1,80 @@
+package treetest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerAcceptsValidHistories(t *testing.T) {
+	// Sequential write-then-read.
+	ok := []opRecord{
+		{key: 1, write: true, val: 10, inv: 0, rsp: 5},
+		{key: 1, val: 10, inv: 6, rsp: 9},
+	}
+	if err := checkKeyHistory(1, ok); err != nil {
+		t.Fatal(err)
+	}
+	// Read overlapping two writes may return either.
+	overlap := []opRecord{
+		{key: 1, write: true, val: 10, inv: 0, rsp: 5},
+		{key: 1, write: true, val: 20, inv: 4, rsp: 12},
+		{key: 1, val: 10, inv: 6, rsp: 9}, // w2 overlaps the read: stale ok
+		{key: 1, val: 20, inv: 13, rsp: 14},
+	}
+	if err := checkKeyHistory(1, overlap); err != nil {
+		t.Fatal(err)
+	}
+	// Absent read before any write completes is fine.
+	early := []opRecord{
+		{key: 1, val: absentVal, inv: 0, rsp: 2},
+		{key: 1, write: true, val: 10, inv: 1, rsp: 5},
+	}
+	if err := checkKeyHistory(1, early); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerRejectsFutureRead(t *testing.T) {
+	h := []opRecord{
+		{key: 1, val: 10, inv: 0, rsp: 3},
+		{key: 1, write: true, val: 10, inv: 5, rsp: 8},
+	}
+	err := checkKeyHistory(1, h)
+	if err == nil || !strings.Contains(err.Error(), "future") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckerRejectsDefinitelyStaleRead(t *testing.T) {
+	h := []opRecord{
+		{key: 1, write: true, val: 10, inv: 0, rsp: 2},
+		{key: 1, write: true, val: 20, inv: 3, rsp: 5}, // strictly after w1
+		{key: 1, val: 10, inv: 6, rsp: 8},              // strictly after w2
+	}
+	err := checkKeyHistory(1, h)
+	if err == nil || !strings.Contains(err.Error(), "overwritten") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckerRejectsLostInsert(t *testing.T) {
+	h := []opRecord{
+		{key: 1, write: true, val: 10, inv: 0, rsp: 2},
+		{key: 1, val: absentVal, inv: 4, rsp: 6},
+	}
+	err := checkKeyHistory(1, h)
+	if err == nil || !strings.Contains(err.Error(), "found nothing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckerRejectsPhantomValue(t *testing.T) {
+	h := []opRecord{
+		{key: 1, write: true, val: 10, inv: 0, rsp: 2},
+		{key: 1, val: 99, inv: 4, rsp: 6},
+	}
+	err := checkKeyHistory(1, h)
+	if err == nil || !strings.Contains(err.Error(), "never written") {
+		t.Fatalf("err = %v", err)
+	}
+}

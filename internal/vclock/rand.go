@@ -1,0 +1,40 @@
+package vclock
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*). Each virtual
+// thread owns one so that simulated runs are reproducible regardless of
+// scheduling. It is not safe for concurrent use.
+type Rand struct {
+	s uint64
+}
+
+// NewRand seeds a generator. A zero seed is remapped to a fixed nonzero
+// constant because xorshift has an all-zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("vclock: Rand.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

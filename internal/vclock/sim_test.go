@@ -1,0 +1,224 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimSingleProcRunsToCompletion(t *testing.T) {
+	s := NewSim(1, 0)
+	var ran bool
+	s.Run(func(p *SimProc) {
+		for i := 0; i < 100; i++ {
+			p.Tick(3)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if got := s.Procs()[0].Now(); got != 300 {
+		t.Fatalf("clock = %d, want 300", got)
+	}
+	if s.MaxClock() != 300 {
+		t.Fatalf("MaxClock = %d, want 300", s.MaxClock())
+	}
+}
+
+func TestSimInterleavesByClock(t *testing.T) {
+	// Core 0 charges 10 per step, core 1 charges 1 per step. Record the
+	// global order of steps: core 1 must complete ~10 steps per core-0 step.
+	s := NewSim(2, 0)
+	var order []int
+	s.Run(func(p *SimProc) {
+		steps := 10
+		cost := uint64(10)
+		if p.ID() == 1 {
+			steps = 100
+			cost = 1
+		}
+		for i := 0; i < steps; i++ {
+			p.Tick(cost)
+			order = append(order, p.ID())
+		}
+	})
+	if len(order) != 110 {
+		t.Fatalf("got %d steps, want 110", len(order))
+	}
+	// The first core-0 step commits at t=10; by then core 1 has reached
+	// t=10 too, i.e. at least 9 of the first 10 entries belong to core 1.
+	ones := 0
+	for _, id := range order[:10] {
+		if id == 1 {
+			ones++
+		}
+	}
+	if ones < 9 {
+		t.Fatalf("core 1 ran only %d of the first 10 steps; order=%v", ones, order[:10])
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	run := func() []int {
+		s := NewSim(4, 0)
+		var order []int
+		s.Run(func(p *SimProc) {
+			r := NewRand(uint64(p.ID()) + 7)
+			for i := 0; i < 200; i++ {
+				p.Tick(1 + r.Uint64()%13)
+				order = append(order, p.ID())
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimMutualExclusionOfToken(t *testing.T) {
+	// Since only one proc runs at a time, an unsynchronized counter must
+	// never be corrupted even under -race.
+	s := NewSim(8, 0)
+	counter := 0
+	s.Run(func(p *SimProc) {
+		for i := 0; i < 1000; i++ {
+			counter++
+			p.Tick(1)
+		}
+	})
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestSimSlackStillCompletes(t *testing.T) {
+	s := NewSim(4, 64)
+	var total atomic.Uint64
+	s.Run(func(p *SimProc) {
+		for i := 0; i < 500; i++ {
+			p.Tick(2)
+		}
+		total.Add(p.Now())
+	})
+	if total.Load() != 4*1000 {
+		t.Fatalf("total clock = %d, want 4000", total.Load())
+	}
+}
+
+func TestSimSpinLoopMakesProgress(t *testing.T) {
+	// A proc spinning on a flag set by another proc must not deadlock: Tick
+	// hands control to the earlier-clock proc.
+	s := NewSim(2, 0)
+	flag := false
+	s.Run(func(p *SimProc) {
+		if p.ID() == 0 {
+			for i := 0; i < 50; i++ {
+				p.Tick(5)
+			}
+			flag = true
+		} else {
+			for !flag {
+				p.Tick(DefaultCosts.SpinIter)
+			}
+		}
+	})
+	if !flag {
+		t.Fatal("flag never set")
+	}
+}
+
+func TestWallProcCountsAndYields(t *testing.T) {
+	p := NewWallProc(3, 10)
+	if p.ID() != 3 {
+		t.Fatalf("ID = %d", p.ID())
+	}
+	for i := 0; i < 25; i++ {
+		p.Tick(1)
+	}
+	if p.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", p.Now())
+	}
+	// yieldEvery = 0 must not yield and must still count.
+	q := NewWallProc(0, 0)
+	q.Tick(1 << 40)
+	if q.Now() != 1<<40 {
+		t.Fatalf("Now = %d", q.Now())
+	}
+}
+
+func TestRandDeterministicAndNonzero(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Uint64(), b.Uint64()
+		if x != y {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+		if x == 0 {
+			t.Fatal("xorshift emitted 0")
+		}
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRand(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestSimManyProcsFairness(t *testing.T) {
+	// With identical per-step costs every core must finish with the same
+	// clock, and MaxClock equals that.
+	const n = 16
+	s := NewSim(n, 0)
+	s.Run(func(p *SimProc) {
+		for i := 0; i < 100; i++ {
+			p.Tick(7)
+		}
+	})
+	for _, p := range s.Procs() {
+		if p.Now() != 700 {
+			t.Fatalf("core %d clock = %d, want 700", p.ID(), p.Now())
+		}
+	}
+	if s.MaxClock() != 700 {
+		t.Fatalf("MaxClock = %d", s.MaxClock())
+	}
+}

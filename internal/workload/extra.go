@@ -1,0 +1,69 @@
+package workload
+
+import "eunomia/internal/vclock"
+
+// Additional YCSB-family generators beyond the paper's four. They are not
+// used by any reproduced figure but round out the workload suite for the
+// library's own users (and let experiments separate "skew" from "key
+// adjacency": the plain Zipfian's hottest keys are neighbors, the
+// scrambled one's are spread across the key space).
+
+// ScrambledZipfian draws ranks from the Zipfian distribution and hashes
+// them over the key space, as YCSB's ScrambledZipfianGenerator does. The
+// popularity histogram is identical to Zipfian; adjacency is destroyed, so
+// the false-conflict mechanisms that depend on neighboring hot keys
+// disappear while true conflicts remain.
+type scrambledGen struct {
+	inner Generator
+	n     uint64
+}
+
+// NewScrambled wraps any generator with rank scrambling.
+func NewScrambled(inner Generator) Generator {
+	return scrambledGen{inner: inner, n: inner.N()}
+}
+
+func (g scrambledGen) Next(r *vclock.Rand) uint64 {
+	return splitmix64(g.inner.Next(r)) % g.n
+}
+
+func (g scrambledGen) N() uint64 { return g.n }
+
+// Latest models YCSB workload D: most accesses go to recently inserted
+// keys. The caller advances the insertion frontier with Extend; draws are
+// Zipfian-distributed distances behind the frontier.
+type LatestGen struct {
+	zipf  Generator
+	front uint64
+	n     uint64
+}
+
+// NewLatest creates a latest-distribution generator over an initially
+// `loaded`-key store within an n-key space.
+func NewLatest(n, loaded uint64, theta float64) *LatestGen {
+	if loaded == 0 {
+		loaded = 1
+	}
+	if loaded > n {
+		loaded = n
+	}
+	return &LatestGen{zipf: Spec{Kind: Zipfian, N: n, Theta: theta}.New(), front: loaded, n: n}
+}
+
+// Extend moves the insertion frontier forward (call after inserting a new
+// key) and returns the new frontier rank.
+func (g *LatestGen) Extend() uint64 {
+	if g.front < g.n {
+		g.front++
+	}
+	return g.front - 1
+}
+
+// Next draws a rank biased toward the frontier.
+func (g *LatestGen) Next(r *vclock.Rand) uint64 {
+	d := g.zipf.Next(r) % g.front
+	return g.front - 1 - d
+}
+
+// N returns the key-space size.
+func (g *LatestGen) N() uint64 { return g.n }

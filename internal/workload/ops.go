@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"eunomia/internal/vclock"
+)
+
+// OpKind is a key-value operation type.
+type OpKind uint8
+
+// Operation kinds, matching the paper's get/put/delete/range-query API.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+	OpScan
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     uint64
+	ScanLen int
+}
+
+// Mix is an operation ratio specification; percentages must sum to 100.
+// The paper's default is 50% get / 50% put.
+type Mix struct {
+	GetPct    int
+	PutPct    int
+	DeletePct int
+	ScanPct   int
+	ScanLen   int // keys per range query
+}
+
+// DefaultMix is YCSB's default 50/50 get/put mix.
+var DefaultMix = Mix{GetPct: 50, PutPct: 50}
+
+// Validate checks the percentages.
+func (m Mix) Validate() error {
+	s := m.GetPct + m.PutPct + m.DeletePct + m.ScanPct
+	if s != 100 {
+		return fmt.Errorf("workload: mix percentages sum to %d, want 100", s)
+	}
+	if m.GetPct < 0 || m.PutPct < 0 || m.DeletePct < 0 || m.ScanPct < 0 {
+		return fmt.Errorf("workload: negative percentage in mix %+v", m)
+	}
+	if m.ScanPct > 0 && m.ScanLen <= 0 {
+		return fmt.Errorf("workload: ScanPct set but ScanLen is %d", m.ScanLen)
+	}
+	return nil
+}
+
+// Stream draws operations for one worker thread: a private key generator
+// plus the op mix. Not safe for concurrent use.
+type Stream struct {
+	gen Generator
+	mix Mix
+}
+
+// NewStream builds a per-thread operation stream. It panics on an invalid
+// mix, which is a configuration error.
+func NewStream(spec Spec, mix Mix) *Stream {
+	if err := mix.Validate(); err != nil {
+		panic(err)
+	}
+	return &Stream{gen: spec.New(), mix: mix}
+}
+
+// Next draws the next operation.
+func (s *Stream) Next(r *vclock.Rand) Op {
+	k := KeyOfRank(s.gen.Next(r))
+	d := r.Intn(100)
+	switch {
+	case d < s.mix.GetPct:
+		return Op{Kind: OpGet, Key: k}
+	case d < s.mix.GetPct+s.mix.PutPct:
+		return Op{Kind: OpPut, Key: k}
+	case d < s.mix.GetPct+s.mix.PutPct+s.mix.DeletePct:
+		return Op{Kind: OpDelete, Key: k}
+	default:
+		return Op{Kind: OpScan, Key: k, ScanLen: s.mix.ScanLen}
+	}
+}
+
+// KeyOfRank maps a popularity rank to a stored key. The mapping is the
+// identity shifted by one (rank 0 -> key 1), so — as in the paper's plain
+// Zipfian — the hottest keys are *adjacent*, which is what makes consecutive
+// leaf layout produce false conflicts.
+func KeyOfRank(rank uint64) uint64 { return rank + 1 }
+
+// splitmix64 is used to decide preload membership deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShouldPreload reports whether the key of the given rank is inserted
+// during the load phase. pct is the preload percentage; the choice is a
+// deterministic pseudo-random function of the rank, so every tree kind sees
+// the identical initial population and the remaining ranks exercise the
+// insertion/split path during the measured phase.
+func ShouldPreload(rank uint64, pct int) bool {
+	return int(splitmix64(rank)%100) < pct
+}
+
+// ForEachPreload invokes fn for every preloaded key (in rank order).
+func ForEachPreload(n uint64, pct int, fn func(key uint64)) {
+	for rank := uint64(0); rank < n; rank++ {
+		if ShouldPreload(rank, pct) {
+			fn(KeyOfRank(rank))
+		}
+	}
+}

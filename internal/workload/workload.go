@@ -1,0 +1,326 @@
+// Package workload re-implements the YCSB-style key generators and
+// operation mixes the paper evaluates with (Section 5.1): Zipfian with a
+// tunable skew coefficient theta, Uniform, and the three additional input
+// distributions of Section 5.5 (Poisson, Normal, Self-Similar). Each worker
+// thread owns a private generator instance ("intra-thread locality", as in
+// the paper), driven by the deterministic per-thread RNG.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"eunomia/internal/vclock"
+)
+
+// Kind selects an input key distribution.
+type Kind int
+
+// Supported distributions.
+const (
+	Uniform Kind = iota
+	Zipfian
+	SelfSimilar
+	Normal
+	Poisson
+	// ScrambledZipfian hashes Zipfian ranks across the key space: same
+	// popularity histogram, no hot-key adjacency (YCSB's scrambled
+	// generator). Useful for separating the paper's consecutive-layout
+	// effects from pure skew.
+	ScrambledZipfian
+)
+
+// String returns the distribution name.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case SelfSimilar:
+		return "self-similar"
+	case Normal:
+		return "normal"
+	case Poisson:
+		return "poisson"
+	case ScrambledZipfian:
+		return "scrambled-zipfian"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Generator produces key ranks in [0, N). Rank 0 is the hottest key for the
+// skewed distributions. Generators are not safe for concurrent use; create
+// one per worker thread.
+type Generator interface {
+	Next(r *vclock.Rand) uint64
+	N() uint64
+}
+
+// Spec describes a key distribution.
+type Spec struct {
+	Kind Kind
+	// N is the size of the key space.
+	N uint64
+	// Theta is the Zipfian skew coefficient (paper Eq. 1). 0 is uniform;
+	// 0.99 directs 41% of accesses to the hottest tenth. Must be < 1.
+	Theta float64
+	// SelfSimilarH is the self-similar skew (default 0.2 = the 80-20 rule).
+	SelfSimilarH float64
+	// NormalSigmaFrac is the standard deviation as a fraction of the mean
+	// (paper: 1%).
+	NormalSigmaFrac float64
+	// PoissonHotFrac/PoissonHotMass calibrate the Poisson spread so the
+	// hottest PoissonHotFrac of the key space receives PoissonHotMass of
+	// the accesses (paper: 10% hottest get 70%).
+	PoissonHotFrac float64
+	PoissonHotMass float64
+}
+
+// New builds a fresh per-thread generator for the spec.
+func (s Spec) New() Generator {
+	if s.N == 0 {
+		panic("workload: Spec.N must be positive")
+	}
+	switch s.Kind {
+	case Uniform:
+		return uniformGen{n: s.N}
+	case Zipfian:
+		return newZipfian(s.N, s.Theta)
+	case ScrambledZipfian:
+		return NewScrambled(newZipfian(s.N, s.Theta))
+	case SelfSimilar:
+		h := s.SelfSimilarH
+		if h == 0 {
+			h = 0.2
+		}
+		return selfSimilarGen{n: s.N, exp: math.Log(h) / math.Log(1-h)}
+	case Normal:
+		frac := s.NormalSigmaFrac
+		if frac == 0 {
+			frac = 0.01
+		}
+		mean := float64(s.N) / 2
+		return &normalGen{n: s.N, mean: mean, sigma: frac * mean}
+	case Poisson:
+		hf, hm := s.PoissonHotFrac, s.PoissonHotMass
+		if hf == 0 {
+			hf = 0.10
+		}
+		if hm == 0 {
+			hm = 0.70
+		}
+		// Spread a Poisson(lambda) shape so that +-hf/2 of the key space
+		// around the mode carries hm of the mass: hf/2*N = z(hm)*sigma.
+		z := normalQuantile((1 + hm) / 2)
+		sigma := hf / 2 * float64(s.N) / z
+		const lambda = 100
+		return &poissonGen{n: s.N, lambda: lambda, scale: sigma / math.Sqrt(lambda), mean: float64(s.N) / 2}
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %v", s.Kind))
+	}
+}
+
+// --- uniform ---
+
+type uniformGen struct{ n uint64 }
+
+func (g uniformGen) Next(r *vclock.Rand) uint64 { return r.Uint64() % g.n }
+func (g uniformGen) N() uint64                  { return g.n }
+
+// --- zipfian (Gray et al., the YCSB algorithm) ---
+
+type zipfianGen struct {
+	n          uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+}
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
+var (
+	zetaMu    sync.Mutex
+	zetaCache = map[zetaKey]float64{}
+)
+
+// zeta computes sum_{i=1..n} 1/i^theta, memoized: it is O(n) and shared by
+// every per-thread generator with the same parameters.
+func zeta(n uint64, theta float64) float64 {
+	zetaMu.Lock()
+	defer zetaMu.Unlock()
+	k := zetaKey{n, theta}
+	if v, ok := zetaCache[k]; ok {
+		return v
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache[k] = sum
+	return sum
+}
+
+func newZipfian(n uint64, theta float64) *zipfianGen {
+	if theta < 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipfian theta %v out of [0,1)", theta))
+	}
+	g := &zipfianGen{n: n, theta: theta}
+	g.zetan = zeta(n, theta)
+	g.zeta2theta = zeta(2, theta)
+	g.alpha = 1 / (1 - theta)
+	g.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - g.zeta2theta/g.zetan)
+	return g
+}
+
+func (g *zipfianGen) Next(r *vclock.Rand) uint64 {
+	u := r.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	k := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if k >= g.n {
+		k = g.n - 1
+	}
+	return k
+}
+
+func (g *zipfianGen) N() uint64 { return g.n }
+
+// --- self-similar (Gray et al.; h=0.2 gives the 80-20 rule) ---
+
+type selfSimilarGen struct {
+	n   uint64
+	exp float64
+}
+
+func (g selfSimilarGen) Next(r *vclock.Rand) uint64 {
+	k := uint64(float64(g.n) * math.Pow(r.Float64(), g.exp))
+	if k >= g.n {
+		k = g.n - 1
+	}
+	return k
+}
+
+func (g selfSimilarGen) N() uint64 { return g.n }
+
+// --- normal (mean N/2, sigma = 1% of mean, per Section 5.5) ---
+
+type normalGen struct {
+	n           uint64
+	mean, sigma float64
+	spare       float64
+	haveSpare   bool
+}
+
+func (g *normalGen) Next(r *vclock.Rand) uint64 {
+	var z float64
+	if g.haveSpare {
+		z = g.spare
+		g.haveSpare = false
+	} else {
+		// Box-Muller transform.
+		var u float64
+		for u == 0 {
+			u = r.Float64()
+		}
+		v := r.Float64()
+		mag := math.Sqrt(-2 * math.Log(u))
+		z = mag * math.Cos(2*math.Pi*v)
+		g.spare = mag * math.Sin(2*math.Pi*v)
+		g.haveSpare = true
+	}
+	x := g.mean + z*g.sigma
+	if x < 0 {
+		x = 0
+	}
+	k := uint64(x)
+	if k >= g.n {
+		k = g.n - 1
+	}
+	return k
+}
+
+func (g *normalGen) N() uint64 { return g.n }
+
+// --- poisson (discrete, right-skewed; spread calibrated to the paper's
+// "10% hottest records accessed by 70% of the requests") ---
+
+type poissonGen struct {
+	n      uint64
+	lambda float64
+	scale  float64 // key-space units per standard deviation of the deviate
+	mean   float64
+}
+
+func (g *poissonGen) Next(r *vclock.Rand) uint64 {
+	// Knuth's algorithm on the base lambda, then shift+scale into the key
+	// space. lambda=100 keeps the shape visibly Poisson (skewed, discrete)
+	// while exp(-lambda) stays comfortably inside float64 range.
+	l := math.Exp(-g.lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			break
+		}
+		k++
+	}
+	// The base deviate is discrete (~80 distinct values for lambda=100);
+	// sub-bucket jitter spreads each bucket across adjacent keys so the
+	// distribution covers the key space instead of ~80 exact keys.
+	x := g.mean + (float64(k)-g.lambda+r.Float64())*g.scale
+	if x < 0 {
+		x = 0
+	}
+	key := uint64(x)
+	if key >= g.n {
+		key = g.n - 1
+	}
+	return key
+}
+
+func (g *poissonGen) N() uint64 { return g.n }
+
+// normalQuantile approximates the standard normal quantile function with
+// the Beasley-Springer-Moro algorithm (sufficient for calibration).
+func normalQuantile(p float64) float64 {
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		z := y * y
+		return y * (((a[3]*z+a[2])*z+a[1])*z + a[0]) /
+			((((b[3]*z+b[2])*z+b[1])*z+b[0])*z + 1)
+	}
+	z := p
+	if y > 0 {
+		z = 1 - p
+	}
+	z = math.Log(-math.Log(z))
+	x := c[0]
+	zp := 1.0
+	for i := 1; i < 9; i++ {
+		zp *= z
+		x += c[i] * zp
+	}
+	if y < 0 {
+		x = -x
+	}
+	return x
+}

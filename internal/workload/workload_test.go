@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/vclock"
+)
+
+// topFracMass draws samples and returns the fraction of accesses landing on
+// the hottest `frac` of ranks, where "hottest" means most frequently drawn.
+func topFracMass(t *testing.T, g Generator, frac float64, samples int) float64 {
+	t.Helper()
+	r := vclock.NewRand(12345)
+	counts := make(map[uint64]int)
+	for i := 0; i < samples; i++ {
+		k := g.Next(r)
+		if k >= g.N() {
+			t.Fatalf("key %d out of range %d", k, g.N())
+		}
+		counts[k]++
+	}
+	// Collect counts, sort descending by simple counting into buckets.
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	// insertion-free sort: use sort via slices? stdlib only: simple sort.
+	sortIntsDesc(all)
+	take := int(frac * float64(g.N()))
+	if take < 1 {
+		take = 1
+	}
+	sum := 0
+	for i := 0; i < take && i < len(all); i++ {
+		sum += all[i]
+	}
+	return float64(sum) / float64(samples)
+}
+
+func sortIntsDesc(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] > a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestZipfianTopTenthMass(t *testing.T) {
+	// For a plain Zipf(0.99) over N=10^4 keys, the analytic top-10% mass is
+	// H_{1000}(0.99)/H_{10000}(0.99) ~ 0.77. (The paper quotes YCSB's "41%"
+	// figure, which does not follow from Eq. 1 for any large N; we validate
+	// against the actual mathematics of the generator YCSB ships.)
+	g := Spec{Kind: Zipfian, N: 10000, Theta: 0.99}.New()
+	mass := topFracMass(t, g, 0.10, 200000)
+	if mass < 0.70 || mass > 0.84 {
+		t.Fatalf("theta=0.99 top-10%% mass = %.3f, want ~0.77", mass)
+	}
+}
+
+func TestZipfianSkewOrdering(t *testing.T) {
+	// Higher theta must concentrate more mass on the hottest keys.
+	last := 0.0
+	for _, theta := range []float64{0.0, 0.5, 0.9, 0.99} {
+		g := Spec{Kind: Zipfian, N: 5000, Theta: theta}.New()
+		mass := topFracMass(t, g, 0.05, 100000)
+		if mass < last {
+			t.Fatalf("mass not increasing with theta: %.3f after %.3f", mass, last)
+		}
+		last = mass
+	}
+}
+
+func TestZipfianThetaZeroIsNearUniform(t *testing.T) {
+	g := Spec{Kind: Zipfian, N: 1000, Theta: 0}.New()
+	mass := topFracMass(t, g, 0.10, 100000)
+	if mass < 0.07 || mass > 0.14 {
+		t.Fatalf("theta=0 top-10%% mass = %.3f, want ~0.10", mass)
+	}
+}
+
+func TestZipfianHottestIsRankZero(t *testing.T) {
+	g := Spec{Kind: Zipfian, N: 100000, Theta: 0.99}.New()
+	r := vclock.NewRand(7)
+	counts := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		counts[g.Next(r)]++
+	}
+	best, bestC := uint64(0), -1
+	for k, c := range counts {
+		if c > bestC {
+			best, bestC = k, c
+		}
+	}
+	if best != 0 {
+		t.Fatalf("hottest rank = %d, want 0", best)
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	g := Spec{Kind: Uniform, N: 100}.New()
+	r := vclock.NewRand(3)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next(r)]++
+	}
+	for k, c := range counts {
+		if c < n/100/2 || c > n/100*2 {
+			t.Fatalf("key %d count %d far from uniform %d", k, c, n/100)
+		}
+	}
+}
+
+func TestSelfSimilar8020(t *testing.T) {
+	g := Spec{Kind: SelfSimilar, N: 10000}.New()
+	r := vclock.NewRand(9)
+	const n = 200000
+	inTop := 0
+	for i := 0; i < n; i++ {
+		if g.Next(r) < 2000 { // first 20% of the key space
+			inTop++
+		}
+	}
+	frac := float64(inTop) / n
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("80-20 rule violated: first 20%% got %.3f", frac)
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	g := Spec{Kind: Normal, N: 100000}.New()
+	r := vclock.NewRand(11)
+	mean, n := 0.0, 50000
+	for i := 0; i < n; i++ {
+		k := g.Next(r)
+		mean += float64(k)
+		if math.Abs(float64(k)-50000) > 5000 {
+			t.Fatalf("sample %d implausibly far from mean (sigma=500)", k)
+		}
+	}
+	mean /= float64(n)
+	if math.Abs(mean-50000) > 100 {
+		t.Fatalf("sample mean %.1f, want ~50000", mean)
+	}
+}
+
+func TestPoissonCalibration(t *testing.T) {
+	// The hottest 10% of the key space should receive roughly 70% of
+	// accesses (paper Section 5.5).
+	g := Spec{Kind: Poisson, N: 10000}.New()
+	mass := topFracMass(t, g, 0.10, 100000)
+	if mass < 0.60 || mass > 0.85 {
+		t.Fatalf("poisson top-10%% mass = %.3f, want ~0.70", mass)
+	}
+}
+
+func TestAllGeneratorsInRangeProperty(t *testing.T) {
+	specs := []Spec{
+		{Kind: Uniform, N: 977},
+		{Kind: Zipfian, N: 977, Theta: 0.9},
+		{Kind: SelfSimilar, N: 977},
+		{Kind: Normal, N: 977},
+		{Kind: Poisson, N: 977},
+	}
+	for _, s := range specs {
+		g := s.New()
+		f := func(seed uint64) bool {
+			r := vclock.NewRand(seed)
+			for i := 0; i < 50; i++ {
+				if g.Next(r) >= s.N {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("%v: %v", s.Kind, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, k := range []Kind{Uniform, Zipfian, SelfSimilar, Normal, Poisson} {
+		s := Spec{Kind: k, N: 1000, Theta: 0.9}
+		g1, g2 := s.New(), s.New()
+		r1, r2 := vclock.NewRand(5), vclock.NewRand(5)
+		for i := 0; i < 200; i++ {
+			if a, b := g1.Next(r1), g2.Next(r2); a != b {
+				t.Fatalf("%v not deterministic at draw %d: %d vs %d", k, i, a, b)
+			}
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := DefaultMix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mix{
+		{GetPct: 50, PutPct: 40},
+		{GetPct: -10, PutPct: 110},
+		{GetPct: 50, PutPct: 40, ScanPct: 10}, // ScanLen missing
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Fatalf("mix %+v validated", m)
+		}
+	}
+	good := Mix{GetPct: 70, PutPct: 20, DeletePct: 5, ScanPct: 5, ScanLen: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamRatios(t *testing.T) {
+	s := NewStream(Spec{Kind: Uniform, N: 100}, Mix{GetPct: 70, PutPct: 30})
+	r := vclock.NewRand(21)
+	gets, puts := 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		op := s.Next(r)
+		switch op.Kind {
+		case OpGet:
+			gets++
+		case OpPut:
+			puts++
+		default:
+			t.Fatalf("unexpected op %v", op.Kind)
+		}
+		if op.Key == 0 {
+			t.Fatal("key 0 generated (rank mapping must shift by 1)")
+		}
+	}
+	if f := float64(gets) / n; f < 0.67 || f > 0.73 {
+		t.Fatalf("get fraction = %.3f, want ~0.70", f)
+	}
+	_ = puts
+}
+
+func TestStreamScanOps(t *testing.T) {
+	s := NewStream(Spec{Kind: Uniform, N: 100},
+		Mix{GetPct: 0, PutPct: 50, ScanPct: 50, ScanLen: 7})
+	r := vclock.NewRand(2)
+	scans := 0
+	for i := 0; i < 1000; i++ {
+		op := s.Next(r)
+		if op.Kind == OpScan {
+			scans++
+			if op.ScanLen != 7 {
+				t.Fatalf("scan len = %d", op.ScanLen)
+			}
+		}
+	}
+	if scans < 400 || scans > 600 {
+		t.Fatalf("scans = %d, want ~500", scans)
+	}
+}
+
+func TestPreloadDeterministicAndProportional(t *testing.T) {
+	const n, pct = 10000, 50
+	count := 0
+	ForEachPreload(n, pct, func(key uint64) {
+		if key == 0 || key > n {
+			t.Fatalf("preload key %d out of range", key)
+		}
+		count++
+	})
+	if count < 4700 || count > 5300 {
+		t.Fatalf("preload count = %d, want ~5000", count)
+	}
+	for rank := uint64(0); rank < 100; rank++ {
+		if ShouldPreload(rank, pct) != ShouldPreload(rank, pct) {
+			t.Fatal("ShouldPreload not deterministic")
+		}
+	}
+	// pct=0 and pct=100 are exact.
+	if ShouldPreload(1, 0) {
+		t.Fatal("pct=0 preloaded something")
+	}
+	if !ShouldPreload(1, 100) {
+		t.Fatal("pct=100 skipped something")
+	}
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	for _, k := range []Kind{Uniform, Zipfian, SelfSimilar, Normal, Poisson} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	for _, o := range []OpKind{OpGet, OpPut, OpDelete, OpScan} {
+		if o.String() == "" {
+			t.Fatal("empty op name")
+		}
+	}
+}
+
+func TestNormalQuantileSanity(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.8413, 1.0}, {0.975, 1.96}, {0.85, 1.036},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 0.02 {
+			t.Fatalf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
