@@ -1,0 +1,31 @@
+# Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
+
+.PHONY: test verify bench-emulator bench-emulator-json bench figures
+
+test:
+	go build ./... && go test ./...
+
+# verify: the cheap pre-merge guard — vet, build, and the race detector
+# over the emulator and memory substrate (the packages where the O(1)
+# index state would show unsynchronized access first).
+verify:
+	./scripts/verify.sh
+
+# bench-emulator: host-speed micro-benchmarks of the HTM emulator's
+# Load/Store/commit paths, 5 repetitions for benchstat-able output.
+bench-emulator:
+	go test -run=NONE -bench=HostEmulator -benchmem -count=5 ./internal/htm/
+
+# bench-emulator-json: same suite via eunobench, recorded into the
+# checked-in perf-trajectory artifact. Override LABEL to tag the run.
+LABEL ?= current
+bench-emulator-json:
+	go run ./cmd/eunobench -benchjson BENCH_emulator.json -benchlabel $(LABEL) hostbench
+
+# bench: the scaled-down figure benchmarks (virtual-time metrics).
+bench:
+	go test -run=NONE -bench=Fig -benchtime=1x .
+
+# figures: regenerate every paper figure at quick scale.
+figures:
+	go run ./cmd/eunobench -quick all

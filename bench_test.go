@@ -34,18 +34,24 @@ func benchCfg(kind harness.TreeKind, threads int, theta float64) harness.Config 
 	}
 }
 
-// report runs one harness configuration per b.N iteration and reports the
-// virtual-time metrics of the last run.
+// report runs one harness configuration per b.N iteration (each with a
+// distinct seed) and reports the mean of the virtual-time metrics across
+// all runs, so `-count` sweeps and benchstat comparisons are stable
+// instead of surfacing whichever seed happened to come last.
 func report(b *testing.B, cfg harness.Config) {
 	b.Helper()
-	var r harness.Result
+	var throughput, abortsPerOp, wastedPct float64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(42 + i)
-		r = harness.Run(cfg)
+		r := harness.Run(cfg)
+		throughput += r.Throughput
+		abortsPerOp += r.AbortsPerOp
+		wastedPct += r.WastedPct
 	}
-	b.ReportMetric(r.Throughput/1e6, "vMops/s")
-	b.ReportMetric(r.AbortsPerOp, "aborts/op")
-	b.ReportMetric(r.WastedPct, "wasted%")
+	n := float64(b.N)
+	b.ReportMetric(throughput/n/1e6, "vMops/s")
+	b.ReportMetric(abortsPerOp/n, "aborts/op")
+	b.ReportMetric(wastedPct/n, "wasted%")
 }
 
 // BenchmarkFig1ContentionSweep — Figure 1: the baseline HTM-B+Tree across
@@ -64,15 +70,19 @@ func BenchmarkFig2AbortBreakdown(b *testing.B) {
 	for _, theta := range []float64{0.5, 0.9, 0.99} {
 		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
 			cfg := benchCfg(harness.HTMBTree, 16, theta)
-			var r harness.Result
+			var breakdown [htm.NumAbortReasons]float64
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(42 + i)
-				r = harness.Run(cfg)
+				r := harness.Run(cfg)
+				for reason, v := range r.AbortBreakdown {
+					breakdown[reason] += v
+				}
 			}
-			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictFalse], "false/op")
-			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictTrue], "true/op")
-			b.ReportMetric(r.AbortBreakdown[htm.AbortConflictMeta], "meta/op")
-			b.ReportMetric(r.AbortBreakdown[htm.AbortFallbackLock], "fblock/op")
+			n := float64(b.N)
+			b.ReportMetric(breakdown[htm.AbortConflictFalse]/n, "false/op")
+			b.ReportMetric(breakdown[htm.AbortConflictTrue]/n, "true/op")
+			b.ReportMetric(breakdown[htm.AbortConflictMeta]/n, "meta/op")
+			b.ReportMetric(breakdown[htm.AbortFallbackLock]/n, "fblock/op")
 		})
 	}
 }
@@ -174,9 +184,10 @@ func BenchmarkMemOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := benchCfg(harness.EunoBTree, 8, theta)
 				cfg.Seed = uint64(42 + i)
-				_, _, overhead = harness.MemoryComparison(cfg)
+				_, _, o := harness.MemoryComparison(cfg)
+				overhead += o
 			}
-			b.ReportMetric(overhead, "overhead%")
+			b.ReportMetric(overhead/float64(b.N), "overhead%")
 		})
 	}
 }

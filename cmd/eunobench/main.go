@@ -37,7 +37,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,8 +59,12 @@ func main() {
 		"latency":   latency,
 		"adjacency": adjacency,
 		"validate":  validateCmd,
+		"hostbench": hostbenchCmd,
 	}
 	name := strings.ToLower(flag.Arg(0))
+	stopCPU := startCPUProfile()
+	defer writeMemProfile()
+	defer stopCPU()
 	if name == "all" {
 		for _, n := range []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "mem"} {
 			figs[n]()

@@ -1,0 +1,26 @@
+package htm_test
+
+// Host-speed micro-benchmarks of the emulator's hot paths. The bodies live
+// in the hostbench package so `eunobench hostbench` can run the identical
+// code and write BENCH_emulator.json; this file only adapts them to
+// `go test -bench`.
+//
+// Run with:
+//
+//	go test -run=NONE -bench=HostEmulator -benchmem -count=5 ./internal/htm/
+//
+// (or `make bench-emulator`). The acceptance bar tracked across PRs is the
+// rs=512 Load and WriteCommit cases: per-access cost must stay flat as the
+// set grows, and the writing-commit path must not allocate.
+
+import (
+	"testing"
+
+	"eunomia/internal/htm/hostbench"
+)
+
+func BenchmarkHostEmulator(b *testing.B) {
+	for _, c := range hostbench.Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}

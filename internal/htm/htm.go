@@ -149,10 +149,23 @@ type allocRec struct {
 	tag   simmem.Tag
 }
 
+// held records one line locked during commit, with the state word to
+// restore if the commit aborts.
+type held struct {
+	line uint64
+	prev uint64
+}
+
 // Tx is one transaction attempt. A Tx is only valid inside the body passed
 // to Thread.Run / Thread.Execute; it must not be retained. In fallback mode
 // (after the retry policy is exhausted) the same body runs with a Tx whose
 // operations go directly to memory under the global lock.
+//
+// All per-attempt state below (slices, hash indexes, the commit scratch
+// buffer) is retained across attempts and reset in O(1), so a warmed-up
+// thread executes and commits transactions without heap allocation, and
+// every Load/Store is O(1) regardless of read/write-set size (see
+// txindex.go).
 type Tx struct {
 	h      *HTM
 	p      vclock.Proc
@@ -164,6 +177,20 @@ type Tx struct {
 	ws     []writeEntry
 	wls    []writeLine
 	allocs []allocRec
+
+	lines lineTab // line → rs/wls index (+ owned flag during commit)
+	wsIdx addrTab // buffered-store address → ws index
+
+	// lastStore{Addr,Idx} short-circuit the common store→load/store-again
+	// pattern on the most recently written address without a table probe.
+	// lastStoreAddr is NilAddr when no store is buffered (NilAddr is never
+	// an allocated address).
+	lastStoreAddr simmem.Addr
+	lastStoreIdx  int32
+
+	locked []held // commit scratch: lines locked so far this attempt
+
+	maxRead, maxWrite int // cfg limits, cached off the pointer chase
 
 	startCycles uint64
 }
@@ -205,16 +232,12 @@ func (tx *Tx) Abort(code uint8) {
 // currently being attempted.
 func (tx *Tx) accessMask(line uint64, extra uint8) uint8 {
 	m := extra
-	for i := range tx.rs {
-		if tx.rs[i].line == line {
-			m |= tx.rs[i].mask
-			break
+	if s := tx.lines.get(line); s != nil {
+		if s.rs != noIdx {
+			m |= tx.rs[s.rs].mask
 		}
-	}
-	for i := range tx.wls {
-		if tx.wls[i].line == line {
-			m |= tx.wls[i].mask
-			break
+		if s.wls != noIdx {
+			m |= tx.wls[s.wls].mask
 		}
 	}
 	return m
@@ -243,10 +266,15 @@ func (tx *Tx) Load(addr simmem.Addr) uint64 {
 	if tx.direct {
 		return a.LoadWord(tx.p, addr)
 	}
-	// Read-your-writes: the most recent buffered store to this address wins
-	// (a store-buffer hit, charged at hit cost).
-	for i := len(tx.ws) - 1; i >= 0; i-- {
-		if tx.ws[i].addr == addr {
+	// Read-your-writes: a buffered store to this address wins (a
+	// store-buffer hit, charged at hit cost). Coalescing in Store keeps at
+	// most one entry per address, so the index lookup is exact.
+	if addr == tx.lastStoreAddr {
+		tx.p.Tick(a.Costs().Load)
+		return tx.ws[tx.lastStoreIdx].val
+	}
+	if len(tx.ws) > 0 {
+		if i := tx.wsIdx.get(addr); i != noIdx {
 			tx.p.Tick(a.Costs().Load)
 			return tx.ws[i].val
 		}
@@ -262,21 +290,20 @@ func (tx *Tx) Load(addr simmem.Addr) uint64 {
 		tx.abort(tx.classifyConflict(line, tx.accessMask(line, bit)), line, 0)
 	}
 	// Record in the read set, merging with an existing entry for the line.
-	found := false
-	for i := range tx.rs {
-		if tx.rs[i].line == line {
-			tx.rs[i].mask |= bit
-			found = true
-			break
-		}
-	}
-	if !found {
-		if len(tx.rs) >= tx.h.cfg.MaxReadLines {
+	ls := tx.lines.put(line)
+	if ls.rs != noIdx {
+		tx.rs[ls.rs].mask |= bit
+	} else {
+		if len(tx.rs) >= tx.maxRead {
 			tx.abort(AbortCapacity, line, 0)
 		}
+		ls.rs = int32(len(tx.rs))
 		tx.rs = append(tx.rs, readEntry{line: line, mask: bit})
 	}
-	a.ChargeAccess(tx.p, addr, false)
+	// The recheck above pinned the line's state to s1, so its version is
+	// StateVersion(s1); passing it down saves ChargeAccess an atomic
+	// re-load of the state word.
+	a.ChargeAccessVersioned(tx.p, addr, simmem.StateVersion(s1), false)
 	return v
 }
 
@@ -288,28 +315,35 @@ func (tx *Tx) Store(addr simmem.Addr, v uint64) {
 		a.StoreWordDirect(tx.p, addr, v)
 		return
 	}
-	for i := len(tx.ws) - 1; i >= 0; i-- {
-		if tx.ws[i].addr == addr {
+	// Coalesce with an existing buffered store to the same address
+	// (last-write-wins, and commit's apply loop sees each address once).
+	if addr == tx.lastStoreAddr {
+		tx.ws[tx.lastStoreIdx].val = v
+		tx.p.Tick(a.Costs().Store)
+		return
+	}
+	if len(tx.ws) > 0 {
+		if i := tx.wsIdx.get(addr); i != noIdx {
 			tx.ws[i].val = v
+			tx.lastStoreAddr, tx.lastStoreIdx = addr, i
 			tx.p.Tick(a.Costs().Store)
 			return
 		}
 	}
+	idx := int32(len(tx.ws))
 	tx.ws = append(tx.ws, writeEntry{addr: addr, val: v})
+	tx.wsIdx.set(addr, idx)
+	tx.lastStoreAddr, tx.lastStoreIdx = addr, idx
 	line := addr.Line()
 	bit := uint8(1) << addr.WordInLine()
-	found := false
-	for i := range tx.wls {
-		if tx.wls[i].line == line {
-			tx.wls[i].mask |= bit
-			found = true
-			break
-		}
-	}
-	if !found {
-		if len(tx.wls) >= tx.h.cfg.MaxWriteLines {
+	ls := tx.lines.put(line)
+	if ls.wls != noIdx {
+		tx.wls[ls.wls].mask |= bit
+	} else {
+		if len(tx.wls) >= tx.maxWrite {
 			tx.abort(AbortCapacity, line, 0)
 		}
+		ls.wls = int32(len(tx.wls))
 		tx.wls = append(tx.wls, writeLine{line: line, mask: bit})
 	}
 	tx.p.Tick(a.Costs().Store)
@@ -334,10 +368,23 @@ func (tx *Tx) AllocAligned(nWords int, tag simmem.Tag) simmem.Addr {
 	return addr
 }
 
+// releaseLocked restores every line locked so far in this commit attempt.
+func (tx *Tx) releaseLocked() {
+	a := tx.h.arena
+	for _, l := range tx.locked {
+		a.RestoreLine(l.line, l.prev)
+	}
+}
+
 // commit finishes a (non-direct) attempt: it locks the write lines,
 // validates the read set against rv, applies the buffered stores, and
 // releases the lines at a fresh clock value. On any failure it unwinds via
 // abort after releasing what it locked.
+//
+// Complexity: O(write lines + read lines) — locking marks each owned line
+// in the tx.lines index, so read-set validation checks ownership with one
+// lookup instead of scanning the locked list. The locked list itself lives
+// in Tx scratch state, so a warmed-up writing commit allocates nothing.
 func (tx *Tx) commit() {
 	a := tx.h.arena
 	costs := a.Costs()
@@ -346,50 +393,38 @@ func (tx *Tx) commit() {
 		tx.p.Tick(costs.TxCommit)
 		return
 	}
-	type held struct {
-		line uint64
-		prev uint64
-	}
-	locked := make([]held, 0, len(tx.wls))
-	release := func() {
-		for _, l := range locked {
-			a.RestoreLine(l.line, l.prev)
-		}
-	}
+	tx.locked = tx.locked[:0]
 	for _, wl := range tx.wls {
 		prev, ok := a.TryLockLine(wl.line)
 		if !ok {
-			release()
+			tx.releaseLocked()
 			tx.abort(tx.classifyConflict(wl.line, tx.accessMask(wl.line, 0)), wl.line, 0)
 		}
+		tx.locked = append(tx.locked, held{wl.line, prev})
 		if simmem.StateVersion(prev) > tx.rv {
 			// The line was committed past our snapshot. If we also read
 			// it, that read is invalid; even if we only wrote it, a TL2
 			// commit at version > rv could order us inconsistently, so
 			// abort (hardware would have aborted on the coherence event).
-			locked = append(locked, held{wl.line, prev})
-			release()
+			tx.releaseLocked()
 			tx.abort(tx.classifyConflict(wl.line, tx.accessMask(wl.line, 0)), wl.line, 0)
 		}
-		locked = append(locked, held{wl.line, prev})
+		// Every write line was entered into tx.lines by Store, so the
+		// lookup cannot miss; the owned flag is what read-set validation
+		// keys on below. It needs no explicit clearing: reset invalidates
+		// the whole table by generation.
+		tx.lines.get(wl.line).owned = true
 	}
 	tx.p.Tick(costs.CAS) // clock advance
 	wv := a.AdvanceClock()
 	// Validate the read set. Lines we hold were validated via prev above.
 	for _, re := range tx.rs {
-		owned := false
-		for _, l := range locked {
-			if l.line == re.line {
-				owned = true
-				break
-			}
-		}
-		if owned {
+		if ls := tx.lines.get(re.line); ls != nil && ls.owned {
 			continue
 		}
 		s := a.LineState(re.line)
 		if simmem.StateLocked(s) || simmem.StateVersion(s) > tx.rv {
-			release()
+			tx.releaseLocked()
 			tx.abort(tx.classifyConflict(re.line, tx.accessMask(re.line, 0)), re.line, 0)
 		}
 	}
@@ -407,12 +442,18 @@ func (tx *Tx) commit() {
 	tx.p.Tick(costs.TxCommit + costs.TxCommitPer*uint64(len(tx.wls)))
 }
 
-// reset prepares the Tx for a fresh attempt, retaining buffer capacity.
+// reset prepares the Tx for a fresh attempt, retaining buffer and index
+// capacity; every step is O(1) (the hash indexes reset by generation).
 func (tx *Tx) reset(direct bool) {
 	tx.rs = tx.rs[:0]
 	tx.ws = tx.ws[:0]
 	tx.wls = tx.wls[:0]
 	tx.allocs = tx.allocs[:0]
+	tx.locked = tx.locked[:0]
+	tx.lines.reset()
+	tx.wsIdx.reset()
+	tx.lastStoreAddr = simmem.NilAddr
+	tx.lastStoreIdx = noIdx
 	tx.direct = direct
 	tx.startCycles = tx.p.Now()
 }

@@ -102,6 +102,8 @@ func (h *HTM) NewThread(p vclock.Proc, seed uint64) *Thread {
 	t.tx.h = h
 	t.tx.p = p
 	t.tx.st = &t.Stats
+	t.tx.maxRead = h.cfg.MaxReadLines
+	t.tx.maxWrite = h.cfg.MaxWriteLines
 	return t
 }
 

@@ -1,0 +1,213 @@
+package htm
+
+import "eunomia/internal/simmem"
+
+// Per-transaction hash indexes over the read set, write-line list, and
+// store buffer.
+//
+// The rs/ws/wls slices remain the ordered source of truth (commit's apply
+// loop and the capacity checks iterate them); the tables here only map a
+// cache line or word address to its slice index so that every Tx.Load /
+// Tx.Store / accessMask query is O(1) instead of a linear scan. Both tables
+// are open-addressed with linear probing and are owned by exactly one Tx,
+// which reuses them across attempts the same way it reuses rs/ws/wls:
+// resetting is O(1) via a generation stamp (a slot is live only when its
+// gen matches the table's), so an aborted 512-line attempt does not pay to
+// clear 512 slots before retrying.
+//
+// Growth doubles the slot array and reinserts live entries; after the first
+// few transactions warm a thread's tables to its working-set size, the
+// steady state allocates nothing.
+
+const (
+	// noIdx marks "no entry" in a slot's rs/wls/store index fields.
+	noIdx int32 = -1
+	// minTabBits sizes a fresh table at 64 slots.
+	minTabBits = 6
+	// hashMult is Fibonacci-hashing's 64-bit golden-ratio multiplier.
+	hashMult = 0x9e3779b97f4a7c15
+)
+
+// lineSlot is one line's index entry: where the line sits in tx.rs and
+// tx.wls (noIdx if absent), and whether commit currently holds its lock
+// ("owned", valid only during a commit attempt).
+type lineSlot struct {
+	line  uint64
+	gen   uint32
+	owned bool
+	rs    int32
+	wls   int32
+}
+
+// lineTab indexes tx.rs and tx.wls by cache line.
+type lineTab struct {
+	slots []lineSlot
+	shift uint
+	gen   uint32
+	used  int
+}
+
+// reset invalidates every entry in O(1) by advancing the generation.
+func (t *lineTab) reset() {
+	t.gen++
+	t.used = 0
+	if t.gen == 0 { // generation counter wrapped: flush stale stamps once
+		for i := range t.slots {
+			t.slots[i].gen = 0
+		}
+		t.gen = 1
+	}
+}
+
+// get returns the live slot for line, or nil.
+func (t *lineTab) get(line uint64) *lineSlot {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := (line * hashMult) >> t.shift; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			return nil
+		}
+		if s.line == line {
+			return s
+		}
+	}
+}
+
+// put returns the live slot for line, inserting an empty one (rs = wls =
+// noIdx) if absent.
+func (t *lineTab) put(line uint64) *lineSlot {
+	if len(t.slots) == 0 {
+		t.slots = make([]lineSlot, 1<<minTabBits)
+		t.shift = 64 - minTabBits
+		if t.gen == 0 {
+			t.gen = 1
+		}
+	} else if t.used*2 >= len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := (line * hashMult) >> t.shift; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			*s = lineSlot{line: line, gen: t.gen, rs: noIdx, wls: noIdx}
+			t.used++
+			return s
+		}
+		if s.line == line {
+			return s
+		}
+	}
+}
+
+// grow doubles the table, reinserting live entries.
+func (t *lineTab) grow() {
+	old := t.slots
+	bits := 64 - t.shift + 1
+	t.slots = make([]lineSlot, 1<<bits)
+	t.shift = 64 - bits
+	mask := uint64(len(t.slots) - 1)
+	for i := range old {
+		s := old[i]
+		if s.gen != t.gen {
+			continue
+		}
+		for j := (s.line * hashMult) >> t.shift; ; j = (j + 1) & mask {
+			if t.slots[j].gen != t.gen {
+				t.slots[j] = s
+				break
+			}
+		}
+	}
+}
+
+// addrSlot maps one word address to its index in tx.ws.
+type addrSlot struct {
+	addr simmem.Addr
+	gen  uint32
+	idx  int32
+}
+
+// addrTab indexes the store buffer (tx.ws) by address, giving O(1)
+// read-your-writes and store coalescing.
+type addrTab struct {
+	slots []addrSlot
+	shift uint
+	gen   uint32
+	used  int
+}
+
+// reset invalidates every entry in O(1) by advancing the generation.
+func (t *addrTab) reset() {
+	t.gen++
+	t.used = 0
+	if t.gen == 0 {
+		for i := range t.slots {
+			t.slots[i].gen = 0
+		}
+		t.gen = 1
+	}
+}
+
+// get returns the ws index for addr, or noIdx.
+func (t *addrTab) get(addr simmem.Addr) int32 {
+	if len(t.slots) == 0 {
+		return noIdx
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := (uint64(addr) * hashMult) >> t.shift; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			return noIdx
+		}
+		if s.addr == addr {
+			return s.idx
+		}
+	}
+}
+
+// set records addr → idx; addr must not already be present (stores to a
+// buffered address coalesce in place and never re-insert).
+func (t *addrTab) set(addr simmem.Addr, idx int32) {
+	if len(t.slots) == 0 {
+		t.slots = make([]addrSlot, 1<<minTabBits)
+		t.shift = 64 - minTabBits
+		if t.gen == 0 {
+			t.gen = 1
+		}
+	} else if t.used*2 >= len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := (uint64(addr) * hashMult) >> t.shift; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			*s = addrSlot{addr: addr, gen: t.gen, idx: idx}
+			t.used++
+			return
+		}
+	}
+}
+
+// grow doubles the table, reinserting live entries.
+func (t *addrTab) grow() {
+	old := t.slots
+	bits := 64 - t.shift + 1
+	t.slots = make([]addrSlot, 1<<bits)
+	t.shift = 64 - bits
+	mask := uint64(len(t.slots) - 1)
+	for i := range old {
+		s := old[i]
+		if s.gen != t.gen {
+			continue
+		}
+		for j := (uint64(s.addr) * hashMult) >> t.shift; ; j = (j + 1) & mask {
+			if t.slots[j].gen != t.gen {
+				t.slots[j] = s
+				break
+			}
+		}
+	}
+}

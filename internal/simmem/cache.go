@@ -52,14 +52,31 @@ func (a *Arena) cacheFor(p vclock.Proc) *procCache {
 	return c
 }
 
+// cacheSlot maps a line to its direct-mapped cache slot.
+func cacheSlot(line uint64) uint64 {
+	return (line * 0x9e3779b97f4a7c15 >> 33) % cacheSlots
+}
+
 // ChargeAccess charges p for touching the line containing addr: the hit
 // cost if the proc's cache holds the line at its current version, the miss
 // penalty otherwise (installing it). write selects the store hit cost.
 func (a *Arena) ChargeAccess(p vclock.Proc, addr Addr, write bool) {
 	line := addr.Line()
-	ver := StateVersion(a.state[line].Load())
+	a.chargeAccessLine(p, line, StateVersion(a.state[line].Load()), write)
+}
+
+// ChargeAccessVersioned is ChargeAccess for callers that already validated
+// the line's state word (the HTM Load path reads it twice for opacity): it
+// takes the line version as an argument instead of atomically re-loading
+// the state, removing a redundant atomic load from the hottest path in the
+// emulator.
+func (a *Arena) ChargeAccessVersioned(p vclock.Proc, addr Addr, ver uint64, write bool) {
+	a.chargeAccessLine(p, addr.Line(), ver, write)
+}
+
+func (a *Arena) chargeAccessLine(p vclock.Proc, line, ver uint64, write bool) {
 	c := a.cacheFor(p)
-	slot := (line * 0x9e3779b97f4a7c15 >> 33) % cacheSlots
+	slot := cacheSlot(line)
 	costs := &a.costs
 	if c.valid[slot] && c.lines[slot] == line && c.vers[slot] == ver {
 		if write {
@@ -87,7 +104,7 @@ func (a *Arena) Prefetch(p vclock.Proc, addrs ...Addr) {
 	for _, addr := range addrs {
 		line := addr.Line()
 		ver := StateVersion(a.state[line].Load())
-		slot := (line * 0x9e3779b97f4a7c15 >> 33) % cacheSlots
+		slot := cacheSlot(line)
 		if c.valid[slot] && c.lines[slot] == line && c.vers[slot] == ver {
 			continue
 		}
@@ -105,7 +122,7 @@ func (a *Arena) Prefetch(p vclock.Proc, addrs ...Addr) {
 // a line's version, so a core re-reading its own recent write still hits.
 func (a *Arena) NoteLineWritten(p vclock.Proc, line uint64, newVer uint64) {
 	c := a.cacheFor(p)
-	slot := (line * 0x9e3779b97f4a7c15 >> 33) % cacheSlots
+	slot := cacheSlot(line)
 	c.valid[slot] = true
 	c.lines[slot] = line
 	c.vers[slot] = newVer

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Pre-merge verification: vet + build everything, then run the race
+# detector over the emulator and memory substrate. The per-Tx hash indexes
+# in internal/htm are single-owner by design; the race detector over these
+# two packages is the cheapest guard that an emulator change didn't
+# introduce unsynchronized shared state.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./internal/htm/ ./internal/simmem/
