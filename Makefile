@@ -1,15 +1,25 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify bench-emulator bench-emulator-json bench figures
+.PHONY: test verify check ci bench-emulator bench-emulator-json bench figures
 
 test:
 	go build ./... && go test ./...
 
-# verify: the cheap pre-merge guard — vet, build, and the race detector
-# over the emulator and memory substrate (the packages where the O(1)
-# index state would show unsynchronized access first).
+# verify: the cheap pre-merge guard — vet, build, the race detector over
+# the emulator and memory substrate, and a -short race pass over the trees
+# and harness (including the wall-clock linearizability recordings).
 verify:
 	./scripts/verify.sh
+
+# check: the short-mode correctness suite on its own — the complete
+# linearizability checker's unit tests plus the tree registry's repro,
+# mutant-catch, and fault-coverage tests.
+check:
+	go test -short ./internal/check/...
+
+# ci: what .github/workflows/ci.yml runs — tier-1, verify, and the short
+# correctness suite.
+ci: test verify check
 
 # bench-emulator: host-speed micro-benchmarks of the HTM emulator's
 # Load/Store/commit paths, 5 repetitions for benchstat-able output.

@@ -1,0 +1,136 @@
+// Package check is the concurrency-correctness subsystem applied to every
+// tree in the repository. It has three layers:
+//
+//  1. A *complete* per-key linearizability checker (linearize.go) over the
+//     full dictionary API — get, put, delete, and range scans — using the
+//     Wing & Gong just-in-time linearization search. Completeness matters:
+//     the previous checker applied three sound-but-incomplete precedence
+//     rules and explicitly excluded deletes and scans, so entire classes of
+//     stitching bugs (a put landing in a just-split leaf, a scan observing
+//     a tombstone resurrect) were invisible to it. Complete per-key checking
+//     is sufficient for the trees' actual guarantee: linearizability is
+//     compositional over keys (Herlihy & Wing locality), and the trees
+//     promise per-key atomicity — scans snapshot one leaf at a time, so a
+//     scan decomposes into independent per-key read observations
+//     (see Recorder.Scan).
+//
+//  2. A Recorder (recorder.go) that wraps any tree.KV and records an
+//     invocation/response history, in virtual-time mode (timestamps from the
+//     lockstep simulator's global timeline) or wall-clock mode (timestamps
+//     from a shared atomic counter, so "a responded before b was invoked"
+//     is still a sound real-time precedence).
+//
+//  3. A deterministic schedule-exploration fuzzer (explore.go) that drives
+//     the vclock lockstep scheduler through seeded slack/priority
+//     perturbations and fault-injection plans (internal/htm/faults.go),
+//     shrinks failing cases (threads → ops → keys), and prints a
+//     one-command repro line; internal/check/trees can replay it.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is the operation type of a history record.
+type Kind uint8
+
+// Operation kinds. ScanObs is a single-key observation derived from a range
+// scan: the scan either visited the key (OK, with its value) or definitely
+// passed over it (!OK); both are checked exactly like a Get.
+const (
+	Get Kind = iota
+	Put
+	Delete
+	ScanObs
+)
+
+// String returns a short name.
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Delete:
+		return "del"
+	case ScanObs:
+		return "scan"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation of a recorded history.
+type Op struct {
+	Kind Kind
+	Key  uint64
+	// Val is the value written (Put) or observed (Get/ScanObs with OK).
+	Val uint64
+	// OK reports presence: for Get/ScanObs, whether the key was found; for
+	// Delete, whether the key was present (the tree's return value). Always
+	// true for Put.
+	OK bool
+	// Inv and Rsp are the invocation and response timestamps. In virtual
+	// mode they are points on the simulator's global cycle timeline; in wall
+	// mode they are draws from a shared atomic counter. In both modes
+	// Rsp(a) < Inv(b) is a sound "a happened before b" precedence.
+	Inv, Rsp uint64
+	// Proc is the virtual core (or worker) that issued the operation.
+	Proc int
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Put:
+		return fmt.Sprintf("p%d put(%d,%d) @[%d,%d]", o.Proc, o.Key, o.Val, o.Inv, o.Rsp)
+	case Delete:
+		return fmt.Sprintf("p%d del(%d)=%v @[%d,%d]", o.Proc, o.Key, o.OK, o.Inv, o.Rsp)
+	default:
+		if o.OK {
+			return fmt.Sprintf("p%d %s(%d)=%d @[%d,%d]", o.Proc, o.Kind, o.Key, o.Val, o.Inv, o.Rsp)
+		}
+		return fmt.Sprintf("p%d %s(%d)=absent @[%d,%d]", o.Proc, o.Kind, o.Key, o.Inv, o.Rsp)
+	}
+}
+
+// History is a complete (no pending operations) recorded history.
+type History struct {
+	Ops []Op
+	// Initial seeds per-key initial state: keys present before the recorded
+	// window opened, with their values (e.g. a preload phase that was not
+	// recorded). Keys absent from the map start absent.
+	Initial map[uint64]uint64
+}
+
+// Stats summarizes a history.
+type Stats struct {
+	Ops  int
+	Keys int
+}
+
+// Stats counts the operations and distinct keys of the history.
+func (h History) Stats() Stats {
+	keys := map[uint64]struct{}{}
+	for _, o := range h.Ops {
+		keys[o.Key] = struct{}{}
+	}
+	return Stats{Ops: len(h.Ops), Keys: len(keys)}
+}
+
+// formatViolation renders the failing window, sorted by invocation.
+func formatViolation(v *Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key %d (reachable states at window start:", v.Key)
+	for _, s := range v.Starts {
+		fmt.Fprintf(&b, " %s", s)
+	}
+	b.WriteString("):\n")
+	sorted := append([]Op(nil), v.Ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+	for _, o := range sorted {
+		fmt.Fprintf(&b, "  %s\n", o)
+	}
+	return b.String()
+}

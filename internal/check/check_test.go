@@ -1,0 +1,231 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// ops builds a History from a compact literal.
+func hist(ops ...Op) History { return History{Ops: ops} }
+
+func mustOK(t *testing.T, h History) {
+	t.Helper()
+	if err := Check(h); err != nil {
+		t.Fatalf("expected linearizable, got:\n%v", err)
+	}
+}
+
+func mustFail(t *testing.T, h History, key uint64) {
+	t.Helper()
+	err := Check(h)
+	if err == nil {
+		t.Fatalf("expected violation on key %d, checker accepted history", key)
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T: %v", err, err)
+	}
+	if v.Key != key {
+		t.Fatalf("expected violation on key %d, got key %d:\n%v", key, v.Key, err)
+	}
+}
+
+func TestSequentialLegal(t *testing.T) {
+	mustOK(t, hist(
+		Op{Kind: Get, Key: 1, OK: false, Inv: 1, Rsp: 2},
+		Op{Kind: Put, Key: 1, Val: 10, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 1, Val: 10, OK: true, Inv: 5, Rsp: 6},
+		Op{Kind: Delete, Key: 1, OK: true, Inv: 7, Rsp: 8},
+		Op{Kind: Get, Key: 1, OK: false, Inv: 9, Rsp: 10},
+		Op{Kind: Delete, Key: 1, OK: false, Inv: 11, Rsp: 12},
+	))
+}
+
+func TestFutureReadRejected(t *testing.T) {
+	// A value is read strictly before the only put of that value begins.
+	mustFail(t, hist(
+		Op{Kind: Get, Key: 5, Val: 42, OK: true, Inv: 1, Rsp: 2},
+		Op{Kind: Put, Key: 5, Val: 42, Inv: 3, Rsp: 4},
+	), 5)
+}
+
+func TestLostInsertRejected(t *testing.T) {
+	// Put completes, then a later get misses it with no intervening delete.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 7, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Get, Key: 7, OK: false, Inv: 3, Rsp: 4},
+	), 7)
+}
+
+func TestOverwrittenReadRejected(t *testing.T) {
+	// get=1 runs strictly after put(2) completed; 1 was definitely gone.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 3, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Put, Key: 3, Val: 2, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 3, Val: 1, OK: true, Inv: 5, Rsp: 6},
+	), 3)
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping puts: reads may observe them in either commit order,
+	// but all readers must agree after both complete... per-key the final
+	// read just needs SOME order: get=1 after both is fine (put(2) first,
+	// put(1) second).
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 9, Val: 1, Inv: 1, Rsp: 10},
+		Op{Kind: Put, Key: 9, Val: 2, Inv: 2, Rsp: 9},
+		Op{Kind: Get, Key: 9, Val: 1, OK: true, Inv: 11, Rsp: 12},
+	))
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 9, Val: 1, Inv: 1, Rsp: 10},
+		Op{Kind: Put, Key: 9, Val: 2, Inv: 2, Rsp: 9},
+		Op{Kind: Get, Key: 9, Val: 2, OK: true, Inv: 11, Rsp: 12},
+	))
+}
+
+func TestConcurrentReadSeesEitherState(t *testing.T) {
+	// A get overlapping a put may see the old absence or the new value.
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 4, Val: 5, Inv: 1, Rsp: 10},
+		Op{Kind: Get, Key: 4, OK: false, Inv: 2, Rsp: 9},
+	))
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 4, Val: 5, Inv: 1, Rsp: 10},
+		Op{Kind: Get, Key: 4, Val: 5, OK: true, Inv: 2, Rsp: 9},
+	))
+	// But it cannot see a value never written.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 4, Val: 5, Inv: 1, Rsp: 10},
+		Op{Kind: Get, Key: 4, Val: 6, OK: true, Inv: 2, Rsp: 9},
+	), 4)
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	// del=true with nothing ever present: illegal.
+	mustFail(t, hist(
+		Op{Kind: Delete, Key: 2, OK: true, Inv: 1, Rsp: 2},
+	), 2)
+	// del=false while the key is definitely present: illegal.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 2, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Delete, Key: 2, OK: false, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 2, Val: 1, OK: true, Inv: 5, Rsp: 6},
+	), 2)
+	// Two overlapping deletes of one present key: exactly one may win.
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 2, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Delete, Key: 2, OK: true, Inv: 3, Rsp: 10},
+		Op{Kind: Delete, Key: 2, OK: false, Inv: 4, Rsp: 9},
+	))
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 2, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Delete, Key: 2, OK: true, Inv: 3, Rsp: 10},
+		Op{Kind: Delete, Key: 2, OK: true, Inv: 4, Rsp: 9},
+	), 2)
+}
+
+func TestInitialState(t *testing.T) {
+	h := hist(
+		Op{Kind: Get, Key: 8, Val: 99, OK: true, Inv: 1, Rsp: 2},
+	)
+	mustFail(t, h, 8) // no initial state: future read
+	h.Initial = map[uint64]uint64{8: 99}
+	mustOK(t, h)
+	// del=true with only initial state present is fine.
+	h2 := hist(
+		Op{Kind: Delete, Key: 8, OK: true, Inv: 1, Rsp: 2},
+		Op{Kind: Get, Key: 8, OK: false, Inv: 3, Rsp: 4},
+	)
+	h2.Initial = map[uint64]uint64{8: 1}
+	mustOK(t, h2)
+}
+
+func TestScanObsCheckedLikeGet(t *testing.T) {
+	// Scan observes absence of a key that was put and never deleted,
+	// strictly after the put completed: phantom-miss, illegal.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 6, Val: 3, Inv: 1, Rsp: 2},
+		Op{Kind: ScanObs, Key: 6, OK: false, Inv: 3, Rsp: 4},
+	), 6)
+	// Overlapping the put: legal.
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 6, Val: 3, Inv: 1, Rsp: 10},
+		Op{Kind: ScanObs, Key: 6, OK: false, Inv: 2, Rsp: 9},
+	))
+}
+
+func TestDeleteResurrectRejected(t *testing.T) {
+	// put; delete completes; later read still sees the value: the classic
+	// stale-leaf stitch bug shape.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 11, Val: 7, Inv: 1, Rsp: 2},
+		Op{Kind: Delete, Key: 11, OK: true, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 11, Val: 7, OK: true, Inv: 5, Rsp: 6},
+	), 11)
+}
+
+func TestTieTimestampsTreatedConcurrent(t *testing.T) {
+	// Wall-mode can produce inv(b) == rsp(a) only when distinct draws tie
+	// across restarts; virtual mode can produce equal cycle stamps for
+	// zero-cost sections. Equal stamps must be treated as overlap.
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 1, Val: 5, Inv: 1, Rsp: 3},
+		Op{Kind: Get, Key: 1, OK: false, Inv: 3, Rsp: 4},
+	))
+}
+
+func TestComplexInterleavingNeedsSearch(t *testing.T) {
+	// A history the old rule-based checker could not decide: three
+	// overlapping writers and two readers observing different values.
+	// Legal order: put(1) put(3) get=3 put(2) get=2.
+	mustOK(t, hist(
+		Op{Kind: Put, Key: 20, Val: 1, Inv: 1, Rsp: 20},
+		Op{Kind: Put, Key: 20, Val: 2, Inv: 2, Rsp: 19},
+		Op{Kind: Put, Key: 20, Val: 3, Inv: 3, Rsp: 18},
+		Op{Kind: Get, Key: 20, Val: 3, OK: true, Inv: 4, Rsp: 17},
+		Op{Kind: Get, Key: 20, Val: 2, OK: true, Inv: 5, Rsp: 16},
+	))
+	// Illegal: reader A sees 2 then 3, reader A' sees 3 then 2, with both
+	// reads of each pair sequential — contradictory orders.
+	mustFail(t, hist(
+		Op{Kind: Put, Key: 21, Val: 2, Inv: 1, Rsp: 30},
+		Op{Kind: Put, Key: 21, Val: 3, Inv: 2, Rsp: 29},
+		Op{Kind: Get, Key: 21, Val: 2, OK: true, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 21, Val: 3, OK: true, Inv: 5, Rsp: 6},
+		Op{Kind: Get, Key: 21, Val: 2, OK: true, Inv: 7, Rsp: 8},
+	), 21)
+}
+
+func TestPerKeyIsolation(t *testing.T) {
+	// A violation on one key does not implicate others; the reported key is
+	// the smallest failing one.
+	err := Check(hist(
+		Op{Kind: Put, Key: 1, Val: 1, Inv: 1, Rsp: 2},
+		Op{Kind: Get, Key: 1, Val: 1, OK: true, Inv: 3, Rsp: 4},
+		Op{Kind: Get, Key: 2, Val: 9, OK: true, Inv: 5, Rsp: 6},
+	))
+	v, ok := err.(*Violation)
+	if !ok || v.Key != 2 {
+		t.Fatalf("expected violation on key 2, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "key 2") {
+		t.Fatalf("violation message should name the key: %q", err.Error())
+	}
+}
+
+func TestMemoizationHandlesWideConcurrency(t *testing.T) {
+	// 16 fully-overlapping puts plus a final read: naive DFS is 16!
+	// (~2e13) orderings; the memoized search visits at most
+	// 2^16 × 17 (done-set × last-writer) states and must finish fast.
+	// (Real recorded histories have concurrency width bounded by the
+	// process count, which prunes far harder than this worst case.)
+	var ops []Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, Op{Kind: Put, Key: 1, Val: uint64(i), Inv: 1, Rsp: 100})
+	}
+	ops = append(ops, Op{Kind: Get, Key: 1, Val: 7, OK: true, Inv: 101, Rsp: 102})
+	mustOK(t, History{Ops: ops})
+	// And an unsatisfiable variant terminates too.
+	ops[len(ops)-1] = Op{Kind: Get, Key: 1, Val: 999, OK: true, Inv: 101, Rsp: 102}
+	mustFail(t, History{Ops: ops}, 1)
+}

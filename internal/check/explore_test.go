@@ -1,0 +1,275 @@
+package check
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// refKV is a linearizable reference dictionary: every operation is atomic
+// under one mutex. It ticks the caller's virtual clock so lockstep runs
+// interleave operations rather than serializing them by accident.
+type refKV struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+	// brokenDelete makes Delete report true unconditionally — a seeded
+	// specification bug the checker must catch.
+	brokenDelete bool
+}
+
+func newRefKV(broken bool) *refKV {
+	return &refKV{m: map[uint64]uint64{}, brokenDelete: broken}
+}
+
+func (r *refKV) Name() string { return "ref" }
+
+func (r *refKV) Get(th *htm.Thread, key uint64) (uint64, bool) {
+	th.P.Tick(40)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.m[key]
+	return v, ok
+}
+
+func (r *refKV) Put(th *htm.Thread, key, val uint64) {
+	th.P.Tick(60)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[key] = val
+}
+
+func (r *refKV) Delete(th *htm.Thread, key uint64) bool {
+	th.P.Tick(60)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[key]
+	delete(r.m, key)
+	if r.brokenDelete {
+		return true
+	}
+	return ok
+}
+
+func (r *refKV) Scan(th *htm.Thread, from uint64, max int, fn func(k, v uint64) bool) int {
+	th.P.Tick(80)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []uint64
+	for k := range r.m {
+		if k >= from {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	n := 0
+	for _, k := range keys {
+		if n == max {
+			break
+		}
+		n++
+		if !fn(k, r.m[k]) {
+			break
+		}
+	}
+	return n
+}
+
+func refFactory(h *htm.HTM, boot *htm.Thread) tree.KV       { return newRefKV(false) }
+func brokenRefFactory(h *htm.HTM, boot *htm.Thread) tree.KV { return newRefKV(true) }
+
+// wallDevice builds a tiny real device for tests that only need Threads.
+func wallDevice() *htm.HTM {
+	return htm.New(simmem.NewArena(1<<12), htm.DefaultConfig)
+}
+
+func TestRunWorkloadAcceptsReference(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		wl := DefaultWorkload()
+		wl.Seed = seed
+		wl.Slack = seed % 3 * 7
+		hist, _, err := RunWorkload(refFactory, wl, htm.FaultSpec{})
+		if err != nil {
+			t.Fatalf("seed %d: reference KV rejected:\n%v", seed, err)
+		}
+		if s := hist.Stats(); s.Ops < wl.Procs*wl.Ops {
+			t.Fatalf("seed %d: only %d ops recorded for %d issued", seed, s.Ops, wl.Procs*wl.Ops)
+		}
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Seed = 9
+	h1, _, err1 := RunWorkload(refFactory, wl, htm.FaultSpec{})
+	h2, _, err2 := RunWorkload(refFactory, wl, htm.FaultSpec{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v / %v", err1, err2)
+	}
+	if len(h1.Ops) != len(h2.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(h1.Ops), len(h2.Ops))
+	}
+	for i := range h1.Ops {
+		if h1.Ops[i] != h2.Ops[i] {
+			t.Fatalf("op %d differs:\n%v\n%v", i, h1.Ops[i], h2.Ops[i])
+		}
+	}
+}
+
+func TestSweepCatchesBrokenReference(t *testing.T) {
+	sc := DefaultSweep(8)
+	// The broken Delete is schedule-independent, so drop fault variants.
+	sc.Faults = nil
+	n, fail := Sweep("ref-broken", brokenRefFactory, sc)
+	if fail == nil {
+		t.Fatalf("broken reference survived %d histories", n)
+	}
+	line := fail.ReproLine()
+	if !strings.Contains(line, "EUNO_CHECK_REPRO='tree=ref-broken;wl=") {
+		t.Fatalf("repro line malformed: %s", line)
+	}
+	// The shrunk case must replay deterministically.
+	r, err := ParseRepro(strings.TrimSuffix(strings.SplitAfter(line, "'")[1], "'"))
+	if err != nil {
+		// Extract between the quotes instead.
+		t.Fatalf("repro line did not parse: %v (%s)", err, line)
+	}
+	if _, _, err := RunWorkload(brokenRefFactory, r.Workload, r.Fault); err == nil {
+		t.Fatalf("shrunk repro did not reproduce: %s", line)
+	}
+	// Shrinking should have reduced the default 40 ops/proc.
+	if fail.Workload.Ops >= DefaultWorkload().Ops && fail.Workload.Procs >= DefaultWorkload().Procs {
+		t.Fatalf("no shrinking happened: %s", fail.Workload)
+	}
+}
+
+func TestWorkloadRoundtrip(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Seed, wl.Slack = 123, 17
+	got, err := ParseWorkload(wl.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wl {
+		t.Fatalf("roundtrip mismatch: %s vs %s", got, wl)
+	}
+	if _, err := ParseWorkload("procs=0,ops=1,keys=1,seed=0,slack=0,mix=100/0/0/0,preload=0"); err == nil {
+		t.Fatal("accepted zero procs")
+	}
+	if _, err := ParseWorkload("procs=1,ops=1,keys=1,seed=0,slack=0,mix=50/0/0/0,preload=0"); err == nil {
+		t.Fatal("accepted mix not summing to 100")
+	}
+}
+
+func TestReproRoundtrip(t *testing.T) {
+	r := Repro{
+		Tree:     "euno-btree",
+		Workload: DefaultWorkload(),
+		Fault:    htm.FaultSpec{Point: htm.FaultMidSplit, Action: htm.ActAbort, Nth: 2},
+	}
+	got, err := ParseRepro(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("roundtrip mismatch:\n%s\n%s", got, r)
+	}
+}
+
+// TestWallModeRecorder drives real goroutines (host scheduler) against the
+// reference KV with wall-clock timestamps and checks the history.
+func TestWallModeRecorder(t *testing.T) {
+	kv := newRefKV(false)
+	rec := NewRecorder(kv, Wall)
+	universe := []uint64{3, 10, 17, 24}
+	rec.SetUniverse(universe)
+	var wg sync.WaitGroup
+	workers := 4
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := wallDevice().NewThread(vclock.NewWallProc(w+1, 0), uint64(w)+1)
+			r := vclock.NewRand(uint64(w) + 7)
+			for i := 0; i < iters; i++ {
+				k := universe[r.Intn(len(universe))]
+				switch r.Intn(4) {
+				case 0:
+					rec.Put(th, k, k<<20|uint64(w)<<16|uint64(i))
+				case 1:
+					rec.Delete(th, k)
+				case 2:
+					rec.Scan(th, k, 2, func(_, _ uint64) bool { return true })
+				default:
+					rec.Get(th, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := Check(rec.History()); err != nil {
+		t.Fatalf("wall-mode history rejected:\n%v", err)
+	}
+}
+
+// TestScanDecomposition scripts one scan and inspects the derived per-key
+// observations, including absent observations for skipped universe keys.
+func TestScanDecomposition(t *testing.T) {
+	kv := newRefKV(false)
+	rec := NewRecorder(kv, Wall)
+	boot := wallDevice().NewThread(vclock.NewWallProc(0, 0), 1)
+	rec.SetUniverse([]uint64{5, 10, 15, 20, 25})
+	kv.Put(boot, 10, 100)
+	kv.Put(boot, 20, 200)
+
+	rec.Reset()
+	n := rec.Scan(boot, 5, 10, func(_, _ uint64) bool { return true })
+	if n != 2 {
+		t.Fatalf("scan visited %d", n)
+	}
+	h := rec.History()
+	var present, absent []uint64
+	for _, o := range h.Ops {
+		if o.Kind != ScanObs {
+			t.Fatalf("unexpected op %v", o)
+		}
+		if o.OK {
+			present = append(present, o.Key)
+		} else {
+			absent = append(absent, o.Key)
+		}
+	}
+	sortU64(present)
+	sortU64(absent)
+	if len(present) != 2 || present[0] != 10 || present[1] != 20 {
+		t.Fatalf("present obs %v", present)
+	}
+	// Scan exhausted the tree (n < max): coverage is unbounded, so all
+	// unvisited universe keys >= from are absent.
+	if len(absent) != 3 || absent[0] != 5 || absent[1] != 15 || absent[2] != 25 {
+		t.Fatalf("absent obs %v", absent)
+	}
+
+	// Early stop: coverage ends at the last visited key.
+	rec.Reset()
+	rec.Scan(boot, 5, 1, func(_, _ uint64) bool { return true })
+	h = rec.History()
+	absent = absent[:0]
+	for _, o := range h.Ops {
+		if !o.OK {
+			absent = append(absent, o.Key)
+		}
+	}
+	if len(absent) != 1 || absent[0] != 5 {
+		t.Fatalf("bounded scan absent obs %v", absent)
+	}
+}

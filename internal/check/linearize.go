@@ -1,0 +1,215 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is a checker failure: some key's sub-history admits no legal
+// linearization. Ops holds the smallest failing window (a chunk of the
+// key's history with no internal quiescent point), and Starts the register
+// states that were reachable when the window opened.
+type Violation struct {
+	Key    uint64
+	Ops    []Op
+	Starts []regState
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("history not linearizable at %s", formatViolation(v))
+}
+
+// Check verifies that h is linearizable with respect to a per-key
+// register-with-delete specification:
+//
+//	put(k,v)      — always legal (blind upsert)
+//	del(k)=true   — legal iff k is present; leaves k absent
+//	del(k)=false  — legal iff k is absent
+//	get(k)=v      — legal iff k is present with value v
+//	get(k)=absent — legal iff k is absent
+//	scan observations — identical to get
+//
+// The search is complete: by linearizability's locality (Herlihy & Wing),
+// the history is linearizable iff each per-key sub-history is. Each
+// sub-history is cut at quiescent points (instants where every earlier
+// operation has responded before every later one invokes — a valid
+// linearization can never carry an operation across such a cut), and each
+// resulting chunk is checked with an exhaustive Wing & Gong just-in-time
+// linearization DFS, memoized on (linearized-set, register state), that
+// computes every register state reachable at the chunk's end. The state
+// sets thread the chunks together, so no legal linearization is missed and
+// no illegal one is admitted. A nil return means h is linearizable; a
+// non-nil return is a *Violation naming the first key that fails.
+func Check(h History) error {
+	byKey := map[uint64][]Op{}
+	for _, o := range h.Ops {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	// Deterministic key order so failures are stable across runs.
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		init, hasInit := uint64(0), false
+		if h.Initial != nil {
+			init, hasInit = h.Initial[k]
+		}
+		if v := checkKey(k, byKey[k], regState{present: hasInit, val: init}); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// regState is the register's abstract state during the search.
+type regState struct {
+	present bool
+	val     uint64
+}
+
+func (s regState) String() string {
+	if !s.present {
+		return "absent"
+	}
+	return fmt.Sprintf("%d", s.val)
+}
+
+// maxChunkOps bounds the mutually-overlapping window the bitset DFS can
+// handle. A chunk only grows past the process count when operations chain-
+// overlap, so hitting this would take 64 operations on one key with no
+// quiescent instant between them; refuse loudly rather than degrade.
+const maxChunkOps = 64
+
+// checkKey verifies one key's sub-history. Returns nil if linearizable.
+func checkKey(key uint64, ops []Op, start regState) *Violation {
+	if len(ops) == 0 {
+		return nil
+	}
+	sorted := append([]Op(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+
+	states := []regState{start}
+	chunkStart := 0
+	maxRsp := sorted[0].Rsp
+	flush := func(end int) *Violation {
+		chunk := sorted[chunkStart:end]
+		if len(chunk) > maxChunkOps {
+			panic(fmt.Sprintf("check: %d mutually-overlapping ops on key %d (max %d)", len(chunk), key, maxChunkOps))
+		}
+		next := chunkEndStates(chunk, states)
+		if len(next) == 0 {
+			return &Violation{Key: key, Ops: chunk, Starts: states}
+		}
+		states = next
+		return nil
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Inv > maxRsp {
+			// Quiescent cut: every op before i responded before op i (and
+			// everything after it) invoked, so no linearization reorders
+			// across this instant.
+			if v := flush(i); v != nil {
+				return v
+			}
+			chunkStart = i
+			maxRsp = sorted[i].Rsp
+		} else if sorted[i].Rsp > maxRsp {
+			maxRsp = sorted[i].Rsp
+		}
+	}
+	return flush(len(sorted))
+}
+
+// chunkEndStates runs the exhaustive WGL search over one chunk from each
+// possible starting state and returns every register state some legal
+// linearization can end in (empty = no legal linearization exists).
+//
+// Candidate rule: an operation may linearize next iff its invocation does
+// not strictly follow another unlinearized operation's response — if
+// inv(o) > min unlinearized rsp, that other operation finished before o
+// began and must go first. Ties count as concurrent, which only admits
+// more linearizations (sound: both stamps come from one totally-ordered
+// clock, so equal stamps mean genuinely indistinguishable instants).
+func chunkEndStates(ops []Op, starts []regState) []regState {
+	n := len(ops)
+	full := uint64(1)<<uint(n) - 1
+	type memoKey struct {
+		done  uint64
+		state regState
+	}
+	visited := map[memoKey]struct{}{}
+	endSet := map[regState]struct{}{}
+
+	var dfs func(done uint64, st regState)
+	dfs = func(done uint64, st regState) {
+		if done == full {
+			endSet[st] = struct{}{}
+			return
+		}
+		mk := memoKey{done, st}
+		if _, seen := visited[mk]; seen {
+			return
+		}
+		visited[mk] = struct{}{}
+		minRsp := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if done&(1<<uint(i)) == 0 && ops[i].Rsp < minRsp {
+				minRsp = ops[i].Rsp
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			o := ops[i]
+			if o.Inv > minRsp {
+				continue
+			}
+			next, legal := apply(st, o)
+			if !legal {
+				continue
+			}
+			dfs(done|1<<uint(i), next)
+		}
+	}
+	for _, st := range starts {
+		dfs(0, st)
+	}
+	out := make([]regState, 0, len(endSet))
+	for st := range endSet {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].present != out[j].present {
+			return !out[i].present
+		}
+		return out[i].val < out[j].val
+	})
+	return out
+}
+
+// apply attempts to linearize o against state st, returning the successor
+// state and whether o's observed result is legal in st.
+func apply(st regState, o Op) (regState, bool) {
+	switch o.Kind {
+	case Put:
+		return regState{present: true, val: o.Val}, true
+	case Delete:
+		if o.OK {
+			if !st.present {
+				return st, false
+			}
+			return regState{}, true
+		}
+		return st, !st.present
+	case Get, ScanObs:
+		if o.OK {
+			return st, st.present && st.val == o.Val
+		}
+		return st, !st.present
+	default:
+		return st, false
+	}
+}

@@ -1,0 +1,205 @@
+package check
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eunomia/internal/htm"
+	"eunomia/internal/tree"
+)
+
+// Mode selects the Recorder's timestamp source.
+type Mode uint8
+
+const (
+	// Virtual timestamps come from each thread's virtual clock (th.P.Now()).
+	// Under the vclock lockstep simulator all procs share one global
+	// timeline, so timestamps are totally ordered and precedence is exact.
+	// Only use Virtual when every recording thread runs under one Sim.
+	Virtual Mode = iota
+	// Wall timestamps are draws from a single shared atomic counter, taken
+	// immediately before invocation and after response. If a responded
+	// (drew its Rsp) before b invoked (drew its Inv), then a really did
+	// complete before b started, so Rsp(a) < Inv(b) is a sound real-time
+	// precedence for goroutines running on the actual host scheduler.
+	Wall
+)
+
+// Recorder wraps any tree.KV and records a complete invocation/response
+// history suitable for Check. It implements tree.KV itself, so workloads
+// run unchanged against it.
+//
+// Range scans are decomposed into per-key observations: the underlying
+// trees guarantee per-leaf-atomic (hence per-key-atomic) scans, so each
+// visited key becomes a present observation, and — when a universe of
+// checked keys is declared via SetUniverse — every universe key inside the
+// range the scan definitely covered becomes an absent observation. All
+// observations share the scan's [Inv, Rsp] window.
+type Recorder struct {
+	inner tree.KV
+	mode  Mode
+
+	wall atomic.Uint64
+
+	mu       sync.Mutex
+	ops      []Op
+	universe []uint64 // sorted checked keys, for scan absent-observations
+	initial  map[uint64]uint64
+}
+
+// NewRecorder wraps kv. The zero history starts empty with no initial state.
+func NewRecorder(kv tree.KV, mode Mode) *Recorder {
+	return &Recorder{inner: kv, mode: mode}
+}
+
+// SetUniverse declares the checked-key universe (need not be sorted). Scans
+// use it to derive absent observations; keys outside the universe are still
+// recorded when visited but never generate absence claims.
+func (r *Recorder) SetUniverse(keys []uint64) {
+	u := append([]uint64(nil), keys...)
+	sortU64(u)
+	r.mu.Lock()
+	r.universe = u
+	r.mu.Unlock()
+}
+
+// SetInitial declares the pre-recording state of key (e.g. a preload done
+// before recording began). Checker timestamps only cover the recorded
+// window, so seeding initial state here avoids mixing clock domains.
+func (r *Recorder) SetInitial(key, val uint64) {
+	r.mu.Lock()
+	if r.initial == nil {
+		r.initial = map[uint64]uint64{}
+	}
+	r.initial[key] = val
+	r.mu.Unlock()
+}
+
+// History snapshots the recorded history.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := History{Ops: append([]Op(nil), r.ops...)}
+	if r.initial != nil {
+		h.Initial = make(map[uint64]uint64, len(r.initial))
+		for k, v := range r.initial {
+			h.Initial[k] = v
+		}
+	}
+	return h
+}
+
+// Reset clears recorded operations (keeps universe and initial state).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.ops = r.ops[:0]
+	r.mu.Unlock()
+}
+
+// Name implements tree.KV.
+func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
+
+// stamp draws a timestamp in the configured mode.
+func (r *Recorder) stamp(th *htm.Thread) uint64 {
+	if r.mode == Virtual {
+		return th.P.Now()
+	}
+	return r.wall.Add(1)
+}
+
+func (r *Recorder) record(ops ...Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, ops...)
+	r.mu.Unlock()
+}
+
+// Get implements tree.KV.
+func (r *Recorder) Get(th *htm.Thread, key uint64) (uint64, bool) {
+	inv := r.stamp(th)
+	v, ok := r.inner.Get(th, key)
+	rsp := r.stamp(th)
+	r.record(Op{Kind: Get, Key: key, Val: v, OK: ok, Inv: inv, Rsp: rsp, Proc: th.P.ID()})
+	return v, ok
+}
+
+// Put implements tree.KV.
+func (r *Recorder) Put(th *htm.Thread, key, val uint64) {
+	inv := r.stamp(th)
+	r.inner.Put(th, key, val)
+	rsp := r.stamp(th)
+	r.record(Op{Kind: Put, Key: key, Val: val, OK: true, Inv: inv, Rsp: rsp, Proc: th.P.ID()})
+}
+
+// Delete implements tree.KV.
+func (r *Recorder) Delete(th *htm.Thread, key uint64) bool {
+	inv := r.stamp(th)
+	ok := r.inner.Delete(th, key)
+	rsp := r.stamp(th)
+	r.record(Op{Kind: Delete, Key: key, OK: ok, Inv: inv, Rsp: rsp, Proc: th.P.ID()})
+	return ok
+}
+
+// Scan implements tree.KV. Each visited key is recorded as a present
+// observation. Absent observations are derived for universe keys in
+// [from, bound] that the scan skipped, where bound is the last visited key
+// when the scan stopped early (caller returned false, or max results
+// reached) and unbounded otherwise: an early-stopped scan has only
+// definitely covered up to its last visit, while a scan that ran out of
+// tree has covered the whole remaining keyspace.
+func (r *Recorder) Scan(th *htm.Thread, from uint64, max int, fn func(key, val uint64) bool) int {
+	if max <= 0 {
+		return r.inner.Scan(th, from, max, fn)
+	}
+	type visit struct{ key, val uint64 }
+	var visited []visit
+	stopped := false
+	inv := r.stamp(th)
+	n := r.inner.Scan(th, from, max, func(key, val uint64) bool {
+		visited = append(visited, visit{key, val})
+		if !fn(key, val) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	rsp := r.stamp(th)
+	proc := th.P.ID()
+
+	ops := make([]Op, 0, len(visited))
+	for _, v := range visited {
+		ops = append(ops, Op{Kind: ScanObs, Key: v.key, Val: v.val, OK: true, Inv: inv, Rsp: rsp, Proc: proc})
+	}
+
+	bound := ^uint64(0)
+	if stopped || n == max {
+		if len(visited) == 0 {
+			// Unreachable in practice: a scan only stops early after at
+			// least one visit (max > 0 here). Claim no coverage.
+			r.record(ops...)
+			return n
+		}
+		bound = visited[len(visited)-1].key
+	}
+	r.mu.Lock()
+	seen := map[uint64]struct{}{}
+	for _, v := range visited {
+		seen[v.key] = struct{}{}
+	}
+	for _, k := range r.universe {
+		if k < from || k > bound {
+			continue
+		}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		ops = append(ops, Op{Kind: ScanObs, Key: k, OK: false, Inv: inv, Rsp: rsp, Proc: proc})
+	}
+	r.ops = append(r.ops, ops...)
+	r.mu.Unlock()
+	return n
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

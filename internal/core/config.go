@@ -81,6 +81,12 @@ type Config struct {
 	// re-balance when the number of delete operations exceeds a
 	// threshold"). 0 keeps the default.
 	RebalanceThreshold uint64
+
+	// DisableSeqnoCheck deliberately breaks the tree by skipping the lower
+	// region's sequence-number re-validation. It exists solely as the
+	// mutation self-test for the linearizability checker (internal/check):
+	// the checker must reject this configuration. Never set it otherwise.
+	DisableSeqnoCheck bool
 }
 
 // DefaultConfig is the full Euno-B+Tree ("+Adaptive" column of Figure 13):

@@ -181,9 +181,21 @@ func (t *Tree) homeSeg(key uint64) int {
 	return int(x % uint64(t.cfg.Segments))
 }
 
+// seqnoValid is the lower region's re-validation of the sampled sequence
+// number — the load-bearing check of the whole split-region protocol. The
+// DisableSeqnoCheck escape hatch exists only for the checker's mutation
+// self-test (a checker that cannot reject a known-broken tree proves
+// nothing); it must never be set outside tests.
+func (t *Tree) seqnoValid(tx *htm.Tx, leaf simmem.Addr, s0 uint64) bool {
+	if t.cfg.DisableSeqnoCheck {
+		return true
+	}
+	return tx.Load(leaf+offSeqno) == s0
+}
+
 // leafGet searches the leaf inside the lower region.
 func (t *Tree) leafGet(tx *htm.Tx, leaf simmem.Addr, s0, key uint64) (outcome, uint64) {
-	if tx.Load(leaf+offSeqno) != s0 {
+	if !t.seqnoValid(tx, leaf, s0) {
 		return oMismatch, 0
 	}
 	t.prefetchLeaf(tx, leaf)
@@ -214,7 +226,7 @@ func (t *Tree) leafGet(tx *htm.Tx, leaf simmem.Addr, s0, key uint64) (outcome, u
 // only after the commit would open a window in which the absent-key fast
 // path misses a committed record. Updates never need the mark.
 func (t *Tree) leafPut(tx *htm.Tx, leaf simmem.Addr, s0, key, val uint64, randomSched bool, rnd *vclock.Rand, needMark bool) outcome {
-	if tx.Load(leaf+offSeqno) != s0 {
+	if !t.seqnoValid(tx, leaf, s0) {
 		return oMismatch
 	}
 	t.prefetchLeaf(tx, leaf)
@@ -316,7 +328,7 @@ func (t *Tree) leafPut(tx *htm.Tx, leaf simmem.Addr, s0, key, val uint64, random
 // delete that pushes the leaf past the rebalance threshold triggers one
 // (see Tree.Delete). tombstoned reports whether a stable entry was marked.
 func (t *Tree) leafDelete(tx *htm.Tx, leaf simmem.Addr, s0, key uint64) (out outcome, tombstoned bool) {
-	if tx.Load(leaf+offSeqno) != s0 {
+	if !t.seqnoValid(tx, leaf, s0) {
 		return oMismatch, false
 	}
 	t.prefetchLeaf(tx, leaf)
@@ -497,6 +509,9 @@ func (t *Tree) leafMaintBody(tx *htm.Tx, leaf simmem.Addr, s0, key, val uint64, 
 	if found != leaf {
 		return oMismatch
 	}
+	// Structural modification begins: an injected abort here must discard
+	// the half-built split wholesale.
+	tx.Fault(htm.FaultMidSplit)
 	half := len(recs) / 2
 	right := t.newLeafTx(tx)
 	t.writeStable(tx, leaf, recs[:half])

@@ -173,6 +173,9 @@ func (t *Tree) ccmGate(th *htm.Thread, ccm simmem.Addr) (useLock, useMark bool) 
 func (t *Tree) Get(th *htm.Thread, key uint64) (uint64, bool) {
 	for {
 		leaf, s0 := t.upper(th, key)
+		// The stitch: between here and the lower region the leaf may split,
+		// compact, or fill — correctness rests on the seqno re-validation.
+		th.Fault(htm.FaultStitch)
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, useMark := t.ccmGate(th, ccm)
@@ -188,6 +191,7 @@ func (t *Tree) Get(th *htm.Thread, key uint64) (uint64, bool) {
 			continue
 		}
 		if useLock {
+			th.Fault(htm.FaultCCM)
 			t.lockSlot(th.P, ccm, slot)
 		}
 		var out outcome
@@ -219,6 +223,7 @@ func (t *Tree) Put(th *htm.Thread, key, val uint64) {
 	}
 	for {
 		leaf, s0 := t.upper(th, key)
+		th.Fault(htm.FaultStitch)
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, _ := t.ccmGate(th, ccm)
@@ -230,10 +235,12 @@ func (t *Tree) Put(th *htm.Thread, key, val uint64) {
 		// region (oNeedMark) and re-run after pre-incrementing.
 		preMarked := false
 		if t.cfg.CCMMarkBits && t.markCount(th.P, ccm, slot) == 0 {
+			th.Fault(htm.FaultCCM)
 			t.markAdd(th.P, ccm, slot, +1)
 			preMarked = true
 		}
 		if useLock {
+			th.Fault(htm.FaultCCM)
 			t.lockSlot(th.P, ccm, slot)
 		}
 		var out outcome
@@ -287,6 +294,7 @@ func (t *Tree) Put(th *htm.Thread, key, val uint64) {
 func (t *Tree) Delete(th *htm.Thread, key uint64) bool {
 	for {
 		leaf, s0 := t.upper(th, key)
+		th.Fault(htm.FaultStitch)
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, useMark := t.ccmGate(th, ccm)
@@ -299,6 +307,7 @@ func (t *Tree) Delete(th *htm.Thread, key uint64) bool {
 			continue
 		}
 		if useLock {
+			th.Fault(htm.FaultCCM)
 			t.lockSlot(th.P, ccm, slot)
 		}
 		var out outcome
@@ -308,6 +317,7 @@ func (t *Tree) Delete(th *htm.Thread, key uint64) bool {
 			out, tombstoned = t.leafDelete(tx, leaf, s0, key)
 		})
 		if out == oFound && t.cfg.CCMMarkBits {
+			th.Fault(htm.FaultCCM)
 			t.markAdd(th.P, ccm, slot, -1)
 		}
 		if tombstoned &&

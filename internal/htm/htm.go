@@ -103,6 +103,7 @@ type HTM struct {
 	arena    *simmem.Arena
 	cfg      Config
 	fallback simmem.Addr // global elision lock word, on its own line
+	fi       *FaultInjector
 }
 
 // New creates an HTM emulator over the arena.

@@ -94,6 +94,10 @@ type Thread struct {
 	Rand  *vclock.Rand
 	Stats Stats
 	tx    Tx
+	// pendingAbort is set by fault injection at a non-transactional point
+	// (see Thread.Fault): the next attempt aborts at begin, modeling an
+	// asynchronous abort landing in the window between HTM regions.
+	pendingAbort bool
 }
 
 // NewThread creates a worker handle executing on proc p.
@@ -129,6 +133,10 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 				reason = ab.reason
 			}
 		}()
+		if t.pendingAbort {
+			t.pendingAbort = false
+			tx.abort(AbortExplicit, 0, faultAbortCode)
+		}
 		// Subscribe to the fallback lock: reading it into the read set
 		// guarantees this attempt cannot commit concurrently with a
 		// lock-holder (lock elision).
@@ -157,6 +165,17 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 // identical semantics on both paths (in fallback mode its Tx routes
 // operations directly to memory under the lock).
 func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
+	if fi := t.H.fi; fi != nil && fi.at(FaultFallback) {
+		switch fi.spec.Action {
+		case ActFallback:
+			t.RunFallback(body)
+			return
+		case ActYield:
+			t.P.Tick(yieldCost)
+		case ActAbort:
+			t.pendingAbort = true
+		}
+	}
 	conflicts, caps, expl, busy := 0, 0, 0, 0
 	if pol.LockBusy <= 0 {
 		pol.LockBusy = DefaultPolicy.LockBusy

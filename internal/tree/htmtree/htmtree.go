@@ -182,6 +182,7 @@ func (t *Tree) Put(th *htm.Thread, key, val uint64) {
 			return
 		}
 		if int(tx.Load(leaf+offCount)) == t.fanout {
+			tx.Fault(htm.FaultMidSplit)
 			right, sep := t.splitLeaf(tx, leaf)
 			t.insertUp(tx, path, sep, right)
 			if key >= sep {

@@ -131,6 +131,16 @@ func (m mem) load(addr simmem.Addr) uint64 {
 	return m.t.a.LoadWord(m.p, addr)
 }
 
+// fault marks a fault point in whichever mode the operation is running:
+// transactional points can be aborted, direct-mode points can only yield.
+func (m mem) fault(pt htm.FaultPoint) {
+	if m.tx != nil {
+		m.tx.Fault(pt)
+		return
+	}
+	m.t.h.FaultProc(m.p, pt)
+}
+
 // store writes a word. Direct-mode callers must hold the covering node
 // lock (or own the node exclusively); the owned store advances the line
 // version so other cores' cached copies are invalidated.
@@ -422,6 +432,7 @@ func (t *Tree) splitInsert(m mem, nodes []simmem.Addr, vers []uint64, leaf simme
 		m.unlockPlain(leaf, leafVer)
 		return false
 	}
+	m.fault(htm.FaultMidSplit)
 	type held struct {
 		node simmem.Addr
 		ver  uint64

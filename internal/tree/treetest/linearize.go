@@ -1,133 +1,149 @@
 package treetest
 
 import (
-	"fmt"
-	"sort"
+	"sync"
 	"testing"
 
+	"eunomia/internal/check"
+	"eunomia/internal/htm"
 	"eunomia/internal/vclock"
 )
 
-// Linearizability checking.
-//
-// In simulated mode every proc's clock is a point on one global virtual
-// timeline, so operation invocation/response windows from different procs
-// are directly comparable. We record per-key register histories (each
-// write carries a globally unique value) and apply sound precedence rules
-// — any violation is a genuine linearizability bug, though the check is
-// deliberately incomplete (full register-history checking is costlier and
-// unnecessary to catch the bugs that matter here):
-//
-//  1. a read must not return a value whose write had not been invoked
-//     before the read responded;
-//  2. a read must not return a value v when another write to the key
-//     completed strictly after write(v) completed and strictly before the
-//     read was invoked (definitely-overwritten);
-//  3. once any write to a key has completed, later reads must not report
-//     the key absent (the workload performs no deletes on checked keys).
+// Linearizability checking is delegated to internal/check: a complete
+// per-key WGL checker over get/put/delete/scan histories, a deterministic
+// schedule-exploration sweep over the lockstep scheduler, and fault
+// injection at the named protocol points. This file adapts the kit's
+// Factory to that subsystem and sets the per-tree budgets.
 
-type opRecord struct {
-	key      uint64
-	write    bool
-	val      uint64 // value written, or value read (^0 = absent read)
-	inv, rsp uint64 // virtual timestamps
+// sweepSeeds returns the exploration seed budget: 64 seeds in -short mode
+// (the tier-1 floor) and a deeper sweep otherwise.
+func sweepSeeds() int {
+	if testing.Short() {
+		return 64
+	}
+	return 128
 }
 
-const absentVal = ^uint64(0)
-
-// checkKeyHistory applies the precedence rules to one key's history.
-func checkKeyHistory(key uint64, ops []opRecord) error {
-	var writes []opRecord
-	for _, o := range ops {
-		if o.write {
-			writes = append(writes, o)
-		}
+// runLinearizabilitySweep explores seeded schedules (slack and fault
+// variants per seed) in virtual time and checks every recorded history
+// with the complete checker. A failure prints a shrunk one-command repro.
+func runLinearizabilitySweep(t *testing.T, mk Factory) {
+	name := treeName(mk)
+	histories, fail := check.Sweep(name, check.Factory(mk), check.DefaultSweep(sweepSeeds()))
+	if fail != nil {
+		t.Fatal(fail)
 	}
-	byVal := make(map[uint64]opRecord, len(writes))
-	for _, w := range writes {
-		byVal[w.val] = w
-	}
-	for _, o := range ops {
-		if o.write {
-			continue
-		}
-		if o.val == absentVal {
-			for _, w := range writes {
-				if w.rsp < o.inv {
-					return fmt.Errorf("key %d: read at [%d,%d] found nothing after write(%d) completed at %d",
-						key, o.inv, o.rsp, w.val, w.rsp)
-				}
-			}
-			continue
-		}
-		w, ok := byVal[o.val]
-		if !ok {
-			return fmt.Errorf("key %d: read returned value %d that was never written", key, o.val)
-		}
-		if w.inv > o.rsp {
-			return fmt.Errorf("key %d: read at [%d,%d] returned value written at [%d,%d] (from the future)",
-				key, o.inv, o.rsp, w.inv, w.rsp)
-		}
-		for _, w2 := range writes {
-			if w2.val != w.val && w2.inv > w.rsp && w2.rsp < o.inv {
-				return fmt.Errorf("key %d: read at [%d,%d] returned %d, definitely overwritten by %d at [%d,%d]",
-					key, o.inv, o.rsp, o.val, w2.val, w2.inv, w2.rsp)
-			}
-		}
-	}
-	return nil
+	t.Logf("%s: %d histories linearizable", name, histories)
 }
 
-// runLinearizabilitySim drives concurrent reads/writes over a hot key set
-// in virtual time and checks every per-key history.
-func runLinearizabilitySim(t *testing.T, mk Factory) {
-	h, _ := NewDevice(1 << 24)
-	boot := h.NewThread(vclock.NewWallProc(0, 0), 1)
+// runLinearizabilityWall records a wall-clock (host-scheduler) history via
+// the shared-counter timestamp mode and checks it. Nondeterministic, so it
+// complements rather than replaces the sweep.
+func runLinearizabilityWall(t *testing.T, mk Factory) {
+	h, boot := NewDevice(1 << 22)
 	kv := mk(h, boot)
-	const procs, opsEach, hotKeys = 8, 400, 12
-
-	// Ops are appended by whichever proc holds the simulation token, so no
-	// locking is needed and the order is deterministic.
-	history := make([]opRecord, 0, procs*opsEach)
-	seq := uint64(0)
-	sim := vclock.NewSim(procs, 0)
-	sim.Run(func(p *vclock.SimProc) {
-		th := h.NewThread(p, uint64(p.ID())+23)
-		r := vclock.NewRand(uint64(p.ID()) + 91)
-		for i := 0; i < opsEach; i++ {
-			key := uint64(r.Intn(hotKeys)) + 1
-			if r.Intn(2) == 0 {
-				seq++
-				val := seq<<8 | uint64(p.ID())
-				inv := p.Now()
-				kv.Put(th, key, val)
-				history = append(history, opRecord{key: key, write: true, val: val, inv: inv, rsp: p.Now()})
-			} else {
-				inv := p.Now()
-				v, ok := kv.Get(th, key)
-				if !ok {
-					v = absentVal
+	rec := check.NewRecorder(kv, check.Wall)
+	universe := make([]uint64, 10)
+	for i := range universe {
+		universe[i] = uint64(i)*7 + 3
+	}
+	rec.SetUniverse(universe)
+	for i := 0; i < len(universe); i += 2 {
+		k := universe[i]
+		v := k<<20 | 0xF0000
+		kv.Put(boot, k, v)
+		rec.SetInitial(k, v)
+	}
+	workers, iters := 4, 250
+	if testing.Short() {
+		iters = 60
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := h.NewThread(vclock.NewWallProc(w+1, 32), uint64(w)+13)
+			r := vclock.NewRand(uint64(w) + 101)
+			for i := 0; i < iters; i++ {
+				k := universe[r.Intn(len(universe))]
+				val := k<<20 | uint64(w)<<16 | uint64(i)
+				switch r.Intn(10) {
+				case 0, 1, 2:
+					rec.Put(th, k, val)
+				case 3, 4:
+					rec.Delete(th, k)
+				case 5:
+					rec.Scan(th, k, 3, func(_, _ uint64) bool { return true })
+				default:
+					rec.Get(th, k)
 				}
-				history = append(history, opRecord{key: key, val: v, inv: inv, rsp: p.Now()})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := check.Check(rec.History()); err != nil {
+		t.Fatalf("wall-clock history rejected:\n%v", err)
+	}
+}
+
+// faultWorkload is put-heavy over a wide universe so every tree splits
+// during the run (mid-split coverage needs actual splits).
+func faultWorkload(seed uint64) check.Workload {
+	return check.Workload{
+		Procs: 3, Ops: 80, Keys: 48,
+		GetPct: 20, PutPct: 60, DelPct: 15, ScanPct: 5,
+		Preload: true, Seed: seed,
+	}
+}
+
+// runFaultInjection arms every fault point/action combination in turn and
+// requires (a) the history stays linearizable, and (b) any point the tree
+// visits actually fires (Nth=1). Mid-split coverage is asserted for every
+// tree: the workload forces splits. Points a tree never reaches (e.g. the
+// stitch on monolithic-HTM trees, Execute entry on the lock-based
+// masstree) are exempt — the Euno-specific all-points assertion lives in
+// internal/check/trees.
+func runFaultInjection(t *testing.T, mk Factory) {
+	name := treeName(mk)
+	specs := []htm.FaultSpec{
+		{Point: htm.FaultStitch, Action: htm.ActYield, Nth: 1},
+		{Point: htm.FaultStitch, Action: htm.ActAbort, Nth: 2},
+		{Point: htm.FaultMidSplit, Action: htm.ActYield, Nth: 1},
+		{Point: htm.FaultMidSplit, Action: htm.ActAbort, Nth: 2},
+		{Point: htm.FaultCCM, Action: htm.ActYield, Nth: 1},
+		{Point: htm.FaultCCM, Action: htm.ActAbort, Nth: 2},
+		{Point: htm.FaultFallback, Action: htm.ActFallback, Nth: 3},
+	}
+	seeds := 3
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, spec := range specs {
+		sawMidSplit := false
+		for seed := 0; seed < seeds; seed++ {
+			_, fi, err := check.RunWorkload(check.Factory(mk), faultWorkload(uint64(seed)), spec)
+			if err != nil {
+				t.Fatalf("%s under fault %s seed %d:\n%v", name, spec, seed, err)
+			}
+			// The counter is monotonic, so reaching Nth visits guarantees
+			// the Nth-visit trigger fired at least once.
+			if fi.Visits(spec.Point) >= spec.Nth && fi.Hits(spec.Point) == 0 {
+				t.Fatalf("%s: fault %s visited %d times but never fired", name, spec, fi.Visits(spec.Point))
+			}
+			if fi.Visits(htm.FaultMidSplit) > 0 {
+				sawMidSplit = true
 			}
 		}
-	})
-
-	perKey := map[uint64][]opRecord{}
-	for _, o := range history {
-		perKey[o.key] = append(perKey[o.key], o)
-	}
-	keys := make([]uint64, 0, len(perKey))
-	for k := range perKey {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		if err := checkKeyHistory(k, perKey[k]); err != nil {
-			t.Fatal(err)
+		if spec.Point == htm.FaultMidSplit && spec.Action == htm.ActYield && !sawMidSplit {
+			t.Fatalf("%s: workload produced no splits; mid-split fault point untested", name)
 		}
 	}
-	if len(history) != procs*opsEach {
-		t.Fatalf("recorded %d ops, want %d", len(history), procs*opsEach)
-	}
+}
+
+// treeName builds a throwaway instance to learn the tree's name for repro
+// lines and logs.
+func treeName(mk Factory) string {
+	h, boot := NewDevice(1 << 18)
+	return mk(h, boot).Name()
 }

@@ -40,7 +40,9 @@ func RunAll(t *testing.T, mk Factory) {
 	t.Run("ConcurrentSharedWall", func(t *testing.T) { runConcurrentShared(t, mk) })
 	t.Run("ConcurrentSim", func(t *testing.T) { runConcurrentSim(t, mk) })
 	t.Run("ConcurrentMixedOpsSim", func(t *testing.T) { runConcurrentMixedSim(t, mk) })
-	t.Run("LinearizabilitySim", func(t *testing.T) { runLinearizabilitySim(t, mk) })
+	t.Run("LinearizabilitySweep", func(t *testing.T) { runLinearizabilitySweep(t, mk) })
+	t.Run("LinearizabilityWall", func(t *testing.T) { runLinearizabilityWall(t, mk) })
+	t.Run("FaultInjection", func(t *testing.T) { runFaultInjection(t, mk) })
 }
 
 func runEmpty(t *testing.T, mk Factory) {
@@ -257,14 +259,18 @@ func runConcurrentDisjoint(t *testing.T, mk Factory) {
 	// present with its exact value afterwards (no lost splits/updates).
 	h, boot := NewDevice(1 << 24)
 	kv := mk(h, boot)
-	const workers, per = 8, 400
+	const workers = 8
+	per := uint64(400)
+	if testing.Short() {
+		per = 100 // keep -race -short runs inside CI time budgets
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			th := h.NewThread(vclock.NewWallProc(w+1, 64), uint64(w)+2)
-			base := uint64(w*per) + 1
+			base := uint64(w)*per + 1
 			for i := uint64(0); i < per; i++ {
 				kv.Put(th, base+i, (base+i)*2)
 			}
@@ -283,7 +289,11 @@ func runConcurrentShared(t *testing.T, mk Factory) {
 	// ever observe values some worker actually wrote.
 	h, boot := NewDevice(1 << 24)
 	kv := mk(h, boot)
-	const workers, ops, hot = 6, 500, 16
+	const workers, hot = 6, 16
+	ops := 500
+	if testing.Short() {
+		ops = 125 // keep -race -short runs inside CI time budgets
+	}
 	for k := uint64(1); k <= hot; k++ {
 		kv.Put(boot, k, 1<<40)
 	}

@@ -1,11 +1,15 @@
 #!/bin/sh
 # Pre-merge verification: vet + build everything, then run the race
-# detector over the emulator and memory substrate. The per-Tx hash indexes
-# in internal/htm are single-owner by design; the race detector over these
-# two packages is the cheapest guard that an emulator change didn't
-# introduce unsynchronized shared state.
+# detector over the emulator and memory substrate (full suite — the per-Tx
+# hash indexes in internal/htm are single-owner by design, and the race
+# detector over them is the cheapest guard that an emulator change didn't
+# introduce unsynchronized shared state), plus a -short race pass over the
+# tree implementations and the harness. The short pass includes the
+# wall-clock linearizability recordings, which are exactly the code paths
+# where an unsynchronized tree would race.
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./internal/htm/ ./internal/simmem/
+go test -race -short ./internal/core/ ./internal/tree/... ./internal/harness/
