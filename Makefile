@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check ci bench-emulator bench-emulator-json bench figures
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench figures
 
 test:
 	go build ./... && go test ./...
@@ -17,9 +17,14 @@ verify:
 check:
 	go test -short ./internal/check/...
 
-# ci: what .github/workflows/ci.yml runs — tier-1, verify, and the short
-# correctness suite.
-ci: test verify check
+# golden: the bit-identical-figures guard — the opt-in resilience layer
+# must not move the paper-faithful default figures by a single cycle.
+golden:
+	./scripts/golden.sh
+
+# ci: what .github/workflows/ci.yml runs — tier-1, verify, the short
+# correctness suite, and the golden-figures guard.
+ci: test verify check golden
 
 # bench-emulator: host-speed micro-benchmarks of the HTM emulator's
 # Load/Store/commit paths, 5 repetitions for benchstat-able output.

@@ -33,11 +33,16 @@ var (
 	quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart   = flag.Bool("chart", false, "also render series figures as ASCII charts")
+	// resilience flips every harness run onto the hardened retry policy
+	// (backoff, lemming-wait, watchdog, queued fallback, storm detector).
+	// Figures measured with it on are no longer the paper's fragile
+	// baseline — that is the point of the comparison.
+	resilience = flag.Bool("resilience", false, "enable the abort-storm resilience layer for all runs")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +65,7 @@ func main() {
 		"adjacency": adjacency,
 		"validate":  validateCmd,
 		"hostbench": hostbenchCmd,
+		"storm":     stormCmd,
 	}
 	name := strings.ToLower(flag.Arg(0))
 	stopCPU := startCPUProfile()
@@ -122,6 +128,7 @@ func baseCfg(kind harness.TreeKind) harness.Config {
 		Mix:          workload.DefaultMix,
 		OpsPerThread: *ops,
 		Seed:         *seed,
+		Resilience:   *resilience,
 	}
 }
 

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+
+	"eunomia/internal/harness"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/simmem"
+	"eunomia/internal/vclock"
+)
+
+// stormCmd — Extension: the "lock hog + abort storm" robustness scenario.
+//
+// One thread hogs the global fallback lock with long non-transactional
+// critical sections (a stand-in for a GC pause, page fault, or oversized
+// fallback body) while the remaining threads hammer a handful of shared
+// cache lines. Under the paper-faithful fragile policy this is the worst
+// case the baseline collapses on: every attempt that begins while the lock
+// is held burns a real abort (lemming effect), conflict retries fire
+// immediately with no backoff, and the spin-CAS lock hands the device back
+// to whoever's CAS lands first. With the resilience layer on, the same
+// schedule runs with randomized exponential backoff, lemming-wait, a fair
+// ticket fallback lock, the abort-storm detector's graceful degradation,
+// and the per-operation watchdog bounding every Execute's attempts.
+//
+// The table reports victim-side throughput, latency percentiles, the
+// largest attempt count any single Execute needed (the starvation metric:
+// with resilience on it must stay within the watchdog budget), the number
+// of executions that exceeded that budget, and the wasted-cycle fraction.
+func stormCmd() {
+	budget := htm.DefaultResilience().AttemptBudget
+	tbl := harness.Table{
+		Title: fmt.Sprintf("Extension: lock hog + abort storm (%d victims + 1 hog; starvation budget = %d attempts)",
+			stormVictims, budget),
+		Header: []string{"config", "ops/s(victims)", "p50(cyc)", "p99(cyc)", "max(cyc)",
+			"max-attempts", "over-budget", "wasted%", "fallbacks", "watchdog", "degraded", "storms", "backoff-cyc", "recovered"},
+	}
+	for _, resilient := range []bool{false, true} {
+		name := "fragile (paper default)"
+		if resilient {
+			name = "resilient"
+		}
+		r := runStorm(resilient)
+		tbl.AddRow(name,
+			metrics.FormatOps(r.throughput),
+			fmt.Sprint(r.lat.Quantile(0.5)),
+			fmt.Sprint(r.lat.Quantile(0.99)),
+			fmt.Sprint(r.lat.Max()),
+			fmt.Sprint(r.maxAttempts),
+			fmt.Sprint(r.overBudget),
+			harness.F1(r.wastedPct),
+			fmt.Sprint(r.stats.Fallbacks),
+			fmt.Sprint(r.stats.WatchdogTrips),
+			fmt.Sprint(r.stats.DegradationEvents),
+			fmt.Sprint(r.stormEvents),
+			fmt.Sprint(r.stats.BackoffCycles),
+			r.recovered)
+	}
+	emit(&tbl)
+}
+
+const (
+	stormVictims   = 15
+	stormHogHolds  = 60
+	stormHoldCost  = 30_000 // cycles the hog keeps the fallback lock per hold
+	stormHotOps    = 400    // contended ops per victim while the storm rages
+	stormCalmOps   = 200    // per-victim cool-down ops on private lines
+	stormHotLines  = 4      // shared lines every hot op touches
+	stormArenaSize = 1 << 18
+)
+
+type stormResult struct {
+	throughput  float64
+	lat         metrics.Histogram
+	maxAttempts uint64
+	overBudget  uint64 // Executes needing more attempts than the watchdog budget
+	wastedPct   float64
+	stats       htm.Stats
+	stormEvents uint64
+	recovered   string
+}
+
+// runStorm plays the deterministic virtual-time scenario once.
+func runStorm(resilient bool) stormResult {
+	arena := simmem.NewArena(stormArenaSize)
+	hcfg := htm.DefaultConfig
+	pol := htm.DefaultPolicy
+	if resilient {
+		r := htm.DefaultResilience()
+		hcfg = r.DeviceConfig(hcfg)
+		pol = r.Apply(pol)
+	}
+	h := htm.New(arena, hcfg)
+	boot := vclock.NewWallProc(0, 0)
+	hot := arena.AllocAligned(boot, stormHotLines*simmem.WordsPerLine, simmem.TagKeys)
+	private := arena.AllocAligned(boot, (stormVictims+1)*simmem.WordsPerLine, simmem.TagKeys)
+	budget := uint64(htm.DefaultResilience().AttemptBudget)
+
+	threads := stormVictims + 1
+	sim := vclock.NewSim(threads, 0)
+	stats := make([]htm.Stats, threads)
+	hists := make([]metrics.Histogram, threads)
+	maxAtt := make([]uint64, threads)
+	over := make([]uint64, threads)
+	var victimOps uint64
+	sim.Run(func(p *vclock.SimProc) {
+		th := h.NewThread(p, uint64(p.ID())*7919+13)
+		if p.ID() == 0 {
+			// The hog: repeatedly seize the fallback lock and sit on it.
+			for i := 0; i < stormHogHolds; i++ {
+				th.RunFallback(func(tx *htm.Tx) {
+					tx.Store(hot, tx.Load(hot)+1)
+					tx.Proc().Tick(stormHoldCost)
+				})
+			}
+		} else {
+			id := p.ID()
+			mine := private + simmem.Addr(id*simmem.WordsPerLine)
+			for i := 0; i < stormHotOps+stormCalmOps; i++ {
+				calm := i >= stormHotOps
+				before := th.Stats.Attempts
+				start := p.Now()
+				th.Execute(pol, func(tx *htm.Tx) {
+					if calm {
+						// Cool-down phase: private lines, no conflicts —
+						// the storm detector must disengage on this diet.
+						tx.Store(mine, tx.Load(mine)+1)
+						return
+					}
+					for l := 0; l < stormHotLines; l++ {
+						addr := hot + simmem.Addr(l*simmem.WordsPerLine)
+						tx.Store(addr, tx.Load(addr)+1)
+					}
+				})
+				hists[id].Observe(p.Now() - start)
+				att := th.Stats.Attempts - before
+				if att > maxAtt[id] {
+					maxAtt[id] = att
+				}
+				if att > budget {
+					over[id]++
+				}
+			}
+		}
+		stats[p.ID()] = th.Stats
+	})
+
+	res := stormResult{stormEvents: h.StormEvents()}
+	var totalCycles uint64
+	for _, p := range sim.Procs() {
+		totalCycles += p.Now()
+	}
+	for i := range stats {
+		res.stats.Merge(&stats[i])
+		if i > 0 {
+			res.lat.Merge(&hists[i])
+			if maxAtt[i] > res.maxAttempts {
+				res.maxAttempts = maxAtt[i]
+			}
+			res.overBudget += over[i]
+		}
+	}
+	victimOps = uint64(stormVictims * (stormHotOps + stormCalmOps))
+	seconds := float64(sim.MaxClock()) / vclock.CyclesPerSecond
+	if seconds > 0 {
+		res.throughput = float64(victimOps) / seconds
+	}
+	if totalCycles > 0 {
+		res.wastedPct = 100 * float64(res.stats.WastedCycles) / float64(totalCycles)
+	}
+	switch {
+	case !resilient:
+		res.recovered = "n/a"
+	case h.Degraded():
+		res.recovered = "NO"
+	default:
+		res.recovered = "yes"
+	}
+	return res
+}

@@ -105,6 +105,13 @@ type Options struct {
 	// threads every N charged cycles; 0 disables. It matters only when
 	// running more worker goroutines than host cores.
 	YieldEvery uint64
+	// Resilience enables the abort-storm hardening layer: randomized
+	// exponential backoff, lemming-wait on the held fallback lock, a
+	// per-operation starvation watchdog, a fair queued fallback lock, and
+	// an abort-storm detector with graceful degradation (htm.
+	// DefaultResilience). The default false keeps the paper-faithful
+	// fragile retry behavior the reproduction studies.
+	Resilience bool
 }
 
 // ErrReservedValue is returned by Put for the one value the trees reserve
@@ -133,7 +140,11 @@ func Open(opts Options) (*DB, error) {
 		opts.Fanout = 16
 	}
 	arena := simmem.NewArena(opts.ArenaWords)
-	device := htm.New(arena, htm.DefaultConfig)
+	hcfg := htm.DefaultConfig
+	if opts.Resilience {
+		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
+	}
+	device := htm.New(arena, hcfg)
 	boot := device.NewThread(vclock.NewWallProc(0, 0), 1)
 
 	db := &DB{opts: opts, arena: arena, device: device}
@@ -154,6 +165,9 @@ func Open(opts Options) (*DB, error) {
 		cfg.CCMLockBits = !t.DisableCCMLockBits
 		cfg.CCMMarkBits = !t.DisableCCMMarkBits
 		cfg.Adaptive = !t.DisableAdaptive
+		if opts.Resilience {
+			cfg.Resilience = htm.DefaultResilience()
+		}
 		var err error
 		db.euno, err = newEuno(device, boot, cfg)
 		if err != nil {
@@ -161,9 +175,17 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.kv = db.euno
 	case HTMBTree:
-		db.kv = htmtree.New(device, boot, opts.Fanout)
+		t := htmtree.New(device, boot, opts.Fanout)
+		if opts.Resilience {
+			t.SetPolicy(htm.ResilientPolicy())
+		}
+		db.kv = t
 	case Masstree, HTMMasstree:
-		db.kv = masstree.New(device, boot, opts.Fanout, opts.Kind == HTMMasstree)
+		t := masstree.New(device, boot, opts.Fanout, opts.Kind == HTMMasstree)
+		if opts.Resilience {
+			t.SetPolicy(htm.ResilientPolicy())
+		}
+		db.kv = t
 	default:
 		return nil, fmt.Errorf("eunomia: unknown kind %v", opts.Kind)
 	}
@@ -220,6 +242,12 @@ type Stats struct {
 	Aborts       uint64
 	Fallbacks    uint64
 	WastedCycles uint64
+	// BackoffCycles, DegradationEvents and WatchdogTrips report the
+	// resilience layer's activity (all zero unless Options.Resilience or
+	// a custom hardened policy is in use).
+	BackoffCycles     uint64
+	DegradationEvents uint64
+	WatchdogTrips     uint64
 	// AbortsByReason maps reason names ("conflict-true", "conflict-false",
 	// "conflict-meta", "capacity", "explicit", "fallback-lock") to counts.
 	AbortsByReason map[string]uint64
@@ -228,11 +256,14 @@ type Stats struct {
 // Stats returns the thread's accumulated statistics.
 func (t *Thread) Stats() Stats {
 	s := Stats{
-		Commits:        t.th.Stats.Commits,
-		Aborts:         t.th.Stats.TotalAborts(),
-		Fallbacks:      t.th.Stats.Fallbacks,
-		WastedCycles:   t.th.Stats.WastedCycles,
-		AbortsByReason: map[string]uint64{},
+		Commits:           t.th.Stats.Commits,
+		Aborts:            t.th.Stats.TotalAborts(),
+		Fallbacks:         t.th.Stats.Fallbacks,
+		WastedCycles:      t.th.Stats.WastedCycles,
+		BackoffCycles:     t.th.Stats.BackoffCycles,
+		DegradationEvents: t.th.Stats.DegradationEvents,
+		WatchdogTrips:     t.th.Stats.WatchdogTrips,
+		AbortsByReason:    map[string]uint64{},
 	}
 	for r := htm.AbortReason(1); r < htm.NumAbortReasons; r++ {
 		if n := t.th.Stats.Aborts[r]; n > 0 {
@@ -240,6 +271,24 @@ func (t *Thread) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// ResilienceStats reports device-level resilience state (meaningful only
+// with Options.Resilience).
+type ResilienceStats struct {
+	// Degraded is true while the abort-storm detector is serializing all
+	// executions through the fallback path.
+	Degraded bool
+	// StormEvents counts how many times degradation has engaged.
+	StormEvents uint64
+}
+
+// ResilienceStats returns the current device-level resilience state.
+func (db *DB) ResilienceStats() ResilienceStats {
+	return ResilienceStats{
+		Degraded:    db.device.Degraded(),
+		StormEvents: db.device.StormEvents(),
+	}
 }
 
 // MemoryStats reports the DB's arena footprint.
@@ -294,6 +343,9 @@ func (db *DB) RunVirtual(threads int, body func(t *Thread)) VirtualResult {
 	res.Stats.Aborts = merged.TotalAborts()
 	res.Stats.Fallbacks = merged.Fallbacks
 	res.Stats.WastedCycles = merged.WastedCycles
+	res.Stats.BackoffCycles = merged.BackoffCycles
+	res.Stats.DegradationEvents = merged.DegradationEvents
+	res.Stats.WatchdogTrips = merged.WatchdogTrips
 	for r := htm.AbortReason(1); r < htm.NumAbortReasons; r++ {
 		if n := merged.Aborts[r]; n > 0 {
 			res.Stats.AbortsByReason[r.String()] = n

@@ -33,7 +33,14 @@ import (
 	"eunomia/internal/workload"
 )
 
-var listen = flag.String("listen", "", "address to serve on (empty = run the built-in demo)")
+var (
+	listen     = flag.String("listen", "", "address to serve on (empty = run the built-in demo)")
+	resilience = flag.Bool("resilience", false, "enable the abort-storm hardening layer (backoff, queued fallback, storm detector, watchdog)")
+)
+
+// maxScan bounds one SCAN reply; a request like "SCAN 0 18446744073709551615"
+// must not convert to a negative (or effectively unbounded) iteration count.
+const maxScan = 4096
 
 type server struct {
 	db       *eunomia.DB
@@ -41,9 +48,16 @@ type server struct {
 }
 
 // serveConn handles one client connection; each connection gets its own
-// tree Thread, mirroring a per-connection worker.
+// tree Thread, mirroring a per-connection worker. A panic while serving one
+// client tears down that connection only — the server and every other
+// client keep running.
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("kvserver: connection %s: recovered: %v", conn.RemoteAddr(), r)
+		}
+	}()
 	th := s.db.NewThread()
 	in := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
@@ -88,6 +102,9 @@ func (s *server) serveConn(conn net.Conn) {
 				fmt.Fprintf(out, "ERR %v\n", err)
 				break
 			}
+			if n > maxScan {
+				n = maxScan
+			}
 			th.Scan(from, int(n), func(k, v uint64) bool {
 				fmt.Fprintf(out, "PAIR %d %d\n", k, v)
 				return true
@@ -95,8 +112,10 @@ func (s *server) serveConn(conn net.Conn) {
 			fmt.Fprintln(out, "END")
 		case "STATS":
 			st := th.Stats()
-			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d\n",
-				st.Commits, st.Aborts, st.Fallbacks)
+			rs := s.db.ResilienceStats()
+			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d\n",
+				st.Commits, st.Aborts, st.Fallbacks,
+				st.BackoffCycles, st.DegradationEvents, st.WatchdogTrips, rs.StormEvents)
 		case "QUIT":
 			return
 		default:
@@ -106,6 +125,11 @@ func (s *server) serveConn(conn net.Conn) {
 			out.Flush()
 		}
 		out.Flush()
+	}
+	// A scan error (oversized line, mid-request disconnect) tears this
+	// connection down cleanly; the listener and other clients are unaffected.
+	if err := in.Err(); err != nil {
+		log.Printf("kvserver: connection %s: %v", conn.RemoteAddr(), err)
 	}
 }
 
@@ -140,7 +164,7 @@ func (s *server) run(ln net.Listener) {
 
 func main() {
 	flag.Parse()
-	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128})
+	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"eunomia"
 )
@@ -13,7 +16,13 @@ import (
 // startTestServer brings up the server on a loopback port.
 func startTestServer(t *testing.T) net.Addr {
 	t.Helper()
-	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 20})
+	return startTestServerOpts(t, eunomia.Options{ArenaWords: 1 << 20})
+}
+
+// startTestServerOpts is startTestServer with explicit DB options.
+func startTestServerOpts(t *testing.T, opts eunomia.Options) net.Addr {
+	t.Helper()
+	db, err := eunomia.Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,6 +145,166 @@ func TestConcurrentClients(t *testing.T) {
 	for c := 0; c < clients; c++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// dialServer opens a client connection with a read deadline so a wedged
+// server fails the test instead of hanging it.
+func dialServer(t *testing.T, addr net.Addr) (net.Conn, *bufio.Scanner) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return conn, bufio.NewScanner(conn)
+}
+
+// assertAlive proves the server still accepts and serves new connections.
+func assertAlive(t *testing.T, addr net.Addr) {
+	t.Helper()
+	conn, in := dialServer(t, addr)
+	if got := roundTrip(t, conn, in, "PUT 777 888"); got != "OK" {
+		t.Fatalf("server unhealthy: PUT -> %q", got)
+	}
+	if got := roundTrip(t, conn, in, "GET 777"); got != "VALUE 888" {
+		t.Fatalf("server unhealthy: GET -> %q", got)
+	}
+}
+
+// TestMalformedRequests: every malformed line must draw an ERR reply (or,
+// for unknown verbs, the diagnostic) — never a panic, never a dropped
+// connection, and the server keeps serving afterwards.
+func TestMalformedRequests(t *testing.T) {
+	addr := startTestServer(t)
+	conn, in := dialServer(t, addr)
+
+	cases := []struct{ req, wantPrefix string }{
+		{"GET", "ERR"},
+		{"GET abc", "ERR"},
+		{"GET 99999999999999999999999", "ERR"}, // > MaxUint64
+		{"GET 5 6", "ERR"},                     // arity
+		{"PUT", "ERR"},
+		{"PUT 1", "ERR"},
+		{"PUT 1 2 3", "ERR"},
+		{"PUT -1 5", "ERR"},
+		{"DEL", "ERR"},
+		{"DEL 18446744073709551616", "ERR"}, // MaxUint64+1
+		{"SCAN 1", "ERR"},
+		{"SCAN x y", "ERR"},
+		{"\x00\x01garbage\x02", "ERR"},
+		{"   ", ""},            // blank: no reply, next case must still work
+		{"get 5", "NOT_FOUND"}, // verbs are case-insensitive
+	}
+	for _, c := range cases {
+		if c.wantPrefix == "" {
+			fmt.Fprintln(conn, c.req)
+			continue
+		}
+		got := roundTrip(t, conn, in, c.req)
+		if !strings.HasPrefix(got, c.wantPrefix) {
+			t.Fatalf("%q -> %q, want prefix %q", c.req, got, c.wantPrefix)
+		}
+	}
+	assertAlive(t, addr)
+}
+
+// TestScanLengthClamp: an adversarial SCAN count (MaxUint64 would convert
+// to a negative int) must produce a bounded, END-terminated reply.
+func TestScanLengthClamp(t *testing.T) {
+	addr := startTestServer(t)
+	conn, in := dialServer(t, addr)
+	for k := 0; k < 10; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k)); got != "OK" {
+			t.Fatalf("put: %q", got)
+		}
+	}
+	for _, req := range []string{
+		"SCAN 0 18446744073709551615", // int(n) < 0
+		"SCAN 0 9223372036854775807",  // int(n) huge
+	} {
+		fmt.Fprintln(conn, req)
+		lines := 0
+		for in.Scan() {
+			if in.Text() == "END" {
+				break
+			}
+			lines++
+			if lines > maxScan {
+				t.Fatalf("%q: reply exceeded the maxScan clamp", req)
+			}
+		}
+		if err := in.Err(); err != nil {
+			t.Fatalf("%q: %v", req, err)
+		}
+		if lines != 10 {
+			t.Fatalf("%q: %d pairs, want 10", req, lines)
+		}
+	}
+	assertAlive(t, addr)
+}
+
+// TestOversizedLine: a request line beyond the scanner's token limit must
+// tear down only that connection — cleanly, with no panic — and leave the
+// server serving.
+func TestOversizedLine(t *testing.T) {
+	addr := startTestServer(t)
+	conn, _ := dialServer(t, addr)
+	huge := strings.Repeat("A", 128<<10) // > bufio.MaxScanTokenSize
+	if _, err := fmt.Fprintf(conn, "GET %s\n", huge); err != nil && !errors.Is(err, net.ErrClosed) {
+		// The server may close mid-write; either way the write must not
+		// wedge the test.
+		t.Logf("write: %v", err)
+	}
+	// The server drops the connection: reads drain to EOF/reset.
+	io.Copy(io.Discard, conn)
+	assertAlive(t, addr)
+}
+
+// TestTruncatedRequestAndAbruptDisconnect: clients that vanish mid-line or
+// mid-session must not wedge or kill the server.
+func TestTruncatedRequestAndAbruptDisconnect(t *testing.T) {
+	addr := startTestServer(t)
+
+	// Truncated final request: no trailing newline, then an orderly close.
+	conn1, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(conn1, "PUT 1") // half a request
+	conn1.Close()
+
+	// Abrupt disconnect with a request in flight (RST via SO_LINGER 0).
+	conn2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(conn2, "PUT 2 2")
+	if tc, ok := conn2.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn2.Close()
+
+	assertAlive(t, addr)
+}
+
+// TestStatsResilienceFields: the STATS line must carry the resilience
+// counters, and a resilience-enabled server must serve the same protocol.
+func TestStatsResilienceFields(t *testing.T) {
+	addr := startTestServerOpts(t, eunomia.Options{ArenaWords: 1 << 20, Resilience: true})
+	conn, in := dialServer(t, addr)
+	if got := roundTrip(t, conn, in, "PUT 9 90"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+	if got := roundTrip(t, conn, in, "GET 9"); got != "VALUE 90" {
+		t.Fatalf("get: %q", got)
+	}
+	stats := roundTrip(t, conn, in, "STATS")
+	for _, field := range []string{"commits=", "aborts=", "fallbacks=", "backoff=", "degraded=", "watchdog=", "storms="} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("STATS %q missing %q", stats, field)
 		}
 	}
 }

@@ -47,7 +47,11 @@
 //     the split transaction.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"eunomia/internal/htm"
+)
 
 // Config selects the Euno-B+Tree geometry and which Eunomia design
 // guidelines are active; the flags give the Figure 13 ablation chain.
@@ -81,6 +85,13 @@ type Config struct {
 	// re-balance when the number of delete operations exceeds a
 	// threshold"). 0 keeps the default.
 	RebalanceThreshold uint64
+
+	// Resilience applies the opt-in HTM hardening layer (randomized
+	// backoff, lemming wait, per-operation attempt budget) to both
+	// regions' retry policies. The zero value keeps the paper-faithful
+	// htm.DefaultPolicy. The queued fallback lock and abort-storm
+	// detector are device-level knobs (htm.Config), not per-tree.
+	Resilience htm.Resilience
 
 	// DisableSeqnoCheck deliberately breaks the tree by skipping the lower
 	// region's sequence-number re-validation. It exists solely as the

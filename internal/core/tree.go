@@ -55,8 +55,9 @@ func New(h *htm.HTM, boot *htm.Thread, cfg Config) *Tree {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
+	pol := cfg.Resilience.Apply(htm.DefaultPolicy)
 	t := &Tree{h: h, a: h.Arena(), cfg: cfg,
-		upperPol: htm.DefaultPolicy, lowerPol: htm.DefaultPolicy}
+		upperPol: pol, lowerPol: pol}
 
 	roundLine := func(w int) int {
 		return (w + simmem.WordsPerLine - 1) &^ (simmem.WordsPerLine - 1)

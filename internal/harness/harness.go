@@ -68,6 +68,12 @@ type Config struct {
 	Fanout     int    // node fanout for the non-Euno trees
 	ArenaWords uint64 // arena capacity
 	Slack      uint64 // virtual-time scheduler slack (0 = exact)
+
+	// Resilience enables the abort-storm hardening layer (htm.
+	// DefaultResilience) on both the device and the tree's retry
+	// policies. Default false keeps the paper-faithful fragile behavior
+	// every figure measures.
+	Resilience bool
 }
 
 // withDefaults fills unset fields.
@@ -127,6 +133,20 @@ type Result struct {
 	LiveBytes     int64 // tree footprint after the run
 	ReservedPeak  int64 // peak transient reserved-keys bytes (approximate)
 	PreloadedKeys uint64
+
+	// StormEvents is how many times the device's abort-storm detector
+	// engaged degradation (0 without Config.Resilience).
+	StormEvents uint64
+}
+
+// newDevice constructs the HTM device, applying the hardening bundle when
+// the config asks for it.
+func newDevice(cfg Config, arena *simmem.Arena) *htm.HTM {
+	hcfg := htm.DefaultConfig
+	if cfg.Resilience {
+		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
+	}
+	return htm.New(arena, hcfg)
 }
 
 // buildTree constructs the tree under test.
@@ -137,13 +157,22 @@ func buildTree(cfg Config, h *htm.HTM, boot *htm.Thread) tree.KV {
 		if cfg.EunoCfg != nil {
 			ec = *cfg.EunoCfg
 		}
+		if cfg.Resilience {
+			ec.Resilience = htm.DefaultResilience()
+		}
 		return core.New(h, boot, ec)
 	case HTMBTree:
-		return htmtree.New(h, boot, cfg.Fanout)
-	case Masstree:
-		return masstree.New(h, boot, cfg.Fanout, false)
-	case HTMMasstree:
-		return masstree.New(h, boot, cfg.Fanout, true)
+		t := htmtree.New(h, boot, cfg.Fanout)
+		if cfg.Resilience {
+			t.SetPolicy(htm.ResilientPolicy())
+		}
+		return t
+	case Masstree, HTMMasstree:
+		t := masstree.New(h, boot, cfg.Fanout, cfg.Tree == HTMMasstree)
+		if cfg.Resilience {
+			t.SetPolicy(htm.ResilientPolicy())
+		}
+		return t
 	default:
 		panic(fmt.Sprintf("harness: unknown tree kind %d", cfg.Tree))
 	}
@@ -157,7 +186,7 @@ func Run(cfg Config) Result {
 		panic(err)
 	}
 	arena := simmem.NewArena(cfg.ArenaWords)
-	device := htm.New(arena, htm.DefaultConfig)
+	device := newDevice(cfg, arena)
 	boot := device.NewThread(vclock.NewWallProc(0, 0), cfg.Seed)
 	kv := buildTree(cfg, device, boot)
 
@@ -230,6 +259,7 @@ func Run(cfg Config) Result {
 		res.WastedPct = 100 * float64(res.Stats.WastedCycles) / float64(totalThreadCycles)
 	}
 	res.ReservedPeak = arena.BytesByTag(simmem.TagReserved)
+	res.StormEvents = device.StormEvents()
 	return res
 }
 
@@ -277,7 +307,7 @@ func RunAndValidate(cfg Config) (Result, error) {
 	res := Run(cfg)
 	// Replay on a fresh device, keeping the tree this time.
 	arena := simmem.NewArena(cfg.ArenaWords)
-	device := htm.New(arena, htm.DefaultConfig)
+	device := newDevice(cfg, arena)
 	boot := device.NewThread(vclock.NewWallProc(0, 0), cfg.Seed)
 	kv := buildTree(cfg, device, boot)
 	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {

@@ -87,12 +87,21 @@ func (r AbortReason) IsConflict() bool {
 	return r == AbortConflictTrue || r == AbortConflictFalse || r == AbortConflictMeta
 }
 
-// Config sets the emulated hardware limits.
+// Config sets the emulated hardware limits and the opt-in device-level
+// resilience features (see resilience.go).
 type Config struct {
 	// MaxReadLines and MaxWriteLines bound the transactional working set,
 	// modeling L1d capacity (32 KB / 64 B = 512 lines).
 	MaxReadLines  int
 	MaxWriteLines int
+
+	// QueuedFallback replaces the spin-CAS fallback lock with a fair
+	// ticket lock (FIFO hand-off), so a fallback hog cannot starve
+	// waiters. Default false keeps the paper-faithful unfair lock.
+	QueuedFallback bool
+	// Storm configures the per-device abort-storm detector driving
+	// graceful degradation; a zero Window (the default) disables it.
+	Storm StormConfig
 }
 
 // DefaultConfig models the paper's Haswell-class parts.
@@ -103,6 +112,12 @@ type HTM struct {
 	arena    *simmem.Arena
 	cfg      Config
 	fallback simmem.Addr // global elision lock word, on its own line
+	// qticket/qserving implement the optional fair ticket fallback lock;
+	// they live on their own line (allocated only with QueuedFallback, so
+	// the default arena layout is untouched).
+	qticket  simmem.Addr
+	qserving simmem.Addr
+	storm    *stormDetector
 	fi       *FaultInjector
 }
 
@@ -115,11 +130,17 @@ func New(a *simmem.Arena, cfg Config) *HTM {
 		cfg.MaxWriteLines = DefaultConfig.MaxWriteLines
 	}
 	boot := vclock.NewWallProc(0, 0)
-	return &HTM{
+	h := &HTM{
 		arena:    a,
 		cfg:      cfg,
 		fallback: a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback),
+		storm:    newStormDetector(cfg.Storm),
 	}
+	if cfg.QueuedFallback {
+		q := a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback)
+		h.qticket, h.qserving = q, q+1
+	}
+	return h
 }
 
 // Arena returns the memory the device is bound to.

@@ -1,0 +1,190 @@
+package htm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the opt-in hardening layer over the paper-faithful retry
+// loop. The reproduction's default behavior is deliberately fragile — no
+// backoff, lemming-style fallback, a spin-CAS global lock — because that
+// fragility *is* the baseline the paper analyses. A production deployment
+// needs the opposite: bounded worst cases under abort storms. Resilience
+// bundles four defenses, each individually selectable:
+//
+//  1. Randomized exponential backoff between conflict retries (Retry-
+//     Policy.BackoffBase/BackoffMax), with the pause drawn from the
+//     thread's deterministic RNG in virtual-time ticks, so simulated runs
+//     stay reproducible.
+//
+//  2. Lemming mitigation (RetryPolicy.LemmingWait): after an attempt
+//     aborts on the held fallback lock, the thread waits for the lock to
+//     clear before re-attempting instead of burning further
+//     AbortFallbackLock aborts — the fix Brown's HTM template paper
+//     identifies as the difference between a usable and a collapsing
+//     fallback path.
+//
+//  3. A fair ticket ("queued") fallback lock (Config.QueuedFallback): FIFO
+//     hand-off instead of spin-CAS, so a lock hog cannot starve waiters.
+//
+//  4. A per-device abort-storm detector (Config.Storm) driving graceful
+//     degradation: when the abort fraction over a sliding sample window
+//     crosses a threshold, Execute temporarily serializes through the
+//     fallback path, and re-enables HTM after the storm subsides — the
+//     engage/disengage dynamic of contention-adapting trees.
+//
+// A fifth knob, RetryPolicy.AttemptBudget, is the per-operation starvation
+// watchdog: it bounds the total attempts of one Execute across all abort
+// reasons, guaranteeing the fallback path (and so a bounded worst case)
+// regardless of how the per-reason thresholds interleave.
+
+// StormConfig configures the per-device abort-storm detector. The zero
+// value disables it.
+type StormConfig struct {
+	// Window is the number of attempt samples per detector window; 0
+	// disables the detector entirely.
+	Window uint64
+	// Threshold is the abort fraction (aborts/attempts in one window) at
+	// which degradation engages. <= 0 defaults to 0.85.
+	Threshold float64
+	// CooldownWindows is how many consecutive sub-threshold windows must
+	// pass while degraded before HTM execution is re-enabled. <= 0
+	// defaults to 2.
+	CooldownWindows int
+}
+
+// withDefaults fills the tunables left at zero.
+func (c StormConfig) withDefaults() StormConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.85
+	}
+	if c.CooldownWindows <= 0 {
+		c.CooldownWindows = 2
+	}
+	return c
+}
+
+// stormDetector tracks the device-wide abort rate over a sliding sample
+// window and drives the degraded flag. Counters are mutex-guarded: under
+// the lockstep simulator only one goroutine runs at a time, so window
+// boundaries (and therefore degradation decisions) are fully deterministic;
+// under wall-clock runs the lock makes the rollover race-free.
+type stormDetector struct {
+	cfg StormConfig
+
+	mu      sync.Mutex
+	samples uint64
+	aborts  uint64
+	calm    int // consecutive sub-threshold windows while degraded
+
+	degraded atomic.Bool
+	events   atomic.Uint64
+}
+
+func newStormDetector(cfg StormConfig) *stormDetector {
+	if cfg.Window == 0 {
+		return nil
+	}
+	return &stormDetector{cfg: cfg.withDefaults()}
+}
+
+// note records one attempt sample and rolls the window over when full.
+func (d *stormDetector) note(aborted bool) {
+	d.mu.Lock()
+	d.samples++
+	if aborted {
+		d.aborts++
+	}
+	if d.samples >= d.cfg.Window {
+		rate := float64(d.aborts) / float64(d.samples)
+		if d.degraded.Load() {
+			if rate < d.cfg.Threshold {
+				d.calm++
+				if d.calm >= d.cfg.CooldownWindows {
+					d.degraded.Store(false)
+					d.calm = 0
+				}
+			} else {
+				d.calm = 0
+			}
+		} else if rate >= d.cfg.Threshold {
+			d.degraded.Store(true)
+			d.calm = 0
+			d.events.Add(1)
+		}
+		d.samples, d.aborts = 0, 0
+	}
+	d.mu.Unlock()
+}
+
+// Degraded reports whether the storm detector is currently serializing
+// executions through the fallback path.
+func (h *HTM) Degraded() bool {
+	return h.storm != nil && h.storm.degraded.Load()
+}
+
+// StormEvents returns how many times the detector engaged degradation.
+func (h *HTM) StormEvents() uint64 {
+	if h.storm == nil {
+		return 0
+	}
+	return h.storm.events.Load()
+}
+
+// Resilience bundles every hardening knob so callers can flip one switch.
+// The zero value (Enabled=false) is the paper-faithful fragile default;
+// DefaultResilience returns the full production bundle.
+type Resilience struct {
+	// Enabled is the master switch; when false the other fields are
+	// ignored and both Apply and DeviceConfig are identity functions.
+	Enabled bool
+
+	// Retry-layer knobs, applied to a RetryPolicy by Apply.
+	BackoffBase   uint64
+	BackoffMax    uint64
+	LemmingWait   bool
+	AttemptBudget int
+
+	// Device-layer knobs, applied to a Config by DeviceConfig.
+	QueuedFallback bool
+	Storm          StormConfig
+}
+
+// DefaultResilience is the full hardening bundle: every defense on, with
+// thresholds sized for the emulator's cost model (SpinIter=15 cycles, tx
+// round trips a few hundred).
+func DefaultResilience() Resilience {
+	return Resilience{
+		Enabled:        true,
+		BackoffBase:    64,
+		BackoffMax:     8192,
+		LemmingWait:    true,
+		AttemptBudget:  24,
+		QueuedFallback: true,
+		Storm:          StormConfig{Window: 256, Threshold: 0.85, CooldownWindows: 2},
+	}
+}
+
+// Apply overlays the retry-layer knobs onto a base policy. With Enabled
+// false it returns base unchanged.
+func (r Resilience) Apply(base RetryPolicy) RetryPolicy {
+	if !r.Enabled {
+		return base
+	}
+	base.BackoffBase = r.BackoffBase
+	base.BackoffMax = r.BackoffMax
+	base.LemmingWait = r.LemmingWait
+	base.AttemptBudget = r.AttemptBudget
+	return base
+}
+
+// DeviceConfig overlays the device-layer knobs onto an htm.Config. With
+// Enabled false it returns cfg unchanged.
+func (r Resilience) DeviceConfig(cfg Config) Config {
+	if !r.Enabled {
+		return cfg
+	}
+	cfg.QueuedFallback = r.QueuedFallback
+	cfg.Storm = r.Storm
+	return cfg
+}

@@ -21,6 +21,15 @@ type Stats struct {
 	// for the paper's executed-instruction comparisons.
 	TxLoads  uint64
 	TxStores uint64
+	// BackoffCycles is virtual time spent in randomized exponential
+	// backoff between conflict retries (resilience layer; 0 by default).
+	BackoffCycles uint64
+	// DegradationEvents counts Executes this thread serialized through the
+	// fallback path because the device's abort-storm detector was engaged.
+	DegradationEvents uint64
+	// WatchdogTrips counts Executes whose per-operation attempt budget
+	// expired, forcing the guaranteed fallback.
+	WatchdogTrips uint64
 }
 
 // TotalAborts sums aborts across all reasons.
@@ -48,6 +57,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.WastedCycles += o.WastedCycles
 	s.TxLoads += o.TxLoads
 	s.TxStores += o.TxStores
+	s.BackoffCycles += o.BackoffCycles
+	s.DegradationEvents += o.DegradationEvents
+	s.WatchdogTrips += o.WatchdogTrips
 }
 
 // String renders a one-line summary.
@@ -59,6 +71,15 @@ func (s *Stats) String() string {
 			fmt.Fprintf(&b, " %s=%d", r, s.Aborts[r])
 		}
 	}
+	if s.BackoffCycles > 0 {
+		fmt.Fprintf(&b, " backoff-cycles=%d", s.BackoffCycles)
+	}
+	if s.DegradationEvents > 0 {
+		fmt.Fprintf(&b, " degraded=%d", s.DegradationEvents)
+	}
+	if s.WatchdogTrips > 0 {
+		fmt.Fprintf(&b, " watchdog=%d", s.WatchdogTrips)
+	}
 	return b.String()
 }
 
@@ -66,6 +87,11 @@ func (s *Stats) String() string {
 // execution falls back to the global lock, mirroring the DBX policy the
 // paper reuses ("we set different thresholds for different types of
 // aborts").
+//
+// Execute normalizes the policy before use: a zero threshold means "use
+// the DefaultPolicy value for this reason" (the zero value of the whole
+// struct is therefore DefaultPolicy, not fall-back-on-first-abort), and
+// the NoRetry sentinel requests explicitly zero retries.
 type RetryPolicy struct {
 	Conflict int // retries allowed for conflict aborts
 	Capacity int // retries allowed for capacity aborts
@@ -78,12 +104,68 @@ type RetryPolicy struct {
 	// an abort storm across all threads under contention, a major
 	// component of the paper's collapsed baseline.
 	LockBusy int
+
+	// The fields below are the opt-in resilience layer (see resilience.go
+	// and Resilience.Apply); all zero keeps the paper-faithful behavior.
+
+	// BackoffBase and BackoffMax enable randomized exponential backoff
+	// between conflict retries: after the k-th consecutive conflict abort
+	// the thread pauses a uniform random number of virtual ticks in
+	// [1, min(BackoffBase<<k, BackoffMax)], drawn from the thread RNG so
+	// simulated runs stay deterministic. BackoffBase 0 disables backoff.
+	BackoffBase uint64
+	BackoffMax  uint64
+	// LemmingWait, when true, replaces the retry-into-a-held-lock
+	// behavior: after an AbortFallbackLock the thread waits for the
+	// fallback lock to clear before re-attempting instead of burning
+	// further aborts against it.
+	LemmingWait bool
+	// AttemptBudget bounds the total attempts of one Execute across all
+	// abort reasons; when reached, the execution is guaranteed to take
+	// the fallback path (a watchdog trip), so every Execute has a bounded
+	// worst case. 0 disables the watchdog.
+	AttemptBudget int
+}
+
+// NoRetry is the explicit "zero retries for this reason" threshold. A
+// plain zero is normalized to the DefaultPolicy value (see normalized);
+// NoRetry requests an immediate fallback on the first abort of that kind.
+const NoRetry = -1
+
+// normalized resolves the zero-value footgun: each unset (zero) threshold
+// takes its DefaultPolicy value, and NoRetry (or any negative threshold)
+// becomes explicitly zero retries. Execute applies this to every policy.
+func (p RetryPolicy) normalized() RetryPolicy {
+	norm := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0
+		default:
+			return v
+		}
+	}
+	p.Conflict = norm(p.Conflict, DefaultPolicy.Conflict)
+	p.Capacity = norm(p.Capacity, DefaultPolicy.Capacity)
+	p.Explicit = norm(p.Explicit, DefaultPolicy.Explicit)
+	p.LockBusy = norm(p.LockBusy, DefaultPolicy.LockBusy)
+	if p.AttemptBudget < 0 {
+		p.AttemptBudget = 0
+	}
+	return p
 }
 
 // DefaultPolicy matches the DBX-style configuration: a small conflict-retry
 // budget before taking the lock (aggressive fallback is what produces the
 // serialization collapse the paper analyses).
 var DefaultPolicy = RetryPolicy{Conflict: 3, Capacity: 2, Explicit: 16, LockBusy: 16}
+
+// ResilientPolicy is DefaultPolicy with the full hardening layer applied —
+// the policy eunomia.Options.Resilience and harness runs use.
+func ResilientPolicy() RetryPolicy {
+	return DefaultResilience().Apply(DefaultPolicy)
+}
 
 // Thread is a per-worker handle on the HTM device. It owns a reusable Tx,
 // the worker's statistics, and a deterministic RNG. A Thread must not be
@@ -164,6 +246,12 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 // back to the global lock when a threshold is exceeded. The body observes
 // identical semantics on both paths (in fallback mode its Tx routes
 // operations directly to memory under the lock).
+//
+// The policy is normalized first (zero thresholds take DefaultPolicy
+// values, NoRetry means zero retries). When the device's abort-storm
+// detector is engaged, the execution serializes through the fallback path
+// immediately (graceful degradation); when the policy sets AttemptBudget,
+// the total attempt count is bounded before the guaranteed fallback.
 func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 	if fi := t.H.fi; fi != nil && fi.at(FaultFallback) {
 		switch fi.spec.Action {
@@ -176,13 +264,34 @@ func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 			t.pendingAbort = true
 		}
 	}
-	conflicts, caps, expl, busy := 0, 0, 0, 0
-	if pol.LockBusy <= 0 {
-		pol.LockBusy = DefaultPolicy.LockBusy
+	pol = pol.normalized()
+	if s := t.H.storm; s != nil && s.degraded.Load() {
+		// Graceful degradation: a device-wide abort storm is in progress.
+		// Serializing through the (queued) fallback adds no fuel, and the
+		// calm sample drives the detector toward recovery.
+		t.Stats.DegradationEvents++
+		t.Fault(FaultStorm)
+		s.note(false)
+		t.RunFallback(body)
+		return
 	}
+	conflicts, caps, expl, busy, attempts := 0, 0, 0, 0, 0
 	for {
 		ok, reason := t.Run(body)
+		if s := t.H.storm; s != nil {
+			s.note(!ok)
+		}
 		if ok {
+			return
+		}
+		attempts++
+		if pol.AttemptBudget > 0 && attempts >= pol.AttemptBudget {
+			// Starvation watchdog: the per-operation budget is spent;
+			// take the guaranteed (bounded, with the queued lock fair)
+			// fallback path no matter which reasons burned it.
+			t.Stats.WatchdogTrips++
+			t.Fault(FaultWatchdog)
+			t.RunFallback(body)
 			return
 		}
 		switch {
@@ -192,18 +301,31 @@ func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 				t.RunFallback(body)
 				return
 			}
-			t.P.Tick(t.H.arena.Costs().SpinIter)
+			if pol.LemmingWait {
+				// Lemming mitigation: wait for the lock holder to finish
+				// instead of burning more aborts against the held lock.
+				a := t.H.arena
+				for a.LoadWord(t.P, t.H.fallback) != 0 {
+					t.P.Tick(a.Costs().SpinIter)
+				}
+			} else {
+				t.P.Tick(t.H.arena.Costs().SpinIter)
+			}
 		case reason.IsConflict():
 			conflicts++
 			if conflicts > pol.Conflict {
 				t.RunFallback(body)
 				return
 			}
-			// DBX retries essentially immediately; a token pause avoids a
-			// zero-length livelock in virtual time. (No exponential
-			// backoff — its absence is part of why contended HTM trees
-			// convoy and collapse, which is the behavior under study.)
-			t.P.Tick(t.H.arena.Costs().SpinIter)
+			if pol.BackoffBase > 0 {
+				t.backoff(pol, uint(conflicts-1))
+			} else {
+				// DBX retries essentially immediately; a token pause avoids a
+				// zero-length livelock in virtual time. (No exponential
+				// backoff — its absence is part of why contended HTM trees
+				// convoy and collapse, which is the behavior under study.)
+				t.P.Tick(t.H.arena.Costs().SpinIter)
+			}
 		case reason == AbortCapacity:
 			caps++
 			if caps > pol.Capacity {
@@ -220,20 +342,63 @@ func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 	}
 }
 
+// backoff charges the k-th randomized exponential pause: a uniform draw
+// from [1, min(BackoffBase<<k, BackoffMax)] virtual ticks off the thread
+// RNG, so lockstep-simulated runs remain bit-for-bit reproducible.
+func (t *Thread) backoff(pol RetryPolicy, k uint) {
+	if k > 32 {
+		k = 32
+	}
+	window := pol.BackoffBase << k
+	if window == 0 || (pol.BackoffMax > 0 && window > pol.BackoffMax) {
+		window = pol.BackoffMax
+	}
+	if window == 0 {
+		window = pol.BackoffBase
+	}
+	d := 1 + t.Rand.Uint64()%window
+	t.Stats.BackoffCycles += d
+	t.P.Tick(d)
+}
+
 // RunFallback acquires the global fallback lock and executes body
 // non-transactionally. All concurrent transactions abort (they subscribed
 // to the lock word), so the execution is mutually exclusive with every
 // transactional and fallback execution on this HTM device.
+//
+// With Config.QueuedFallback the acquisition goes through a fair ticket
+// lock (FIFO hand-off; a hog cannot starve waiters); otherwise it is the
+// paper-faithful spin-CAS. The lock is released via defer, so a panicking
+// body (or an injected fault) cannot wedge the device.
 func (t *Thread) RunFallback(body func(*Tx)) {
 	a := t.H.arena
-	for !a.CASWordDirect(t.P, t.H.fallback, 0, 1) {
-		for a.LoadWord(t.P, t.H.fallback) != 0 {
+	if t.H.cfg.QueuedFallback {
+		t.Fault(FaultQLock)
+		// Ticket acquire: AddWordDirect hands out FIFO tickets; the
+		// ticket/serving words live on their own line so queue joins do
+		// not disturb transactions subscribed to the lock word.
+		my := a.AddWordDirect(t.P, t.H.qticket, 1) - 1
+		for a.LoadWord(t.P, t.H.qserving) != my {
 			t.P.Tick(a.Costs().SpinIter)
+		}
+		// Exclusive by ticket order; publish the held flag transactions
+		// subscribe to (the version bump aborts in-flight readers).
+		a.StoreWordDirect(t.P, t.H.fallback, 1)
+	} else {
+		for !a.CASWordDirect(t.P, t.H.fallback, 0, 1) {
+			for a.LoadWord(t.P, t.H.fallback) != 0 {
+				t.P.Tick(a.Costs().SpinIter)
+			}
 		}
 	}
 	t.Stats.Fallbacks++
+	defer func() {
+		a.StoreWordDirect(t.P, t.H.fallback, 0)
+		if t.H.cfg.QueuedFallback {
+			a.AddWordDirect(t.P, t.H.qserving, 1)
+		}
+	}()
 	tx := &t.tx
 	tx.reset(true)
 	body(tx)
-	a.StoreWordDirect(t.P, t.H.fallback, 0)
 }

@@ -67,6 +67,10 @@ func New(h *htm.HTM, boot *htm.Thread, fanout int) *Tree {
 	return t
 }
 
+// SetPolicy overrides the retry policy used by every operation (e.g. with
+// htm.ResilientPolicy()). Call before sharing the tree between threads.
+func (t *Tree) SetPolicy(pol htm.RetryPolicy) { t.policy = pol }
+
 // Name implements tree.KV.
 func (t *Tree) Name() string { return "htm-btree" }
 

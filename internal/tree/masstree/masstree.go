@@ -80,6 +80,13 @@ func New(h *htm.HTM, boot *htm.Thread, fanout int, useHTM bool) *Tree {
 	return t
 }
 
+// SetPolicy overrides the retry policy used by the HTM-Masstree variant's
+// transactions (e.g. with htm.ResilientPolicy()). Call before sharing the
+// tree between threads; the non-HTM variant ignores it.
+func (t *Tree) SetPolicy(pol htm.RetryPolicy) {
+	t.policy = pol
+}
+
 func packRootDepth(root simmem.Addr, depth uint64) uint64 {
 	return depth<<56 | uint64(root)
 }

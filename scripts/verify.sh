@@ -7,9 +7,15 @@
 # tree implementations and the harness. The short pass includes the
 # wall-clock linearizability recordings, which are exactly the code paths
 # where an unsynchronized tree would race.
+#
+# The internal/htm race pass covers the resilience layer (storm detector,
+# queued fallback lock, watchdog) whose counters are the only cross-thread
+# shared state the hardening added; the kvserver pass races the resilience-
+# enabled server against real concurrent sockets.
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./internal/htm/ ./internal/simmem/
 go test -race -short ./internal/core/ ./internal/tree/... ./internal/harness/
+go test -race ./examples/kvserver/
