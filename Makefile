@@ -13,9 +13,10 @@ verify:
 
 # check: the short-mode correctness suite on its own — the complete
 # linearizability checker's unit tests plus the tree registry's repro,
-# mutant-catch, and fault-coverage tests.
+# mutant-catch, and fault-coverage tests, and the crash-recovery fuzzer
+# over the durability engine (failures print an EUNO_CRASH_REPRO line).
 check:
-	go test -short ./internal/check/...
+	go test -short ./internal/check/... ./internal/durable/...
 
 # golden: the bit-identical-figures guard — the opt-in resilience layer
 # must not move the paper-faithful default figures by a single cycle.
@@ -23,7 +24,7 @@ golden:
 	./scripts/golden.sh
 
 # ci: what .github/workflows/ci.yml runs — tier-1, verify, the short
-# correctness suite, and the golden-figures guard.
+# correctness + crash-recovery suites, and the golden-figures guard.
 ci: test verify check golden
 
 # bench-emulator: host-speed micro-benchmarks of the HTM emulator's
@@ -40,6 +41,11 @@ bench-emulator-json:
 # bench: the scaled-down figure benchmarks (virtual-time metrics).
 bench:
 	go test -run=NONE -bench=Fig -benchtime=1x .
+
+# bench-durability: wall-clock group-commit and recovery benchmarks,
+# recorded into the durability perf-trajectory artifact.
+bench-durability:
+	go run ./cmd/eunobench -benchjson BENCH_durability.json -benchlabel $(LABEL) recover
 
 # figures: regenerate every paper figure at quick scale.
 figures:

@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|recover|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +66,7 @@ func main() {
 		"validate":  validateCmd,
 		"hostbench": hostbenchCmd,
 		"storm":     stormCmd,
+		"recover":   recoverCmd,
 	}
 	name := strings.ToLower(flag.Arg(0))
 	stopCPU := startCPUProfile()

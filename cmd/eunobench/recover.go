@@ -1,0 +1,141 @@
+package main
+
+// The `recover` subcommand measures the durability engine: group-commit
+// throughput and acknowledgement latency across flush intervals, and
+// recovery time as a function of log length. Like hostbench these are
+// wall-clock numbers (real goroutines, MemFS-emulated fsyncs), so they feed
+// the BENCH_durability.json trajectory artifact via -benchjson rather than
+// the paper figures.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eunomia/internal/harness"
+)
+
+// durSuiteNote is the artifact Note for BENCH_durability.json.
+const durSuiteNote = "Wall-clock durability benchmarks: group-commit throughput/latency " +
+	"across flush intervals and recovery time vs log length, on the MemFS " +
+	"fsync-accurate in-memory filesystem; regenerate with `eunobench " +
+	"-benchjson BENCH_durability.json -benchlabel <label> recover`."
+
+// recoverCmd runs the durability benchmark suite.
+func recoverCmd() {
+	var bf *benchFile
+	if *benchjson != "" {
+		var err error
+		if bf, err = loadBenchFile(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+			os.Exit(1)
+		}
+		bf.Suite = "Durability"
+		bf.Note = durSuiteNote
+	}
+	run := benchRun{
+		Label:     *benchlabel,
+		Date:      benchDate(),
+		GoVersion: runtime.Version(),
+	}
+
+	// Panel 1: group-commit throughput and ack latency per flush interval.
+	// interval=0 is leader-based immediate commit (every ack waits for an
+	// fsync it may lead or join); longer intervals batch harder and trade
+	// ack latency for fsync count.
+	intervals := []time.Duration{0, time.Millisecond, 10 * time.Millisecond}
+	threads := 8
+	opsPer := 4_000
+	if *quick {
+		threads, opsPer = 4, 800
+	}
+	t1 := harness.Table{
+		Title: fmt.Sprintf("Durability: group commit vs flush interval (%d threads, %d puts each, MemFS)",
+			threads, opsPer),
+		Header: []string{"interval", "throughput(ops/s)", "fsyncs", "avg-batch", "max-batch",
+			"ack-p50(us)", "ack-p99(us)"},
+	}
+	for _, iv := range intervals {
+		res, err := harness.RunDurable(harness.DurableConfig{
+			Tree: harness.EunoBTree, Threads: threads, OpsPerThread: opsPer,
+			Keys: 50_000, Seed: *seed, FlushInterval: iv,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eunobench: recover: %v\n", err)
+			os.Exit(1)
+		}
+		label := "immediate"
+		if iv > 0 {
+			label = iv.String()
+		}
+		t1.AddRow(label,
+			fmt.Sprintf("%.0f", res.Throughput),
+			fmt.Sprint(res.Stats.Flushes),
+			harness.F1(res.Stats.AvgBatch),
+			fmt.Sprint(res.Stats.MaxBatch),
+			fmt.Sprint(res.OpLatency.Quantile(0.50)/1_000),
+			fmt.Sprint(res.OpLatency.Quantile(0.99)/1_000))
+		run.Results = append(run.Results,
+			benchResult{Name: "group-commit/" + label + "/throughput_ops_s", Iters: int(res.Ops),
+				NsPerOp: 1e9 / res.Throughput},
+			benchResult{Name: "group-commit/" + label + "/ack_p99", Iters: int(res.Ops),
+				NsPerOp: float64(res.OpLatency.Quantile(0.99))})
+	}
+	emit(&t1)
+
+	// Panel 2: recovery time vs log length (log-only replay, then with a
+	// snapshot covering most of the log).
+	lengths := []int{1_000, 10_000, 50_000}
+	if *quick {
+		lengths = []int{500, 2_000}
+	}
+	t2 := harness.Table{
+		Title:  "Durability: recovery time vs log length (MemFS, single snapshotless log vs auto-snapshot)",
+		Header: []string{"logged-ops", "snapshot", "snap-pairs", "replayed", "recovery(ms)", "replay(ops/s)"},
+	}
+	for _, n := range lengths {
+		for _, snap := range []bool{false, true} {
+			cfg := harness.DurableConfig{
+				Tree: harness.EunoBTree, Threads: 4, OpsPerThread: n / 4,
+				Keys: uint64(n), Seed: *seed,
+			}
+			if snap {
+				// Threshold ~¼ of the log so recovery replays a short tail.
+				cfg.SnapshotBytes = int64(n) * 33 / 4
+			}
+			res, err := harness.RunDurable(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eunobench: recover: %v\n", err)
+				os.Exit(1)
+			}
+			mode := "none"
+			if snap {
+				mode = "auto"
+			}
+			t2.AddRow(fmt.Sprint(res.Ops), mode,
+				fmt.Sprint(res.Recovery.SnapshotPairs),
+				fmt.Sprint(res.Recovery.ReplayedFrames),
+				fmt.Sprintf("%.2f", float64(res.RecoveryNs)/1e6),
+				fmt.Sprintf("%.0f", res.ReplayRate))
+			run.Results = append(run.Results, benchResult{
+				Name:    fmt.Sprintf("recovery/%dops/snap=%s/ns", res.Ops, mode),
+				Iters:   int(res.Recovery.SnapshotPairs + res.Recovery.ReplayedFrames),
+				NsPerOp: float64(res.RecoveryNs),
+			})
+		}
+	}
+	emit(&t2)
+
+	if bf == nil {
+		return
+	}
+	if err := appendBenchRun(*benchjson, bf, run); err != nil {
+		fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (label %q)\n", *benchjson, run.Label)
+}
+
+// benchDate is the artifact date stamp (UTC day).
+func benchDate() string { return time.Now().UTC().Format("2006-01-02") }

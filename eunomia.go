@@ -16,9 +16,10 @@
 // Quickstart:
 //
 //	db, err := eunomia.Open(eunomia.Options{})
+//	defer db.Close()
 //	th := db.NewThread()
 //	th.Put(1, 100)
-//	v, ok := th.Get(1)
+//	v, ok, _ := th.Get(1)
 //
 // For deterministic virtual-time parallel execution (the mode all paper
 // figures use), see DB.RunVirtual.
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"eunomia/internal/core"
+	"eunomia/internal/durable"
 	"eunomia/internal/htm"
 	"eunomia/internal/simmem"
 	"eunomia/internal/tree"
@@ -112,6 +114,11 @@ type Options struct {
 	// DefaultResilience). The default false keeps the paper-faithful
 	// fragile retry behavior the reproduction studies.
 	Resilience bool
+	// Durability enables crash durability (write-ahead log + snapshots,
+	// recovered on Open) when Durability.Dir is non-empty. Durable DBs are
+	// wall-clock only: RunVirtual panics, because blocking on real fsyncs
+	// inside the lockstep virtual-time scheduler would deadlock it.
+	Durability Durability
 }
 
 // ErrReservedValue is returned by Put for the one value the trees reserve
@@ -127,6 +134,8 @@ type DB struct {
 	device  *htm.HTM
 	kv      tree.KV
 	euno    *core.Tree // non-nil when Kind == EunoBTree
+	dur     *durable.Store // non-nil when durability is enabled
+	closed  atomic.Bool
 	nextID  atomic.Int64
 	threads atomic.Int64
 }
@@ -189,6 +198,11 @@ func Open(opts Options) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("eunomia: unknown kind %v", opts.Kind)
 	}
+	if opts.Durability.Dir != "" {
+		if err := db.openDurable(boot, opts.Durability); err != nil {
+			return nil, err
+		}
+	}
 	db.nextID.Store(1) // proc 0 was the boot thread
 	return db, nil
 }
@@ -212,28 +226,59 @@ func (db *DB) NewThread() *Thread {
 }
 
 // Get returns the value stored under key.
-func (t *Thread) Get(key uint64) (uint64, bool) {
-	return t.db.kv.Get(t.th, key)
+func (t *Thread) Get(key uint64) (uint64, bool, error) {
+	if t.db.closed.Load() {
+		return 0, false, ErrClosed
+	}
+	v, ok := t.db.kv.Get(t.th, key)
+	return v, ok, nil
 }
 
-// Put inserts or updates key.
+// Put inserts or updates key. With durability enabled, Put returns only
+// after the operation is on disk (acknowledged-only-after-flush); a
+// returned error means the write is in memory but NOT durable.
 func (t *Thread) Put(key, val uint64) error {
 	if val == tree.Tombstone {
 		return ErrReservedValue
 	}
-	t.db.kv.Put(t.th, key, val)
+	if t.db.closed.Load() {
+		return ErrClosed
+	}
+	if t.db.dur == nil {
+		t.db.kv.Put(t.th, key, val)
+		return nil
+	}
+	if err := t.db.dur.LogPut(key, val, func() { t.db.kv.Put(t.th, key, val) }); err != nil {
+		return durErr(err)
+	}
+	t.maybeSnapshot()
 	return nil
 }
 
-// Delete removes key, reporting whether it was present.
-func (t *Thread) Delete(key uint64) bool {
-	return t.db.kv.Delete(t.th, key)
+// Delete removes key, reporting whether it was present. Durability
+// semantics match Put.
+func (t *Thread) Delete(key uint64) (bool, error) {
+	if t.db.closed.Load() {
+		return false, ErrClosed
+	}
+	if t.db.dur == nil {
+		return t.db.kv.Delete(t.th, key), nil
+	}
+	ok, err := t.db.dur.LogDelete(key, func() bool { return t.db.kv.Delete(t.th, key) })
+	if err != nil {
+		return ok, durErr(err)
+	}
+	t.maybeSnapshot()
+	return ok, nil
 }
 
 // Scan visits up to max keys >= from in ascending order, stopping early if
 // fn returns false, and returns the number visited.
-func (t *Thread) Scan(from uint64, max int, fn func(key, val uint64) bool) int {
-	return t.db.kv.Scan(t.th, from, max, fn)
+func (t *Thread) Scan(from uint64, max int, fn func(key, val uint64) bool) (int, error) {
+	if t.db.closed.Load() {
+		return 0, ErrClosed
+	}
+	return t.db.kv.Scan(t.th, from, max, fn), nil
 }
 
 // Stats is a snapshot of a thread's transactional behavior.
@@ -325,6 +370,12 @@ type VirtualResult struct {
 // bit-for-bit identical. This is the execution mode of every figure in the
 // paper reproduction.
 func (db *DB) RunVirtual(threads int, body func(t *Thread)) VirtualResult {
+	if db.dur != nil {
+		// Durable operations block on real fsyncs while the lockstep
+		// simulator waits for every proc to reach its next virtual event —
+		// a guaranteed deadlock. Durability is wall-clock only.
+		panic("eunomia: RunVirtual is incompatible with Options.Durability")
+	}
 	sim := vclock.NewSim(threads, 0)
 	workers := make([]*Thread, threads)
 	sim.Run(func(p *vclock.SimProc) {

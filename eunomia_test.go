@@ -17,16 +17,16 @@ func TestOpenDefaultsAndQuickPath(t *testing.T) {
 	if err := th.Put(10, 100); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := th.Get(10); !ok || v != 100 {
+	if v, ok, _ := th.Get(10); !ok || v != 100 {
 		t.Fatalf("get = %d,%v", v, ok)
 	}
-	if _, ok := th.Get(11); ok {
+	if _, ok, _ := th.Get(11); ok {
 		t.Fatal("phantom key")
 	}
-	if !th.Delete(10) {
+	if ok, _ := th.Delete(10); !ok {
 		t.Fatal("delete failed")
 	}
-	if th.Delete(10) {
+	if ok, _ := th.Delete(10); ok {
 		t.Fatal("double delete succeeded")
 	}
 }
@@ -44,11 +44,11 @@ func TestOpenAllKinds(t *testing.T) {
 			}
 		}
 		for i := uint64(1); i <= 200; i++ {
-			if v, ok := th.Get(i); !ok || v != i*2 {
+			if v, ok, _ := th.Get(i); !ok || v != i*2 {
 				t.Fatalf("%v: get(%d) = %d,%v", k, i, v, ok)
 			}
 		}
-		n := th.Scan(50, 10, func(k, v uint64) bool { return true })
+		n, _ := th.Scan(50, 10, func(k, v uint64) bool { return true })
 		if n != 10 {
 			t.Fatalf("%v: scan visited %d", k, n)
 		}
@@ -90,7 +90,7 @@ func TestTuningAblation(t *testing.T) {
 		th.Put(i, i)
 	}
 	for i := uint64(1); i <= 500; i++ {
-		if _, ok := th.Get(i); !ok {
+		if _, ok, _ := th.Get(i); !ok {
 			t.Fatalf("lost key %d in +SplitHTM configuration", i)
 		}
 	}
@@ -114,7 +114,7 @@ func TestConcurrentWallThreads(t *testing.T) {
 	wg.Wait()
 	th := db.NewThread()
 	for k := uint64(1); k <= workers*per; k++ {
-		if v, ok := th.Get(k); !ok || v != k {
+		if v, ok, _ := th.Get(k); !ok || v != k {
 			t.Fatalf("get(%d) = %d,%v", k, v, ok)
 		}
 	}

@@ -12,13 +12,14 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
+	defer db.Close()
 	th := db.NewThread()
 	th.Put(7, 700)
-	if v, ok := th.Get(7); ok {
+	if v, ok, _ := th.Get(7); ok {
 		fmt.Println("value:", v)
 	}
 	th.Delete(7)
-	_, ok := th.Get(7)
+	_, ok, _ := th.Get(7)
 	fmt.Println("present after delete:", ok)
 	// Output:
 	// value: 700
@@ -29,6 +30,7 @@ func Example() {
 // leaves.
 func ExampleThread_Scan() {
 	db, _ := eunomia.Open(eunomia.Options{ArenaWords: 1 << 20})
+	defer db.Close()
 	th := db.NewThread()
 	for k := uint64(10); k <= 50; k += 10 {
 		th.Put(k, k*k)

@@ -49,6 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	loader := db.NewThread()
 	workload.ForEachPreload(keySpace, 60, func(key uint64) {
 		loader.Put(key, key)

@@ -9,12 +9,19 @@
 //	PUT <key> <value>    -> OK
 //	DEL <key>            -> OK | NOT_FOUND
 //	SCAN <from> <n>      -> n lines "PAIR <k> <v>", then END
-//	STATS                -> one line of commit/abort counters
+//	SYNC                 -> OK (forces buffered WAL bytes to disk)
+//	STATS                -> one line of commit/abort (and durability) counters
 //
 // Run with no arguments for a self-contained demo: the server starts on a
 // loopback port, a handful of concurrent clients apply a contended
 // workload through real sockets, and the tree's HTM statistics are
 // printed. Run with -listen :7070 to serve interactively (e.g. with nc).
+//
+// With -durable DIR every acknowledged PUT/DEL is crash-durable: writes
+// group-commit through a write-ahead log in DIR and are replayed on the
+// next start. SIGINT/SIGTERM triggers a graceful shutdown: the listener
+// closes, in-flight requests drain (bounded by -drain), the WAL is
+// flushed, and the process exits 0.
 package main
 
 import (
@@ -23,10 +30,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"eunomia"
 	"eunomia/internal/vclock"
@@ -36,6 +47,10 @@ import (
 var (
 	listen     = flag.String("listen", "", "address to serve on (empty = run the built-in demo)")
 	resilience = flag.Bool("resilience", false, "enable the abort-storm hardening layer (backoff, queued fallback, storm detector, watchdog)")
+	durableDir = flag.String("durable", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
+	flushEvery = flag.Duration("flush-interval", 0, "group-commit flush interval (0 = leader-based immediate commit)")
+	snapBytes  = flag.Int64("snapshot-bytes", 16<<20, "WAL bytes between automatic snapshots (durable mode)")
+	drainFor   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections")
 )
 
 // maxScan bounds one SCAN reply; a request like "SCAN 0 18446744073709551615"
@@ -45,6 +60,15 @@ const maxScan = 4096
 type server struct {
 	db       *eunomia.DB
 	requests atomic.Uint64
+
+	closing atomic.Bool
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+func newServer(db *eunomia.DB) *server {
+	return &server{db: db, conns: map[net.Conn]struct{}{}}
 }
 
 // serveConn handles one client connection; each connection gets its own
@@ -72,7 +96,9 @@ func (s *server) serveConn(conn net.Conn) {
 		case "GET":
 			if k, err := parse1(fields); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
-			} else if v, ok := th.Get(k); ok {
+			} else if v, ok, err := th.Get(k); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else if ok {
 				fmt.Fprintf(out, "VALUE %d\n", v)
 			} else {
 				fmt.Fprintln(out, "NOT_FOUND")
@@ -83,6 +109,8 @@ func (s *server) serveConn(conn net.Conn) {
 				fmt.Fprintf(out, "ERR %v\n", err)
 				break
 			}
+			// OK is sent only after Put returns, which in durable mode
+			// means only after the write is on disk.
 			if err := th.Put(k, v); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else {
@@ -91,7 +119,9 @@ func (s *server) serveConn(conn net.Conn) {
 		case "DEL":
 			if k, err := parse1(fields); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
-			} else if th.Delete(k) {
+			} else if ok, err := th.Delete(k); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else if ok {
 				fmt.Fprintln(out, "OK")
 			} else {
 				fmt.Fprintln(out, "NOT_FOUND")
@@ -105,17 +135,31 @@ func (s *server) serveConn(conn net.Conn) {
 			if n > maxScan {
 				n = maxScan
 			}
-			th.Scan(from, int(n), func(k, v uint64) bool {
+			if _, err := th.Scan(from, int(n), func(k, v uint64) bool {
 				fmt.Fprintf(out, "PAIR %d %d\n", k, v)
 				return true
-			})
+			}); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+				break
+			}
 			fmt.Fprintln(out, "END")
+		case "SYNC":
+			if err := s.db.Sync(); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
 		case "STATS":
 			st := th.Stats()
 			rs := s.db.ResilienceStats()
-			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d\n",
+			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d",
 				st.Commits, st.Aborts, st.Fallbacks,
 				st.BackoffCycles, st.DegradationEvents, st.WatchdogTrips, rs.StormEvents)
+			if ds := s.db.DurabilityStats(); ds.Enabled {
+				fmt.Fprintf(out, " flushes=%d batch_avg=%.1f flush_p99_us=%d snapshots=%d replayed=%d",
+					ds.Flushes, ds.AvgBatch, ds.FlushP99Ns/1000, ds.Snapshots, ds.ReplayedFrames)
+			}
+			fmt.Fprintln(out)
 		case "QUIT":
 			return
 		default:
@@ -158,17 +202,71 @@ func (s *server) run(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		go s.serveConn(conn)
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// shutdown drains the server gracefully: stop accepting, let in-flight
+// connections finish (up to drain — after that their reads are cancelled),
+// then flush and close the DB. Every acknowledged write is on disk when
+// shutdown returns.
+func (s *server) shutdown(ln net.Listener, drain time.Duration) {
+	s.closing.Store(true)
+	ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now()) // unblock idle readers
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if err := s.db.Close(); err != nil {
+		log.Printf("kvserver: close: %v", err)
 	}
 }
 
 func main() {
 	flag.Parse()
-	db, err := eunomia.Open(eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience})
+	opts := eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience}
+	if *durableDir != "" {
+		opts.Durability = eunomia.Durability{
+			Dir:           *durableDir,
+			FlushInterval: *flushEvery,
+			SnapshotBytes: *snapBytes,
+		}
+	}
+	db, err := eunomia.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{db: db}
+	if ds := db.DurabilityStats(); ds.Enabled && (ds.SnapshotPairs > 0 || ds.ReplayedFrames > 0) {
+		fmt.Printf("kvserver recovered %d snapshot pairs + %d log frames in %.2f ms\n",
+			ds.SnapshotPairs, ds.ReplayedFrames, float64(ds.RecoveryNs)/1e6)
+	}
+	s := newServer(db)
 
 	addr := *listen
 	if addr == "" {
@@ -182,7 +280,14 @@ func main() {
 	fmt.Printf("kvserver listening on %s (%s)\n", ln.Addr(), db.Kind())
 
 	if *listen != "" {
-		select {} // serve forever
+		// Serve until SIGINT/SIGTERM, then drain and exit cleanly.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		got := <-sig
+		fmt.Printf("kvserver: %v: draining (deadline %s)\n", got, *drainFor)
+		s.shutdown(ln, *drainFor)
+		fmt.Println("kvserver: shutdown complete")
+		return
 	}
 
 	// Built-in demo: concurrent clients over real sockets.
@@ -240,4 +345,5 @@ func main() {
 		fmt.Println("  reply:", sc.Text())
 	}
 	conn.Close()
+	s.shutdown(ln, *drainFor)
 }

@@ -28,6 +28,7 @@ func runStore(kind eunomia.Kind) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 
 	// Load phase: populate half the key space.
 	loader := db.NewThread()

@@ -14,6 +14,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 
 	// Every worker goroutine gets its own Thread handle.
 	th := db.NewThread()
@@ -24,16 +25,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if v, ok := th.Get(12); ok {
+	if v, ok, _ := th.Get(12); ok {
 		fmt.Printf("get(12) = %d\n", v)
 	}
 
 	// Updates are in-place; deletes tombstone and clean up lazily.
 	th.Put(12, 999)
-	v, _ := th.Get(12)
+	v, _, _ := th.Get(12)
 	fmt.Printf("after update, get(12) = %d\n", v)
 	th.Delete(13)
-	if _, ok := th.Get(13); !ok {
+	if _, ok, _ := th.Get(13); !ok {
 		fmt.Println("get(13) after delete: not found")
 	}
 

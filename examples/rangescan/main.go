@@ -20,6 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 
 	// Concurrent appenders (virtual time): 8 writers interleave events,
 	// each tagging values with its writer id.
@@ -43,7 +44,7 @@ func main() {
 	// Windowed range query: 20 events starting at timestamp 5000.
 	fmt.Println("window [5000, ...), 20 events:")
 	prev := uint64(0)
-	n := reader.Scan(5000, 20, func(ts, val uint64) bool {
+	n, _ := reader.Scan(5000, 20, func(ts, val uint64) bool {
 		if ts < prev {
 			log.Fatalf("scan out of order: %d after %d", ts, prev)
 		}

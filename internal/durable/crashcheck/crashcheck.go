@@ -1,0 +1,294 @@
+// Package crashcheck is the crash-recovery correctness harness: it runs a
+// concurrent write workload against a durable DB on a fault-injecting
+// in-memory filesystem, kills the "machine" at a chosen IO point
+// (discarding unsynced bytes, leaving torn tails), recovers into a fresh
+// DB, and asserts — with the complete linearizability checker from
+// internal/check — that the recovered state is consistent with a per-key
+// prefix of the history containing every acknowledged operation.
+//
+// The history it checks is built from three ingredients:
+//
+//   - Acknowledged writes, with their real invocation/response windows. An
+//     acknowledged write returned from Put/Delete before the crash, which
+//     with durability on means it was fsynced; losing one is a
+//     linearizability violation (the post-recovery read cannot be ordered
+//     after it).
+//   - In-flight writes — operations that returned an error because the
+//     crash interrupted them. Whether they reached the disk is genuinely
+//     unknown (the torn-tail model may preserve them), so their windows
+//     are left open past every post-recovery observation: the checker may
+//     order them before the recovery reads (they survived) or after (they
+//     were lost), both legal.
+//   - One post-recovery Get per key in the workload's key universe.
+//
+// Pre-crash reads are deliberately NOT recorded: a read may observe an
+// applied-but-not-yet-flushed write whose acknowledgement the crash then
+// swallows. That is correct behavior for a WAL with group commit (reads
+// are served from memory), but it would look like a violation if the read
+// were replayed against the durable prefix alone.
+package crashcheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia"
+	"eunomia/internal/check"
+	"eunomia/internal/durable"
+)
+
+// Scenario is one fully-specified crash-recovery run. The zero value of
+// any field means its default; String/Parse round-trip it for the
+// EUNO_CRASH_REPRO one-command repro.
+type Scenario struct {
+	Kind  eunomia.Kind
+	Procs int    // concurrent writer goroutines (default 2)
+	Ops   int    // operations per writer (default 40)
+	Keys  uint64 // key universe size (default 16)
+	Seed  uint64 // workload RNG seed
+
+	CrashAtIO uint64 // IO point at which the machine dies (0 = never)
+	TornSeed  uint64 // how much unsynced tail survives the crash
+
+	FlushInterval  time.Duration
+	FlushBytes     int
+	Shards         int
+	SnapshotBytes  int64
+	AckBeforeFlush bool // the deliberately broken mode the harness must catch
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Procs == 0 {
+		s.Procs = 2
+	}
+	if s.Ops == 0 {
+		s.Ops = 40
+	}
+	if s.Keys == 0 {
+		s.Keys = 16
+	}
+	return s
+}
+
+// String encodes the scenario as the repro token used by EUNO_CRASH_REPRO.
+func (s Scenario) String() string {
+	return fmt.Sprintf("kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,interval=%d,flushbytes=%d,shards=%d,snapbytes=%d,ack=%d",
+		int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed,
+		int64(s.FlushInterval), s.FlushBytes, s.Shards, s.SnapshotBytes, b2i(s.AckBeforeFlush))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Parse decodes a Scenario from its String form.
+func Parse(tok string) (Scenario, error) {
+	var s Scenario
+	for _, kv := range strings.Split(strings.TrimSpace(tok), ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return s, fmt.Errorf("crashcheck: bad field %q", kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("crashcheck: bad value in %q: %v", kv, err)
+		}
+		switch name {
+		case "kind":
+			s.Kind = eunomia.Kind(n)
+		case "procs":
+			s.Procs = int(n)
+		case "ops":
+			s.Ops = int(n)
+		case "keys":
+			s.Keys = uint64(n)
+		case "seed":
+			s.Seed = uint64(n)
+		case "crash":
+			s.CrashAtIO = uint64(n)
+		case "torn":
+			s.TornSeed = uint64(n)
+		case "interval":
+			s.FlushInterval = time.Duration(n)
+		case "flushbytes":
+			s.FlushBytes = int(n)
+		case "shards":
+			s.Shards = int(n)
+		case "snapbytes":
+			s.SnapshotBytes = n
+		case "ack":
+			s.AckBeforeFlush = n != 0
+		default:
+			return s, fmt.Errorf("crashcheck: unknown field %q", name)
+		}
+	}
+	return s, nil
+}
+
+// ReproLine renders the one-command repro for a failing scenario.
+func ReproLine(s Scenario) string {
+	return fmt.Sprintf("EUNO_CRASH_REPRO='%s' go test ./internal/durable/crashcheck -run TestCrashRepro -v", s)
+}
+
+// Result reports one Run.
+type Result struct {
+	Crashed bool // whether the injected crash actually fired
+	Acked   int  // writes acknowledged before the crash
+	Checked int  // operations in the checked history
+	// Err is a linearizability violation (acknowledged-write loss,
+	// resurrection inconsistent with any prefix) or a recovery failure.
+	Err error
+}
+
+// Run executes one crash-recovery scenario.
+func Run(s Scenario) Result {
+	s = s.withDefaults()
+	fs := durable.NewMemFS(durable.FaultPlan{CrashAtIO: s.CrashAtIO, TornSeed: s.TornSeed})
+	open := func() (*eunomia.DB, error) {
+		return eunomia.Open(eunomia.Options{
+			Kind:       s.Kind,
+			ArenaWords: 1 << 19,
+			Durability: eunomia.Durability{
+				Dir:            "crashdb",
+				FS:             fs,
+				FlushInterval:  s.FlushInterval,
+				FlushBytes:     s.FlushBytes,
+				Shards:         s.Shards,
+				SnapshotBytes:  s.SnapshotBytes,
+				AckBeforeFlush: s.AckBeforeFlush,
+			},
+		})
+	}
+	db, err := open()
+	if err != nil {
+		return Result{Err: fmt.Errorf("crashcheck: first open: %w", err)}
+	}
+
+	// Phase 1: concurrent writers until done or killed by the crash. Wall
+	// timestamps come from one shared atomic counter, so rsp(a) < inv(b)
+	// is a sound happened-before across goroutines.
+	var clock atomic.Uint64
+	var mu sync.Mutex
+	var acked []check.Op
+	var inflight []check.Op // response timestamps patched later
+	var wg sync.WaitGroup
+	for p := 0; p < s.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := db.NewThread()
+			rng := s.Seed*0x9E3779B97F4A7C15 + uint64(p)*0xBF58476D1CE4E5B9 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < s.Ops; i++ {
+				key := next()%s.Keys + 1
+				// Unique nonzero value per (proc, i): a recovered value
+				// that was never written is impossible to fabricate.
+				val := uint64(p)<<40 | uint64(i)<<8 | 0x5
+				del := next()%10 < 3
+				inv := clock.Add(1)
+				var op check.Op
+				var err error
+				if del {
+					var ok bool
+					ok, err = th.Delete(key)
+					op = check.Op{Kind: check.Delete, Key: key, OK: ok, Proc: p}
+				} else {
+					err = th.Put(key, val)
+					op = check.Op{Kind: check.Put, Key: key, Val: val, OK: true, Proc: p}
+				}
+				op.Inv = inv
+				op.Rsp = clock.Add(1)
+				mu.Lock()
+				if err == nil {
+					acked = append(acked, op)
+					mu.Unlock()
+					continue
+				}
+				// The crash interrupted this operation: effect unknown.
+				// Absent deletes observed nothing and wrote nothing — drop
+				// them; everything else stays with an open window.
+				if !(del && !op.OK) {
+					inflight = append(inflight, op)
+				}
+				mu.Unlock()
+				return // this worker's process is dead
+			}
+		}(p)
+	}
+	wg.Wait()
+	res := Result{Crashed: fs.Crashed(), Acked: len(acked)}
+	db.Close() // errors expected after a crash
+
+	// Phase 2: reboot and recover.
+	fs.Reboot()
+	db2, err := open()
+	if err != nil {
+		res.Err = fmt.Errorf("crashcheck: recovery failed: %w", err)
+		return res
+	}
+	defer db2.Close()
+
+	// Phase 3: observe the whole key universe, then close the in-flight
+	// windows after every observation so the checker may order them on
+	// either side.
+	ops := acked
+	th := db2.NewThread()
+	for key := uint64(1); key <= s.Keys; key++ {
+		inv := clock.Add(1)
+		v, ok, err := th.Get(key)
+		if err != nil {
+			res.Err = fmt.Errorf("crashcheck: post-recovery get(%d): %w", key, err)
+			return res
+		}
+		ops = append(ops, check.Op{
+			Kind: check.Get, Key: key, Val: v, OK: ok,
+			Inv: inv, Rsp: clock.Add(1), Proc: s.Procs,
+		})
+	}
+	end := clock.Add(1)
+	for _, op := range inflight {
+		op.Rsp = end
+		ops = append(ops, op)
+	}
+	res.Checked = len(ops)
+	if err := check.Check(check.History{Ops: ops}); err != nil {
+		res.Err = fmt.Errorf("crashcheck: %w\nrepro: %s", err, ReproLine(s))
+	}
+	return res
+}
+
+// Sweep runs the scenario once per crash point in [1, points], returning
+// how many crashes actually fired and the first failure (nil if none).
+func Sweep(base Scenario, points uint64) (fired int, firstErr error) {
+	for p := uint64(1); p <= points; p++ {
+		s := base
+		s.CrashAtIO = p
+		s.TornSeed = p*2654435761 + base.Seed
+		r := Run(s)
+		if r.Crashed {
+			fired++
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+	}
+	return fired, firstErr
+}
+
+// sortOps orders a history by invocation time (test/debug helper).
+func sortOps(ops []check.Op) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+}

@@ -1,0 +1,109 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Frame format (all integers little-endian):
+//
+//	+--------+--------+---------------------------+
+//	| len u32| crc u32| payload (len bytes)       |
+//	+--------+--------+---------------------------+
+//
+// crc is CRC32C (Castagnoli) over the payload. The payload is
+//
+//	op u8 | seq u64 | key u64 | val u64 (put/snap-record frames only)
+//
+// so a frame is either 17 or 25 payload bytes; anything else fails
+// validation, which is what makes a zeroed tail (len=0) or a length
+// landing past EOF (truncated frame) detectable without a scan-forward
+// heuristic. Recovery truncates a file at the first frame that fails any
+// of these checks — torn tails are expected after a crash, and everything
+// past the tear was never acknowledged.
+const (
+	frameHeaderSize = 8
+	payloadDel      = 17 // op + seq + key
+	payloadPut      = 25 // op + seq + key + val
+	maxFrameSize    = frameHeaderSize + payloadPut
+)
+
+// Frame op codes. WAL segments hold only put and delete frames; snapshot
+// files hold a header, records, and a footer.
+const (
+	opPut        = 1
+	opDel        = 2
+	opSnapHeader = 3 // seq = base LSN, key = snapshot id
+	opSnapRecord = 4 // key/val pair captured by the snapshot scan
+	opSnapFooter = 5 // seq = base LSN, key = record count
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is one decoded record.
+type frame struct {
+	op  byte
+	seq uint64
+	key uint64
+	val uint64
+}
+
+// hasVal reports whether the op carries a value word.
+func hasVal(op byte) bool { return op == opPut || op == opSnapRecord }
+
+// appendFrame encodes f onto buf.
+func appendFrame(buf []byte, f frame) []byte {
+	plen := payloadDel
+	if hasVal(f.op) {
+		plen = payloadPut
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize+plen)...)
+	p := buf[start+frameHeaderSize:]
+	p[0] = f.op
+	binary.LittleEndian.PutUint64(p[1:], f.seq)
+	binary.LittleEndian.PutUint64(p[9:], f.key)
+	if hasVal(f.op) {
+		binary.LittleEndian.PutUint64(p[17:], f.val)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// decodeFrame decodes the frame at data[off:]. ok=false means the bytes
+// at off do not form a valid frame (torn tail, zeroed region, bit flip) —
+// recovery stops reading the file there.
+func decodeFrame(data []byte, off int) (f frame, size int, ok bool) {
+	if off+frameHeaderSize > len(data) {
+		return f, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(data[off:]))
+	if plen != payloadDel && plen != payloadPut {
+		return f, 0, false
+	}
+	if off+frameHeaderSize+plen > len(data) {
+		return f, 0, false
+	}
+	p := data[off+frameHeaderSize : off+frameHeaderSize+plen]
+	if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+		return f, 0, false
+	}
+	f.op = p[0]
+	f.seq = binary.LittleEndian.Uint64(p[1:])
+	f.key = binary.LittleEndian.Uint64(p[9:])
+	if hasVal(f.op) {
+		if plen != payloadPut {
+			return f, 0, false
+		}
+		f.val = binary.LittleEndian.Uint64(p[17:])
+	} else if plen != payloadDel {
+		return f, 0, false
+	}
+	switch f.op {
+	case opPut, opDel, opSnapHeader, opSnapRecord, opSnapFooter:
+	default:
+		return f, 0, false
+	}
+	return f, frameHeaderSize + plen, true
+}

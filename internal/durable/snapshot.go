@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot files are named snap-<id>.snap and contain one header frame
+// (base LSN + id), the scanned key/value records, and a footer frame
+// whose count must match — a snapshot missing its footer (crash mid-scan)
+// is ignored by recovery. Snapshots are written to a .tmp name and
+// renamed into place only after the WAL has been flushed through
+// everything the scan could have observed, so a committed snapshot never
+// resurrects an unacknowledged write.
+
+// snapName is the on-disk name of a committed snapshot.
+func snapName(id uint64) string { return fmt.Sprintf("snap-%012d.snap", id) }
+
+// parseSnapName extracts the id from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+	return id, err == nil
+}
+
+// snapshotWriter streams records into a snapshot temp file.
+type snapshotWriter struct {
+	f     File
+	buf   []byte
+	count uint64
+	base  uint64
+	err   error
+}
+
+const snapFlushChunk = 64 << 10
+
+func newSnapshotWriter(f File, baseLSN, id uint64) *snapshotWriter {
+	w := &snapshotWriter{f: f, base: baseLSN}
+	w.buf = appendFrame(w.buf, frame{op: opSnapHeader, seq: baseLSN, key: id})
+	return w
+}
+
+// Add appends one scanned pair.
+func (w *snapshotWriter) Add(key, val uint64) {
+	if w.err != nil {
+		return
+	}
+	w.buf = appendFrame(w.buf, frame{op: opSnapRecord, key: key, val: val})
+	w.count++
+	if len(w.buf) >= snapFlushChunk {
+		w.err = writeAll(w.f, w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+// finish writes the footer and syncs. The caller renames on success.
+func (w *snapshotWriter) finish() (uint64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf = appendFrame(w.buf, frame{op: opSnapFooter, seq: w.base, key: w.count})
+	if err := writeAll(w.f, w.buf); err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	return w.count, nil
+}
+
+// readSnapshot validates and decodes a snapshot file. ok=false means the
+// file is torn, corrupt, or footerless and must be ignored.
+func readSnapshot(data []byte) (baseLSN uint64, pairs []frame, ok bool) {
+	off := 0
+	h, n, ok := decodeFrame(data, off)
+	if !ok || h.op != opSnapHeader {
+		return 0, nil, false
+	}
+	off += n
+	for {
+		f, n, ok := decodeFrame(data, off)
+		if !ok {
+			return 0, nil, false
+		}
+		off += n
+		switch f.op {
+		case opSnapRecord:
+			pairs = append(pairs, f)
+		case opSnapFooter:
+			if f.key != uint64(len(pairs)) || f.seq != h.seq || off != len(data) {
+				return 0, nil, false
+			}
+			return h.seq, pairs, true
+		default:
+			return 0, nil, false
+		}
+	}
+}
+
+// bestSnapshot picks the committed snapshot with the highest base LSN
+// (ties broken by id), ignoring invalid files. It returns the chosen
+// file's name for bookkeeping and every other snapshot name for cleanup.
+func bestSnapshot(cfg Config, names []string) (chosen string, baseLSN uint64, pairs []frame, maxID uint64, others []string) {
+	type cand struct {
+		name string
+		id   uint64
+	}
+	var cands []cand
+	for _, name := range names {
+		if id, ok := parseSnapName(name); ok {
+			cands = append(cands, cand{name, id})
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	// Highest id first: ids are monotone, so the newest valid snapshot
+	// wins and also has the highest base LSN.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id > cands[j].id })
+	for _, c := range cands {
+		if chosen != "" {
+			others = append(others, c.name)
+			continue
+		}
+		data, err := readFileAll(cfg.FS, join(cfg.Dir, c.name))
+		if err != nil {
+			others = append(others, c.name)
+			continue
+		}
+		if base, p, ok := readSnapshot(data); ok {
+			chosen, baseLSN, pairs = c.name, base, p
+		} else {
+			others = append(others, c.name)
+		}
+	}
+	return chosen, baseLSN, pairs, maxID, others
+}
+
+// readFileAll slurps a file through the FS interface.
+func readFileAll(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var data []byte
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := f.Read(buf)
+		data = append(data, buf[:n]...)
+		if err == io.EOF {
+			return data, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/metrics"
+)
+
+// latHist is the flush-latency histogram (wall nanoseconds).
+type latHist = metrics.Histogram
+
+// Config configures a Store.
+type Config struct {
+	// FS is the filesystem (default OSFS). Tests inject a MemFS.
+	FS FS
+	// Dir is the directory holding WAL segments and snapshots.
+	Dir string
+	// Shards is the number of WAL append files (default 8). A key's
+	// shard is fixed, so per-key log order equals per-key apply order.
+	Shards int
+	// FlushInterval enables timed group commit: appenders park and a
+	// background flusher syncs every interval. 0 means leader-based
+	// immediate group commit (the appender that finds no flush in
+	// progress syncs the whole pending batch itself).
+	FlushInterval time.Duration
+	// FlushBytes triggers an early flush once a shard's pending batch
+	// reaches this size. 0 disables the threshold.
+	FlushBytes int
+	// SnapshotBytes triggers an automatic snapshot (via the registered
+	// scan) once that many WAL bytes have been appended since the last
+	// one. 0 disables automatic snapshots; Snapshot can still be called.
+	SnapshotBytes int64
+	// AckBeforeFlush is a deliberately broken mode for the crash-recovery
+	// checker: operations acknowledge after append, before the flush. A
+	// crash then loses acknowledged writes, which the checker must catch.
+	// Never enable outside tests.
+	AckBeforeFlush bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = OSFS{}
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// Op is a recovered operation handed to the replay callback.
+type Op struct {
+	Seq      uint64
+	Key, Val uint64
+	Delete   bool
+}
+
+// RecoveryInfo reports what recovery found and how long it took.
+type RecoveryInfo struct {
+	DurationNs     int64
+	SnapshotBase   uint64 // base LSN of the snapshot used (0 = none)
+	SnapshotPairs  uint64 // records loaded from the snapshot
+	ReplayedFrames uint64 // log frames applied (seq > snapshot base)
+	SkippedFrames  uint64 // log frames skipped (already covered)
+	TornTails      int    // files truncated at a bad frame
+	Segments       int    // segment files read
+	MaxSeq         uint64 // highest sequence number seen
+}
+
+// Stats is a point-in-time snapshot of the durability layer's behavior.
+type Stats struct {
+	// Group commit.
+	Flushes       uint64
+	FlushedFrames uint64
+	FlushedBytes  uint64
+	MaxBatch      uint64  // largest frames-per-fsync batch
+	AvgBatch      float64 // FlushedFrames / Flushes
+	FlushP50Ns    uint64
+	FlushP99Ns    uint64
+	FlushMaxNs    uint64
+	// Snapshots.
+	Snapshots      uint64
+	SnapshotErrors uint64
+	// Recovery (from this Store's Open).
+	Recovery RecoveryInfo
+}
+
+// Store is the durability engine: a sharded group-committed WAL plus
+// snapshot/truncate/recover machinery. One Store backs one tree.
+type Store struct {
+	cfg Config
+	wal *wal
+
+	seq    atomic.Uint64 // last assigned LSN
+	closed atomic.Bool
+
+	snapMu         sync.Mutex // serializes snapshots
+	snapshotting   atomic.Bool
+	snapID         atomic.Uint64
+	bytesSinceSnap atomic.Int64
+
+	snapshots      atomic.Uint64
+	snapshotErrors atomic.Uint64
+
+	recovery RecoveryInfo
+}
+
+// Open recovers existing state (replaying the newest valid snapshot and
+// then every log frame past its base LSN into the apply callback) and
+// readies the Store for appends. Replay order is per-shard append order,
+// which per key equals acknowledgement order; torn or corrupt tail
+// frames are truncated, never applied.
+func Open(cfg Config, apply func(Op)) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg}
+
+	start := time.Now()
+	info := &st.recovery
+	names, err := cfg.FS.List(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Newest committed snapshot.
+	chosen, baseLSN, pairs, maxSnapID, stale := bestSnapshot(cfg, names)
+	if chosen != "" {
+		info.SnapshotBase = baseLSN
+		info.SnapshotPairs = uint64(len(pairs))
+		for _, p := range pairs {
+			apply(Op{Key: p.key, Val: p.val})
+		}
+	}
+	st.snapID.Store(maxSnapID)
+
+	// 2. Log tail: per shard, generations in order, frames in file order.
+	// A bad frame truncates the rest of that shard's log (the tear marks
+	// where acknowledged — synced — bytes end).
+	maxSeq := baseLSN
+	maxGen := 0
+	for _, segs := range groupSegments(names) {
+		torn := false
+		for _, sg := range segs {
+			if sg.gen > maxGen {
+				maxGen = sg.gen
+			}
+			if torn {
+				continue // a tear in an earlier generation orphans later ones
+			}
+			data, err := readFileAll(cfg.FS, join(cfg.Dir, sg.name))
+			if err != nil {
+				return nil, err
+			}
+			info.Segments++
+			off := 0
+			for off < len(data) {
+				f, n, ok := decodeFrame(data, off)
+				if !ok || (f.op != opPut && f.op != opDel) {
+					info.TornTails++
+					torn = true
+					break
+				}
+				off += n
+				if f.seq > maxSeq {
+					maxSeq = f.seq
+				}
+				if f.seq <= baseLSN {
+					info.SkippedFrames++
+					continue
+				}
+				apply(Op{Seq: f.seq, Key: f.key, Val: f.val, Delete: f.op == opDel})
+				info.ReplayedFrames++
+			}
+		}
+	}
+	st.seq.Store(maxSeq)
+	info.MaxSeq = maxSeq
+
+	// 3. Stale snapshots are garbage; old segments stay until the next
+	// snapshot truncates them.
+	for _, name := range stale {
+		cfg.FS.Remove(join(cfg.Dir, name))
+	}
+
+	// 4. Fresh generation for new appends (never append to a possibly
+	// torn file).
+	st.wal, err = newWAL(cfg, maxGen+1)
+	if err != nil {
+		return nil, err
+	}
+	info.DurationNs = time.Since(start).Nanoseconds()
+	return st, nil
+}
+
+// segment names a parsed WAL file.
+type segment struct {
+	name  string
+	shard int
+	gen   int
+}
+
+// groupSegments parses wal-<shard>-<gen>.log names and groups them by
+// shard with generations ascending.
+func groupSegments(names []string) map[int][]segment {
+	out := map[int][]segment{}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), "-")
+		if len(parts) != 2 {
+			continue
+		}
+		sh, err1 := strconv.Atoi(parts[0])
+		gen, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out[sh] = append(out[sh], segment{name: name, shard: sh, gen: gen})
+	}
+	for sh := range out {
+		segs := out[sh]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+		out[sh] = segs
+	}
+	return out
+}
+
+// ErrStoreClosed is returned by operations on a closed Store.
+var ErrStoreClosed = errors.New("durable: store closed")
+
+// LogPut runs apply (the tree insert) and the WAL append atomically with
+// respect to the key's shard, then blocks until the record is durable —
+// acknowledged-only-after-flush. apply runs even on a poisoned log (the
+// in-memory tree stays usable); the error reports that durability was
+// not achieved, and the caller must not acknowledge.
+func (st *Store) LogPut(key, val uint64, apply func()) error {
+	return st.log(frame{op: opPut, key: key, val: val}, apply)
+}
+
+// LogDelete is LogPut for deletions. apply reports whether the key was
+// present; an absent-key delete mutates nothing and is not logged.
+func (st *Store) LogDelete(key uint64, apply func() bool) (bool, error) {
+	if st.closed.Load() {
+		return false, ErrStoreClosed
+	}
+	s := st.wal.shardFor(key)
+	s.lock()
+	before := len(s.pending)
+	ok := apply()
+	if !ok {
+		s.unlock()
+		return false, nil // read-only: nothing to make durable
+	}
+	seq := st.seq.Add(1)
+	s.appendLocked(frame{op: opDel, seq: seq, key: key})
+	n := len(s.pending)
+	s.unlock()
+	return true, st.ack(s, seq, n, n-before)
+}
+
+// log is the shared put/delete append path.
+func (st *Store) log(f frame, apply func()) error {
+	if st.closed.Load() {
+		return ErrStoreClosed
+	}
+	s := st.wal.shardFor(f.key)
+	s.lock()
+	before := len(s.pending)
+	apply()
+	f.seq = st.seq.Add(1)
+	s.appendLocked(f)
+	n := len(s.pending)
+	s.unlock()
+	return st.ack(s, f.seq, n, n-before)
+}
+
+// ack waits for durability (or, in the broken AckBeforeFlush mode,
+// doesn't — the mode the crash checker exists to catch) and accounts the
+// appended bytes toward the auto-snapshot threshold.
+func (st *Store) ack(s *shard, seq uint64, pendingBytes, frameBytes int) error {
+	st.bytesSinceSnap.Add(int64(frameBytes))
+	if st.cfg.FlushBytes > 0 && pendingBytes >= st.cfg.FlushBytes {
+		if st.wal.interval > 0 {
+			st.wal.kickFlush()
+		}
+		// With no interval flusher the waiter below flushes immediately
+		// anyway.
+	}
+	if st.cfg.AckBeforeFlush {
+		// BROKEN: acknowledge before the data is durable. A timed or
+		// threshold flush will eventually sync it — unless the crash
+		// comes first.
+		if st.wal.interval == 0 && st.cfg.FlushBytes > 0 && pendingBytes >= st.cfg.FlushBytes {
+			return st.wal.waitFlushed(s, seq)
+		}
+		return nil
+	}
+	return st.wal.waitFlushed(s, seq)
+}
+
+// NeedSnapshot reports whether the auto-snapshot threshold has been
+// crossed and, if so, atomically claims the snapshot slot: a true return
+// obliges the caller to call Snapshot.
+func (st *Store) NeedSnapshot() bool {
+	if st.cfg.SnapshotBytes <= 0 || st.closed.Load() {
+		return false
+	}
+	if st.bytesSinceSnap.Load() < st.cfg.SnapshotBytes {
+		return false
+	}
+	return st.snapshotting.CompareAndSwap(false, true)
+}
+
+// Snapshot captures the tree through scan (which must emit every live
+// key/value pair), commits the snapshot, and truncates covered log
+// segments. claimed says whether the caller holds the NeedSnapshot claim.
+//
+// Protocol (the order is what makes crash-anywhere safe):
+//  1. rotate shards to fresh segments — every frame in a sealed segment
+//     has seq <= the base LSN captured next;
+//  2. capture base LSN, scan the tree into snap-<id>.tmp;
+//  3. sweep the shard locks, flush everything the scan could have
+//     observed (apply and append share the shard lock, so after the
+//     sweep any scanned-but-unlogged operation has its seq assigned and
+//     a full flush covers it);
+//  4. sync + rename the snapshot into place — only now is it eligible
+//     for recovery;
+//  5. delete sealed segments and stale snapshots (pure space reclaim;
+//     crashing before this is safe because replay skips seq <= base).
+func (st *Store) Snapshot(scan func(emit func(key, val uint64)) error, claimed bool) error {
+	if !claimed {
+		if !st.snapshotting.CompareAndSwap(false, true) {
+			return nil // one at a time; the other snapshot covers us
+		}
+	}
+	defer st.snapshotting.Store(false)
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	if st.closed.Load() {
+		return ErrStoreClosed
+	}
+	err := st.snapshotLocked(scan)
+	if err != nil {
+		st.snapshotErrors.Add(1)
+	} else {
+		st.snapshots.Add(1)
+		st.bytesSinceSnap.Store(0)
+	}
+	return err
+}
+
+func (st *Store) snapshotLocked(scan func(emit func(key, val uint64)) error) error {
+	sealed, err := st.wal.rotate()
+	if err != nil {
+		return err
+	}
+	base := st.seq.Load()
+	id := st.snapID.Add(1)
+	tmp := join(st.cfg.Dir, snapName(id)+".tmp")
+	f, err := st.cfg.FS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := newSnapshotWriter(f, base, id)
+	if err := scan(w.Add); err != nil {
+		f.Close()
+		st.cfg.FS.Remove(tmp)
+		return err
+	}
+	// Barrier + flush: everything the scan observed is in the log and
+	// durable before the snapshot becomes visible to recovery.
+	st.wal.sweepLocks()
+	if err := st.wal.syncAll(); err != nil {
+		f.Close()
+		st.cfg.FS.Remove(tmp)
+		return err
+	}
+	if _, err := w.finish(); err != nil {
+		f.Close()
+		st.cfg.FS.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := st.cfg.FS.Rename(tmp, join(st.cfg.Dir, snapName(id))); err != nil {
+		return err
+	}
+	// Truncation: sealed segments are fully covered by the snapshot.
+	for _, name := range sealed {
+		st.cfg.FS.Remove(join(st.cfg.Dir, name))
+	}
+	if id > 0 {
+		st.cfg.FS.Remove(join(st.cfg.Dir, snapName(id-1)))
+	}
+	return nil
+}
+
+// Sync flushes every shard — the DB.Sync entry point.
+func (st *Store) Sync() error {
+	if st.closed.Load() {
+		return ErrStoreClosed
+	}
+	return st.wal.syncAll()
+}
+
+// Close flushes and closes the log. Idempotent; operations after Close
+// fail.
+func (st *Store) Close() error {
+	if !st.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return st.wal.close()
+}
+
+// RecoveryInfo returns what this Store's Open recovered.
+func (st *Store) RecoveryInfo() RecoveryInfo { return st.recovery }
+
+// Stats snapshots the durability counters.
+func (st *Store) Stats() Stats {
+	ws := &st.wal.stats
+	ws.mu.Lock()
+	out := Stats{
+		Flushes:       ws.flushes,
+		FlushedFrames: ws.frames,
+		FlushedBytes:  ws.bytes,
+		MaxBatch:      ws.maxBatch,
+		FlushP50Ns:    ws.lat.Quantile(0.50),
+		FlushP99Ns:    ws.lat.Quantile(0.99),
+		FlushMaxNs:    ws.lat.Max(),
+	}
+	if ws.flushes > 0 {
+		out.AvgBatch = float64(ws.frames) / float64(ws.flushes)
+	}
+	ws.mu.Unlock()
+	out.Snapshots = st.snapshots.Load()
+	out.SnapshotErrors = st.snapshotErrors.Load()
+	out.Recovery = st.recovery
+	return out
+}
+
+// String renders a Stats one-liner for logs and STATS protocol replies.
+func (s Stats) String() string {
+	return fmt.Sprintf("flushes=%d frames=%d batch_max=%d batch_avg=%.1f p99_us=%d snaps=%d recovered_frames=%d recovery_ms=%.2f",
+		s.Flushes, s.FlushedFrames, s.MaxBatch, s.AvgBatch,
+		s.FlushP99Ns/1000, s.Snapshots, s.Recovery.ReplayedFrames,
+		float64(s.Recovery.DurationNs)/1e6)
+}

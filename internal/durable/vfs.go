@@ -1,0 +1,101 @@
+// Package durable adds crash durability to the in-memory trees: a
+// group-committed write-ahead log (per-shard append files with
+// CRC32C-framed records and acknowledged-only-after-flush semantics),
+// periodic snapshots with log truncation, and recovery that replays
+// snapshot + log tail and tolerates torn or partial tail records.
+//
+// The package is tree-agnostic: a Store serializes apply+append per shard
+// through caller-supplied closures, so any of the four tree
+// implementations (or anything else) can sit above it. Everything goes
+// through the FS interface below, which has two implementations: OSFS
+// (real files) and MemFS (in-memory, with fault injection and
+// crash-at-point semantics for the crash-recovery checker).
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the os.File-shaped handle the WAL and snapshot writers use.
+// Write may perform a short write (n < len(p) with a non-nil error, like
+// os.File); Sync makes all previously written bytes durable.
+type File interface {
+	io.Writer
+	io.Reader
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durability layer needs. Paths are
+// slash-separated and interpreted relative to the FS root.
+type FS interface {
+	// Create truncates-or-creates name for writing (snapshot temp files).
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent (WAL
+	// segments).
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only (recovery).
+	Open(name string) (File, error)
+	// Rename atomically moves oldname to newname (snapshot commit).
+	Rename(oldname, newname string) error
+	// Remove deletes name (log truncation, stale snapshots).
+	Remove(name string) error
+	// List returns the base names of all files under dir.
+	List(dir string) ([]string, error)
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+}
+
+// OSFS implements FS over the real filesystem rooted at the process
+// working directory (paths may be absolute).
+type OSFS struct{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// join joins dir and name for any FS (both use slash paths).
+func join(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return filepath.ToSlash(filepath.Join(dir, name))
+}

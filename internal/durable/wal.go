@@ -1,0 +1,346 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrWALFailed wraps the first fatal WAL error (failed fsync, write error,
+// crash): once a shard's log is poisoned, no later operation on it is
+// ever acknowledged.
+var ErrWALFailed = errors.New("durable: write-ahead log failed")
+
+// shard is one append log: a mutex serializing apply+append (so the log
+// order of a key equals its apply order), a pending group-commit buffer,
+// and a flushed-LSN watermark that acknowledgement waits on.
+type shard struct {
+	id int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        File
+	gen      int
+	pending  []byte // encoded frames not yet written+synced
+	nFrames  int    // frames in pending
+	lastSeq  uint64 // seq of the newest appended frame
+	flushed  uint64 // seq watermark: everything <= flushed is durable
+	flushing bool   // a leader is mid-flush
+	err      error  // first fatal error; poisons the shard
+	closed   bool
+}
+
+// segmentName is the on-disk name of a WAL segment.
+func segmentName(shard, gen int) string {
+	return fmt.Sprintf("wal-%03d-%06d.log", shard, gen)
+}
+
+// lock/unlock expose the shard mutex to Store's apply+append critical
+// section.
+func (s *shard) lock()   { s.mu.Lock() }
+func (s *shard) unlock() { s.mu.Unlock() }
+
+// appendLocked encodes a frame into the pending buffer. Caller holds mu.
+func (s *shard) appendLocked(f frame) {
+	s.pending = appendFrame(s.pending, f)
+	s.nFrames++
+	s.lastSeq = f.seq
+}
+
+// flushLocked runs the leader protocol until everything appended at entry
+// is durable (or the shard fails). Caller holds mu; mu is released around
+// the file IO and re-held on return. immediate controls whether this
+// caller may become the flush leader itself (false = park and wait for
+// the interval flusher).
+func (w *wal) flushLocked(s *shard, upto uint64, immediate bool) error {
+	for s.flushed < upto {
+		if s.err != nil {
+			return fmt.Errorf("%w: %v", ErrWALFailed, s.err)
+		}
+		if s.closed {
+			return fmt.Errorf("%w: log closed", ErrWALFailed)
+		}
+		if s.flushing || !immediate {
+			s.cond.Wait()
+			continue
+		}
+		w.leaderFlush(s)
+	}
+	return nil
+}
+
+// leaderFlush takes the pending buffer and makes it durable. Caller holds
+// mu; the file IO happens with mu released.
+func (w *wal) leaderFlush(s *shard) {
+	if s.nFrames == 0 {
+		s.flushed = s.lastSeq
+		s.cond.Broadcast()
+		return
+	}
+	s.flushing = true
+	buf := s.pending
+	frames := s.nFrames
+	target := s.lastSeq
+	s.pending = nil
+	s.nFrames = 0
+	f := s.f
+	s.mu.Unlock()
+
+	start := time.Now()
+	err := writeAll(f, buf)
+	if err == nil {
+		err = f.Sync()
+	}
+	lat := time.Since(start)
+
+	s.mu.Lock()
+	s.flushing = false
+	if err != nil {
+		s.err = err
+	} else {
+		s.flushed = target
+		w.stats.mu.Lock()
+		w.stats.flushes++
+		w.stats.frames += uint64(frames)
+		w.stats.bytes += uint64(len(buf))
+		if uint64(frames) > w.stats.maxBatch {
+			w.stats.maxBatch = uint64(frames)
+		}
+		w.stats.lat.Observe(uint64(lat.Nanoseconds()))
+		w.stats.mu.Unlock()
+	}
+	s.cond.Broadcast()
+}
+
+// writeAll retries short writes (io.ErrShortWrite with partial progress),
+// failing on any other error.
+func writeAll(f File, buf []byte) error {
+	for len(buf) > 0 {
+		n, err := f.Write(buf)
+		buf = buf[n:]
+		if err == io.ErrShortWrite && n > 0 {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walStats accumulates group-commit behavior.
+type walStats struct {
+	mu       sync.Mutex
+	flushes  uint64
+	frames   uint64
+	bytes    uint64
+	maxBatch uint64
+	lat      latHist
+}
+
+// wal is the sharded write-ahead log.
+type wal struct {
+	cfg      Config
+	shards   []*shard
+	interval time.Duration
+	stats    walStats
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+	kick        chan struct{}
+}
+
+// newWAL opens (or resumes, after recovery) the shard segment files.
+// startGen is the generation to begin appending at.
+func newWAL(cfg Config, startGen int) (*wal, error) {
+	w := &wal{cfg: cfg, interval: cfg.FlushInterval}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{id: i, gen: startGen}
+		s.cond = sync.NewCond(&s.mu)
+		f, err := cfg.FS.OpenAppend(join(cfg.Dir, segmentName(i, s.gen)))
+		if err != nil {
+			return nil, err
+		}
+		s.f = f
+		w.shards = append(w.shards, s)
+	}
+	if w.interval > 0 {
+		w.flusherStop = make(chan struct{})
+		w.flusherDone = make(chan struct{})
+		w.kick = make(chan struct{}, 1)
+		go w.flusherLoop()
+	}
+	return w, nil
+}
+
+// flusherLoop is the timed group-commit driver: every FlushInterval (or
+// sooner, when a byte-threshold kick arrives) it flushes every shard's
+// pending batch.
+func (w *wal) flusherLoop() {
+	defer close(w.flusherDone)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flusherStop:
+			return
+		case <-t.C:
+		case <-w.kick:
+		}
+		w.flushAll()
+	}
+}
+
+// flushAll flushes every shard's pending frames.
+func (w *wal) flushAll() {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for s.flushing {
+			s.cond.Wait()
+		}
+		if s.err == nil && !s.closed {
+			w.leaderFlush(s)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// kickFlush nudges the interval flusher (byte threshold crossed).
+func (w *wal) kickFlush() {
+	if w.kick == nil {
+		return
+	}
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// shardFor maps a key to its shard; same key, same shard, so per-key log
+// order is per-shard file order.
+func (w *wal) shardFor(key uint64) *shard {
+	h := key * 0x9E3779B97F4A7C15
+	return w.shards[h%uint64(len(w.shards))]
+}
+
+// waitFlushed blocks until seq is durable on s. With no interval flusher
+// the caller becomes the group-commit leader itself (concurrent appenders
+// that arrived during an in-progress flush are absorbed into one batch);
+// with an interval flusher it parks until the timed flush covers it.
+func (w *wal) waitFlushed(s *shard, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w.flushLocked(s, seq, w.interval == 0)
+}
+
+// rotate seals every shard's current segment (flushing its pending tail)
+// and starts a new generation. It returns the sealed generation's names
+// for later truncation. Called by the snapshotter.
+func (w *wal) rotate() (sealed []string, err error) {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for s.flushing {
+			s.cond.Wait()
+		}
+		if s.err != nil || s.closed {
+			e := s.err
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, e)
+		}
+		// Seal: write+sync the pending tail while holding mu (brief — the
+		// snapshot path is rare), then swap files.
+		if s.nFrames > 0 {
+			if err := writeAll(s.f, s.pending); err == nil {
+				err = s.f.Sync()
+				if err == nil {
+					s.flushed = s.lastSeq
+					s.pending = nil
+					s.nFrames = 0
+				} else {
+					s.err = err
+				}
+			} else {
+				s.err = err
+			}
+			if s.err != nil {
+				e := s.err
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return nil, fmt.Errorf("%w: %v", ErrWALFailed, e)
+			}
+		}
+		s.f.Close()
+		sealed = append(sealed, segmentName(s.id, s.gen))
+		s.gen++
+		f, ferr := w.cfg.FS.OpenAppend(join(w.cfg.Dir, segmentName(s.id, s.gen)))
+		if ferr != nil {
+			s.err = ferr
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, ferr)
+		}
+		s.f = f
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	return sealed, nil
+}
+
+// sweepLocks acquires and releases every shard lock in turn. After it
+// returns, any operation whose apply was visible to a concurrent tree
+// scan has also completed its append (apply and append happen under the
+// same shard lock), so a seq captured now bounds everything a snapshot
+// scan may have seen.
+func (w *wal) sweepLocks() {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the point: it
+		// barriers against in-flight apply+append sections.
+		s.mu.Unlock()
+	}
+}
+
+// syncAll makes everything appended so far durable.
+func (w *wal) syncAll() error {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		err := w.flushLocked(s, s.lastSeq, true)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close flushes and closes every shard. Idempotent.
+func (w *wal) close() error {
+	if w.flusherStop != nil {
+		close(w.flusherStop)
+		<-w.flusherDone
+		w.flusherStop = nil
+	}
+	var first error
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		err := w.flushLocked(s, s.lastSeq, true)
+		s.closed = true
+		if s.f != nil {
+			if cerr := s.f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	return first
+}

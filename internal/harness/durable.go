@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eunomia/internal/durable"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// DurableConfig describes one wall-clock durability benchmark run: a
+// write-heavy workload against a tree fronted by the group-committed WAL,
+// followed by a timed recovery of everything it logged.
+type DurableConfig struct {
+	Tree         TreeKind
+	Threads      int
+	OpsPerThread int
+	Keys         uint64
+	Seed         uint64
+	ArenaWords   uint64
+	Fanout       int
+
+	// Dir selects the backing store: empty runs on the in-memory
+	// fsync-accurate MemFS (hermetic, measures the group-commit machinery
+	// itself); non-empty uses the real filesystem at that path.
+	Dir string
+
+	FlushInterval time.Duration
+	FlushBytes    int
+	Shards        int
+	SnapshotBytes int64
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 2_000
+	}
+	if c.Keys == 0 {
+		c.Keys = 10_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.ArenaWords == 0 {
+		c.ArenaWords = c.Keys * 24
+		if c.ArenaWords < 1<<22 {
+			c.ArenaWords = 1 << 22
+		}
+	}
+	return c
+}
+
+// DurableResult reports a durability benchmark.
+type DurableResult struct {
+	Config DurableConfig
+
+	Ops         uint64
+	WallSeconds float64
+	Throughput  float64 // acknowledged writes per wall second
+
+	// OpLatency is the acknowledgement latency per write (wall ns): the
+	// group-commit cost as the caller experiences it.
+	OpLatency metrics.Histogram
+
+	// Stats is the WAL's own accounting (flush count, batch sizes, fsync
+	// latency quantiles).
+	Stats durable.Stats
+
+	// Recovery reports the timed replay of everything the run logged into
+	// a fresh tree.
+	Recovery   durable.RecoveryInfo
+	RecoveryNs int64
+	// ReplayRate is recovered operations (snapshot pairs + frames) per
+	// second of recovery time.
+	ReplayRate float64
+}
+
+// durableTree is one tree + device + boot thread bundle.
+type durableTree struct {
+	device *htm.HTM
+	boot   *htm.Thread
+	kv     tree.KV
+}
+
+func newDurableTree(cfg DurableConfig) *durableTree {
+	arena := simmem.NewArena(cfg.ArenaWords)
+	device := newDevice(Config{}, arena)
+	boot := device.NewThread(vclock.NewWallProc(0, 0), 1)
+	kv := buildTree(Config{Tree: cfg.Tree, Fanout: cfg.Fanout}, device, boot)
+	return &durableTree{device: device, boot: boot, kv: kv}
+}
+
+// scanAll pages the whole tree through emit, the shape Store.Snapshot
+// expects (mirrors eunomia.DB.scanAll).
+func (dt *durableTree) scanAll(th *htm.Thread) func(emit func(key, val uint64)) error {
+	return func(emit func(key, val uint64)) error {
+		const batch = 1024
+		from := uint64(0)
+		for {
+			var last uint64
+			n := dt.kv.Scan(th, from, batch, func(k, v uint64) bool {
+				emit(k, v)
+				last = k
+				return true
+			})
+			if n < batch || last == ^uint64(0) {
+				return nil
+			}
+			from = last + 1
+		}
+	}
+}
+
+// openStore opens the durability store over fsys replaying into dt.
+func (dt *durableTree) openStore(cfg DurableConfig, fsys durable.FS, dir string) (*durable.Store, error) {
+	return durable.Open(durable.Config{
+		FS: fsys, Dir: dir, Shards: cfg.Shards,
+		FlushInterval: cfg.FlushInterval, FlushBytes: cfg.FlushBytes,
+		SnapshotBytes: cfg.SnapshotBytes,
+	}, func(op durable.Op) {
+		if op.Delete {
+			dt.kv.Delete(dt.boot, op.Key)
+		} else {
+			dt.kv.Put(dt.boot, op.Key, op.Val)
+		}
+	})
+}
+
+// RunDurable measures group-commit throughput/latency and recovery time
+// for one configuration. Unlike Run, this is a wall-clock benchmark: real
+// goroutines, real (or MemFS-emulated) fsyncs, and numbers that vary with
+// the host. It feeds the trajectory artifact, not the paper figures.
+func RunDurable(cfg DurableConfig) (DurableResult, error) {
+	cfg = cfg.withDefaults()
+	res := DurableResult{Config: cfg}
+
+	var fsys durable.FS
+	dir := cfg.Dir
+	if dir == "" {
+		fsys = durable.NewMemFS(durable.FaultPlan{})
+		dir = "bench"
+	} else {
+		fsys = durable.OSFS{}
+	}
+
+	dt := newDurableTree(cfg)
+	st, err := dt.openStore(cfg, fsys, dir)
+	if err != nil {
+		return res, err
+	}
+
+	var mu sync.Mutex
+	var merged metrics.Histogram
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Threads)
+	start := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := dt.device.NewThread(vclock.NewWallProc(w+1, 0), uint64(w+1)*0x9e3779b9+1)
+			var lat metrics.Histogram
+			rng := vclock.NewRand(cfg.Seed + uint64(w)*7919)
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				key := rng.Uint64()%cfg.Keys + 1
+				val := uint64(w)<<32 | uint64(i)
+				t0 := time.Now()
+				err := st.LogPut(key, val, func() { dt.kv.Put(th, key, val) })
+				lat.Observe(uint64(time.Since(t0).Nanoseconds()))
+				if err != nil {
+					errs <- fmt.Errorf("harness: durable put: %w", err)
+					return
+				}
+				if st.NeedSnapshot() {
+					if err := st.Snapshot(dt.scanAll(th), true); err != nil {
+						errs <- fmt.Errorf("harness: snapshot: %w", err)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			merged.Merge(&lat)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Ops = uint64(cfg.Threads * cfg.OpsPerThread)
+	res.Throughput = float64(res.Ops) / res.WallSeconds
+	res.OpLatency = merged
+	res.Stats = st.Stats()
+	if err := st.Close(); err != nil {
+		return res, err
+	}
+
+	// Timed recovery: replay everything the run logged into a fresh tree
+	// on the same filesystem.
+	dt2 := newDurableTree(cfg)
+	st2, err := dt2.openStore(cfg, fsys, dir)
+	if err != nil {
+		return res, fmt.Errorf("harness: recovery: %w", err)
+	}
+	defer st2.Close()
+	res.Recovery = st2.RecoveryInfo()
+	res.RecoveryNs = res.Recovery.DurationNs
+	recovered := res.Recovery.SnapshotPairs + res.Recovery.ReplayedFrames
+	if res.RecoveryNs > 0 {
+		res.ReplayRate = float64(recovered) / (float64(res.RecoveryNs) / 1e9)
+	}
+	return res, nil
+}

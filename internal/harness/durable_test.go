@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunDurableSmoke(t *testing.T) {
+	res, err := RunDurable(DurableConfig{
+		Tree: EunoBTree, Threads: 2, OpsPerThread: 200, Keys: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 400 || res.Throughput <= 0 {
+		t.Fatalf("ops=%d throughput=%f", res.Ops, res.Throughput)
+	}
+	if res.OpLatency.Count() != 400 {
+		t.Fatalf("latency samples: %d", res.OpLatency.Count())
+	}
+	if res.Stats.FlushedFrames != 400 || res.Stats.Flushes == 0 {
+		t.Fatalf("wal stats: %+v", res.Stats)
+	}
+	if res.Recovery.ReplayedFrames != 400 {
+		t.Fatalf("recovery replayed %d frames, want 400", res.Recovery.ReplayedFrames)
+	}
+	if res.RecoveryNs <= 0 || res.ReplayRate <= 0 {
+		t.Fatalf("recovery timing: ns=%d rate=%f", res.RecoveryNs, res.ReplayRate)
+	}
+}
+
+func TestRunDurableGroupCommitAndSnapshot(t *testing.T) {
+	res, err := RunDurable(DurableConfig{
+		Tree: HTMBTree, Threads: 4, OpsPerThread: 300, Keys: 512,
+		FlushInterval: time.Millisecond, SnapshotBytes: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Flushes >= res.Stats.FlushedFrames {
+		t.Fatalf("no batching: %d flushes for %d frames", res.Stats.Flushes, res.Stats.FlushedFrames)
+	}
+	if res.Stats.Snapshots == 0 {
+		t.Fatal("auto-snapshot never fired")
+	}
+	recovered := res.Recovery.SnapshotPairs + res.Recovery.ReplayedFrames
+	if recovered == 0 {
+		t.Fatalf("nothing recovered: %+v", res.Recovery)
+	}
+}

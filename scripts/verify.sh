@@ -19,3 +19,8 @@ go build ./...
 go test -race ./internal/htm/ ./internal/simmem/
 go test -race -short ./internal/core/ ./internal/tree/... ./internal/harness/
 go test -race ./examples/kvserver/
+# Durability engine under the race detector: the group-commit leader
+# protocol, background flusher, and snapshot rotation are the newest
+# cross-thread shared state; the -short crash-fuzzer pass races recovery
+# against the checker as well.
+go test -race -short ./internal/durable/...
