@@ -54,6 +54,7 @@ type Scenario struct {
 
 	CrashAtIO uint64 // IO point at which the machine dies (0 = never)
 	TornSeed  uint64 // how much unsynced tail survives the crash
+	Restarts  int    // post-crash recover→write→restart cycles before checking
 
 	FlushInterval  time.Duration
 	FlushBytes     int
@@ -77,8 +78,8 @@ func (s Scenario) withDefaults() Scenario {
 
 // String encodes the scenario as the repro token used by EUNO_CRASH_REPRO.
 func (s Scenario) String() string {
-	return fmt.Sprintf("kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,interval=%d,flushbytes=%d,shards=%d,snapbytes=%d,ack=%d",
-		int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed,
+	return fmt.Sprintf("kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,interval=%d,flushbytes=%d,shards=%d,snapbytes=%d,ack=%d",
+		int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed, s.Restarts,
 		int64(s.FlushInterval), s.FlushBytes, s.Shards, s.SnapshotBytes, b2i(s.AckBeforeFlush))
 }
 
@@ -116,6 +117,8 @@ func Parse(tok string) (Scenario, error) {
 			s.CrashAtIO = uint64(n)
 		case "torn":
 			s.TornSeed = uint64(n)
+		case "restarts":
+			s.Restarts = int(n)
 		case "interval":
 			s.FlushInterval = time.Duration(n)
 		case "flushbytes":
@@ -168,9 +171,12 @@ func Run(s Scenario) Result {
 		})
 	}
 	db, err := open()
-	if err != nil {
+	if err != nil && !fs.Crashed() {
 		return Result{Err: fmt.Errorf("crashcheck: first open: %w", err)}
 	}
+	// A crash can fire inside Open itself (segment creation ends with a
+	// directory fsync, an IO point): nothing was acknowledged, so phase 1
+	// is skipped and the run goes straight to recovery.
 
 	// Phase 1: concurrent writers until done or killed by the crash. Wall
 	// timestamps come from one shared atomic counter, so rsp(a) < inv(b)
@@ -180,7 +186,7 @@ func Run(s Scenario) Result {
 	var acked []check.Op
 	var inflight []check.Op // response timestamps patched later
 	var wg sync.WaitGroup
-	for p := 0; p < s.Procs; p++ {
+	for p := 0; db != nil && p < s.Procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
@@ -230,7 +236,9 @@ func Run(s Scenario) Result {
 	}
 	wg.Wait()
 	res := Result{Crashed: fs.Crashed(), Acked: len(acked)}
-	db.Close() // errors expected after a crash
+	if db != nil {
+		db.Close() // errors expected after a crash
+	}
 
 	// Phase 2: reboot and recover.
 	fs.Reboot()
@@ -239,7 +247,57 @@ func Run(s Scenario) Result {
 		res.Err = fmt.Errorf("crashcheck: recovery failed: %w", err)
 		return res
 	}
-	defer db2.Close()
+	defer func() { db2.Close() }()
+
+	// Phase 2b: restart cycles. Each cycle writes acknowledged data on the
+	// recovered (healthy) disk, closes cleanly, and recovers again. This is
+	// the regression gate for torn-tail healing: the first recovery
+	// physically truncated any tear, so writes acknowledged here land in a
+	// later generation that the next recovery must replay — a recovery
+	// that only logically truncates the tear would re-read it and orphan
+	// everything this cycle wrote.
+	for c := 0; c < s.Restarts; c++ {
+		proc := s.Procs + 1 + c // distinct proc id and value space per cycle
+		th := db2.NewThread()
+		rng := s.Seed*0xBF58476D1CE4E5B9 + uint64(proc)*0x94D049BB133111EB + 1
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < s.Ops; i++ {
+			key := next()%s.Keys + 1
+			val := uint64(proc)<<40 | uint64(i)<<8 | 0x5
+			del := next()%10 < 3
+			inv := clock.Add(1)
+			var op check.Op
+			var err error
+			if del {
+				var ok bool
+				ok, err = th.Delete(key)
+				op = check.Op{Kind: check.Delete, Key: key, OK: ok, Proc: proc}
+			} else {
+				err = th.Put(key, val)
+				op = check.Op{Kind: check.Put, Key: key, Val: val, OK: true, Proc: proc}
+			}
+			op.Inv = inv
+			op.Rsp = clock.Add(1)
+			if err != nil {
+				res.Err = fmt.Errorf("crashcheck: restart cycle %d write: %w", c, err)
+				return res
+			}
+			acked = append(acked, op)
+		}
+		if err := db2.Close(); err != nil {
+			res.Err = fmt.Errorf("crashcheck: restart cycle %d close: %w", c, err)
+			return res
+		}
+		if db2, err = open(); err != nil {
+			res.Err = fmt.Errorf("crashcheck: restart cycle %d recovery: %w", c, err)
+			return res
+		}
+	}
 
 	// Phase 3: observe the whole key universe, then close the in-flight
 	// windows after every observation so the checker may order them on

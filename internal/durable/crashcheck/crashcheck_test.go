@@ -75,6 +75,31 @@ func TestTimedGroupCommitCrash(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverWriteRestart sweeps the full multi-incarnation
+// sequence: crash with a possibly-torn tail, recover, acknowledge a new
+// batch of writes on the healthy disk, restart cleanly, and recover
+// again (twice). Every write acknowledged by an intermediate incarnation
+// must survive the later restarts — this is the regression gate for
+// physical torn-tail healing, since a recovery that only logically
+// truncates a tear orphans the generations the intermediate incarnations
+// wrote.
+func TestCrashRecoverWriteRestart(t *testing.T) {
+	points := uint64(40)
+	if testing.Short() {
+		points = 12
+	}
+	base := Scenario{Kind: eunomia.EunoBTree, Procs: 2, Ops: 30, Keys: 12,
+		Seed: 23, Restarts: 2}
+	fired, err := Sweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired < int(points)*2/3 {
+		t.Fatalf("only %d of %d crash points fired", fired, points)
+	}
+	t.Logf("restart-cycle sweep: %d crash points fired, zero violations", fired)
+}
+
 // TestAckBeforeFlushMutantCaught proves the harness has teeth: a build
 // that acknowledges before fsync (the classic durability bug) must
 // produce a linearizability violation under the same sweep, with a
@@ -117,8 +142,8 @@ func TestAckBeforeFlushMutantCaught(t *testing.T) {
 // scenario.
 func TestScenarioRoundtrip(t *testing.T) {
 	s := Scenario{Kind: eunomia.Masstree, Procs: 3, Ops: 99, Keys: 31, Seed: 8,
-		CrashAtIO: 42, TornSeed: 77, FlushInterval: 1_000_000, FlushBytes: 512,
-		Shards: 4, SnapshotBytes: 4096, AckBeforeFlush: true}
+		CrashAtIO: 42, TornSeed: 77, Restarts: 2, FlushInterval: 1_000_000,
+		FlushBytes: 512, Shards: 4, SnapshotBytes: 4096, AckBeforeFlush: true}
 	parsed, err := Parse(s.String())
 	if err != nil {
 		t.Fatal(err)

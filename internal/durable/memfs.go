@@ -20,13 +20,14 @@ var ErrCrashed = errors.New("durable: filesystem crashed (injected)")
 var ErrInjectedSyncFailure = errors.New("durable: injected fsync failure")
 
 // FaultPlan configures MemFS fault injection. IO points are counted
-// across Write, Sync and Rename calls in order; the counter starts at 1.
-// The zero plan injects nothing.
+// across Write, Sync, Rename and SyncDir calls in order; the counter
+// starts at 1. The zero plan injects nothing.
 type FaultPlan struct {
 	// CrashAtIO kills the filesystem at the Nth IO point: a Write applies
 	// only a seeded prefix of its bytes (a torn write), a Sync fails
 	// before making anything durable, a Rename fails before taking
-	// effect. Every later operation returns ErrCrashed. 0 disables.
+	// effect, a SyncDir fails before pinning any directory entry. Every
+	// later operation returns ErrCrashed. 0 disables.
 	CrashAtIO uint64
 	// TornSeed seeds how many unsynced bytes each file retains across
 	// Reboot — the adversarial model where unfsynced page-cache data
@@ -50,10 +51,16 @@ type memFile struct {
 
 // MemFS is an in-memory FS with fsync-accurate crash semantics: bytes are
 // durable only once Sync succeeds, and an injected crash discards (most
-// of) the unsynced suffix. It is safe for concurrent use.
+// of) the unsynced suffix. Directory entries are modeled too: a file
+// created, renamed, or removed is only durably so after SyncDir, exactly
+// like a real filesystem — a crash reverts un-fsynced metadata (new files
+// vanish, renames undo, removed files resurrect), so a protocol that
+// skips a directory fsync fails the crash sweep instead of passing
+// silently. It is safe for concurrent use.
 type MemFS struct {
 	mu      sync.Mutex
-	files   map[string]*memFile
+	files   map[string]*memFile // live view (what List/Open see)
+	dir     map[string]*memFile // durable directory entries (what a crash keeps)
 	plan    FaultPlan
 	ioCount uint64
 	crashed bool
@@ -61,7 +68,7 @@ type MemFS struct {
 
 // NewMemFS creates a MemFS with the given fault plan (zero plan = none).
 func NewMemFS(plan FaultPlan) *MemFS {
-	return &MemFS{files: map[string]*memFile{}, plan: plan}
+	return &MemFS{files: map[string]*memFile{}, dir: map[string]*memFile{}, plan: plan}
 }
 
 // Crashed reports whether the injected crash has fired.
@@ -78,22 +85,30 @@ func (m *MemFS) IOCount() uint64 {
 	return m.ioCount
 }
 
-// Reboot simulates the post-crash restart: every file keeps its synced
-// prefix plus a TornSeed-determined portion of its unsynced tail (torn
-// tail), open handles are dead, and the fault plan is cleared so recovery
-// runs on a healthy disk. It also works without a prior crash (clean
-// restart: unsynced data survives intact is NOT assumed — the same torn
-// model applies only after a crash, so a clean Reboot keeps everything).
+// Reboot simulates the post-crash restart: the directory reverts to its
+// last SyncDir'd state (un-pinned creates vanish, renames undo, removes
+// resurrect), every surviving file keeps its synced prefix plus a
+// TornSeed-determined portion of its unsynced tail (torn tail), open
+// handles are dead, and the fault plan is cleared so recovery runs on a
+// healthy disk. It also works without a prior crash (clean restart:
+// unsynced data survives intact is NOT assumed — the torn model applies
+// only after a crash, so a clean Reboot keeps everything).
 func (m *MemFS) Reboot() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		for name, f := range m.files {
+		m.files = map[string]*memFile{}
+		for name, f := range m.dir {
 			unsynced := len(f.data) - f.synced
 			keep := tornKeep(m.plan.TornSeed, name, unsynced)
 			f.data = f.data[:f.synced+keep]
 			f.synced = len(f.data)
+			m.files[name] = f
 		}
+	}
+	m.dir = map[string]*memFile{}
+	for name, f := range m.files {
+		m.dir[name] = f
 	}
 	m.crashed = false
 	m.plan = FaultPlan{}
@@ -125,12 +140,15 @@ func (m *MemFS) RawData(name string) []byte {
 	return append([]byte(nil), f.data...)
 }
 
-// SetRawData replaces a file's bytes and marks them durable (test helper
-// for constructing corrupted on-disk states byte by byte).
+// SetRawData replaces a file's bytes and marks them (and the directory
+// entry) durable — a test helper for constructing corrupted on-disk
+// states byte by byte.
 func (m *MemFS) SetRawData(name string, data []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	f := &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	m.files[name] = f
+	m.dir[name] = f
 }
 
 // ioPoint advances the fault counters. It returns crash=true if the crash
@@ -212,6 +230,38 @@ func (m *MemFS) Remove(name string) error {
 		return ErrCrashed
 	}
 	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS: directory entries under dir (creates, renames,
+// removes) become durable. File contents are untouched — they still need
+// File.Sync, as on a real filesystem.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if m.ioPoint() {
+		m.crashed = true
+		return ErrCrashed
+	}
+	prefix := dir
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	for name := range m.dir {
+		if strings.HasPrefix(name, prefix) {
+			if _, ok := m.files[name]; !ok {
+				delete(m.dir, name)
+			}
+		}
+	}
+	for name, f := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			m.dir[name] = f
+		}
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package durable
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSnapshotTruncatesLog checks the snapshot protocol end to end:
@@ -130,6 +131,23 @@ func TestUncommittedSnapshotIgnored(t *testing.T) {
 	if st2.RecoveryInfo().SnapshotBase != 0 {
 		t.Fatal("recovery used an invalid snapshot")
 	}
+	// The orphaned .tmp must have been swept, not left to collide with a
+	// future snapshot id.
+	for _, n := range mustList(t, fs, "db") {
+		if strings.HasSuffix(n, ".tmp") {
+			t.Fatalf("recovery left orphaned temp file %s", n)
+		}
+	}
+}
+
+// mustList is fs.List with the error folded into the test.
+func mustList(t *testing.T, fs *MemFS, dir string) []string {
+	t.Helper()
+	names, err := fs.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
 }
 
 // tornCase is one corruption in the torn-write matrix.
@@ -261,10 +279,13 @@ func TestTornWriteMatrix(t *testing.T) {
 	}
 }
 
-// TestTornEarlierGenerationOrphansLater: a tear in generation N must also
-// discard generations > N for that shard — their frames were acknowledged
-// after the torn region and replaying them would reorder history.
-func TestTornEarlierGenerationOrphansLater(t *testing.T) {
+// TestTornSegmentHealedAndLaterGenerationsReplayed encodes the three-run
+// sequence from the review: run A crashes leaving a torn tail in its
+// generation; run B recovers (physically truncating the tear to its valid
+// prefix), acknowledges new writes into the next generation, and closes
+// cleanly; run C must recover run B's writes — a recovery that only
+// logically truncated the tear would re-read it and orphan them.
+func TestTornSegmentHealedAndLaterGenerationsReplayed(t *testing.T) {
 	fs := NewMemFS(FaultPlan{})
 	state := newMapState()
 	st, err := Open(Config{FS: fs, Dir: "db", Shards: 1}, state.apply)
@@ -277,36 +298,109 @@ func TestTornEarlierGenerationOrphansLater(t *testing.T) {
 		}
 	}
 	st.Close()
-	// Reopen to get a second generation on top of the first.
-	state = newMapState()
-	st, err = Open(Config{FS: fs, Dir: "db", Shards: 1}, state.apply)
+
+	// "Run A's crash": tear the tail of generation 1 — key 4's frame loses
+	// its last bytes, so only keys 1..3 are recoverable.
+	names, _ := fs.List("db")
+	seg := groupSegments(names)[0][0].name
+	raw := fs.RawData("db/" + seg)
+	fs.SetRawData("db/"+seg, raw[:len(raw)-3])
+	validPrefix := 3 * (frameHeaderSize + payloadPut)
+
+	// Run B: recovery truncates the tear physically, then acknowledges new
+	// writes into generation 2 and shuts down cleanly.
+	stateB := newMapState()
+	stB, err := Open(Config{FS: fs, Dir: "db", Shards: 1}, stateB.apply)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ri := stB.RecoveryInfo(); ri.TornTails != 1 {
+		t.Fatalf("run B torn tails %d, want 1", ri.TornTails)
+	}
+	if healed := fs.RawData("db/" + seg); len(healed) != validPrefix {
+		t.Fatalf("torn segment not physically truncated: %d bytes on disk, want %d", len(healed), validPrefix)
+	}
 	for i := uint64(5); i <= 8; i++ {
-		if err := st.LogPut(i, i, state.put(i, i)); err != nil {
+		if err := stB.LogPut(i, i, stateB.put(i, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st.Close()
-
-	// Corrupt the tail of generation 1.
-	names, _ := fs.List("db")
-	segs := groupSegments(names)[0]
-	if len(segs) < 2 {
-		t.Fatalf("want >= 2 generations, have %v", names)
+	if err := stB.Close(); err != nil {
+		t.Fatal(err)
 	}
-	raw := fs.RawData("db/" + segs[0].name)
-	fs.SetRawData("db/"+segs[0].name, raw[:len(raw)-3])
 
-	state2 := newMapState()
-	st2, err := Open(Config{FS: fs, Dir: "db"}, state2.apply)
+	// Run C: the tear is gone, and run B's acknowledged writes survive.
+	stateC := newMapState()
+	stC, err := Open(Config{FS: fs, Dir: "db"}, stateC.apply)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st2.Close()
-	got := state2.snapshot()
-	// Keys 1..3 survive (gen 1 minus torn tail); 5..8 from gen 2 must NOT.
-	want := map[uint64]uint64{1: 1, 2: 2, 3: 3}
-	sameMap(t, got, want)
+	defer stC.Close()
+	sameMap(t, stateC.snapshot(), map[uint64]uint64{1: 1, 2: 2, 3: 3, 5: 5, 6: 6, 7: 7, 8: 8})
+	if ri := stC.RecoveryInfo(); ri.TornTails != 0 {
+		t.Fatalf("run C re-read a tear run B should have healed: %+v", ri)
+	}
+}
+
+// TestExplicitSnapshotNotSkipped: an explicit Snapshot call that finds an
+// automatic one in flight must block and then take its own snapshot — the
+// in-flight one's base LSN predates the call, so returning early would
+// leave operations acknowledged since then uncovered.
+func TestExplicitSnapshotNotSkipped(t *testing.T) {
+	fs := NewMemFS(FaultPlan{})
+	state := newMapState()
+	st, err := Open(Config{FS: fs, Dir: "db", Shards: 1, SnapshotBytes: 1}, state.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LogPut(1, 1, state.put(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.NeedSnapshot() {
+		t.Fatal("auto-snapshot threshold did not fire")
+	}
+
+	// Park the claimed (automatic) snapshot inside its scan, after it has
+	// captured its base LSN.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	autoDone := make(chan error, 1)
+	go func() {
+		autoDone <- st.Snapshot(func(emit func(k, v uint64)) error {
+			close(started)
+			<-release
+			return state.scan(emit)
+		}, true)
+	}()
+	<-started
+
+	// Acknowledge a write the parked snapshot cannot cover, then call
+	// Snapshot explicitly.
+	if err := st.LogPut(2, 2, state.put(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	exDone := make(chan error, 1)
+	go func() { exDone <- st.Snapshot(state.scan, false) }()
+	select {
+	case err := <-exDone:
+		t.Fatalf("explicit Snapshot returned (%v) while another was in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-autoDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Snapshots; got != 2 {
+		t.Fatalf("snapshots taken: %d, want 2", got)
+	}
+	// The newest snapshot must cover both acknowledged writes.
+	names, _ := fs.List("db")
+	_, base, pairs, _, _ := bestSnapshot(Config{FS: fs, Dir: "db"}, names)
+	if base != 2 || len(pairs) != 2 {
+		t.Fatalf("newest snapshot base=%d pairs=%d, want 2/2", base, len(pairs))
+	}
 }

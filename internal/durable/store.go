@@ -143,18 +143,19 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 	st.snapID.Store(maxSnapID)
 
 	// 2. Log tail: per shard, generations in order, frames in file order.
-	// A bad frame truncates the rest of that shard's log (the tear marks
-	// where acknowledged — synced — bytes end).
+	// A bad frame truncates the rest of that shard's segment (the tear
+	// marks where acknowledged — synced — bytes end), and the truncation
+	// is made physical: the segment is rewritten to its valid prefix. That
+	// heal is what lets replay continue into later generations — they can
+	// only hold frames acknowledged by a run that already recovered past
+	// this tear, and without the rewrite a second restart would re-read
+	// the tear and silently orphan those acknowledged writes.
 	maxSeq := baseLSN
 	maxGen := 0
 	for _, segs := range groupSegments(names) {
-		torn := false
 		for _, sg := range segs {
 			if sg.gen > maxGen {
 				maxGen = sg.gen
-			}
-			if torn {
-				continue // a tear in an earlier generation orphans later ones
 			}
 			data, err := readFileAll(cfg.FS, join(cfg.Dir, sg.name))
 			if err != nil {
@@ -166,7 +167,9 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 				f, n, ok := decodeFrame(data, off)
 				if !ok || (f.op != opPut && f.op != opDel) {
 					info.TornTails++
-					torn = true
+					if err := healSegment(cfg, sg.name, data[:off]); err != nil {
+						return nil, err
+					}
 					break
 				}
 				off += n
@@ -185,10 +188,16 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 	st.seq.Store(maxSeq)
 	info.MaxSeq = maxSeq
 
-	// 3. Stale snapshots are garbage; old segments stay until the next
-	// snapshot truncates them.
+	// 3. Stale snapshots and orphaned temp files (a crash mid-snapshot or
+	// mid-heal) are garbage; old segments stay until the next snapshot
+	// truncates them.
 	for _, name := range stale {
 		cfg.FS.Remove(join(cfg.Dir, name))
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			cfg.FS.Remove(join(cfg.Dir, name))
+		}
 	}
 
 	// 4. Fresh generation for new appends (never append to a possibly
@@ -233,6 +242,35 @@ func groupSegments(names []string) map[int][]segment {
 		out[sh] = segs
 	}
 	return out
+}
+
+// healSegment makes a logical truncation physical: the torn segment is
+// rewritten as its valid prefix via tmp + fsync + rename + dir fsync, so
+// every future Open reads a clean file. The rename is atomic — a crash
+// mid-heal leaves either the old torn segment (healed again next time) or
+// the truncated one, never a mix.
+func healSegment(cfg Config, name string, prefix []byte) error {
+	tmp := join(cfg.Dir, name+".tmp")
+	f, err := cfg.FS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = writeAll(f, prefix)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cfg.FS.Remove(tmp)
+		return err
+	}
+	if err := cfg.FS.Rename(tmp, join(cfg.Dir, name)); err != nil {
+		cfg.FS.Remove(tmp)
+		return err
+	}
+	return cfg.FS.SyncDir(cfg.Dir)
 }
 
 // ErrStoreClosed is returned by operations on a closed Store.
@@ -333,17 +371,19 @@ func (st *Store) NeedSnapshot() bool {
 //     observed (apply and append share the shard lock, so after the
 //     sweep any scanned-but-unlogged operation has its seq assigned and
 //     a full flush covers it);
-//  4. sync + rename the snapshot into place — only now is it eligible
-//     for recovery;
+//  4. sync + rename the snapshot into place, then fsync the directory —
+//     only now is it eligible for recovery;
 //  5. delete sealed segments and stale snapshots (pure space reclaim;
 //     crashing before this is safe because replay skips seq <= base).
+//
+// Snapshots are serialized on snapMu. An explicit (unclaimed) call that
+// finds one in flight blocks and then takes its own snapshot rather than
+// piggybacking: the in-flight snapshot's base LSN was captured earlier,
+// so it does not cover operations acknowledged since.
 func (st *Store) Snapshot(scan func(emit func(key, val uint64)) error, claimed bool) error {
-	if !claimed {
-		if !st.snapshotting.CompareAndSwap(false, true) {
-			return nil // one at a time; the other snapshot covers us
-		}
+	if claimed {
+		defer st.snapshotting.Store(false)
 	}
-	defer st.snapshotting.Store(false)
 	st.snapMu.Lock()
 	defer st.snapMu.Unlock()
 	if st.closed.Load() {
@@ -391,9 +431,17 @@ func (st *Store) snapshotLocked(scan func(emit func(key, val uint64)) error) err
 		return err
 	}
 	if err := f.Close(); err != nil {
+		st.cfg.FS.Remove(tmp)
 		return err
 	}
 	if err := st.cfg.FS.Rename(tmp, join(st.cfg.Dir, snapName(id))); err != nil {
+		st.cfg.FS.Remove(tmp)
+		return err
+	}
+	// The commit rename must be crash-proof before anything it covers is
+	// deleted: a power loss that undid the rename but kept the deletions
+	// would lose acknowledged data.
+	if err := st.cfg.FS.SyncDir(st.cfg.Dir); err != nil {
 		return err
 	}
 	// Truncation: sealed segments are fully covered by the snapshot.

@@ -43,6 +43,13 @@ type FS interface {
 	Rename(oldname, newname string) error
 	// Remove deletes name (log truncation, stale snapshots).
 	Remove(name string) error
+	// SyncDir makes dir's directory entries durable: files created,
+	// renamed, or removed under dir before the call survive a power loss
+	// after it. File *contents* still need File.Sync — SyncDir only pins
+	// the names. Required after creating WAL segments and after the
+	// snapshot-commit rename; without it a crash can lose a fully-fsynced
+	// file's directory entry or undo a committed rename.
+	SyncDir(dir string) error
 	// List returns the base names of all files under dir.
 	List(dir string) ([]string, error)
 	// MkdirAll creates dir and parents.
@@ -69,6 +76,23 @@ func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, ne
 
 // Remove implements FS.
 func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS: open the directory and fsync it, which is how
+// POSIX makes directory entries durable.
+func (OSFS) SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // List implements FS.
 func (OSFS) List(dir string) ([]string, error) {

@@ -166,6 +166,11 @@ func newWAL(cfg Config, startGen int) (*wal, error) {
 		s.f = f
 		w.shards = append(w.shards, s)
 	}
+	// Pin the fresh segments' directory entries before anything can be
+	// acknowledged into them — a crash must not unlink an fsynced segment.
+	if err := cfg.FS.SyncDir(cfg.Dir); err != nil {
+		return nil, err
+	}
 	if w.interval > 0 {
 		w.flusherStop = make(chan struct{})
 		w.flusherDone = make(chan struct{})
@@ -275,6 +280,15 @@ func (w *wal) rotate() (sealed []string, err error) {
 		sealed = append(sealed, segmentName(s.id, s.gen))
 		s.gen++
 		f, ferr := w.cfg.FS.OpenAppend(join(w.cfg.Dir, segmentName(s.id, s.gen)))
+		if ferr == nil {
+			// The dir fsync must land before this shard's lock is released:
+			// once unlocked, a writer can append and acknowledge into the
+			// new segment, whose directory entry must by then be
+			// crash-proof.
+			if ferr = w.cfg.FS.SyncDir(w.cfg.Dir); ferr != nil {
+				f.Close()
+			}
+		}
 		if ferr != nil {
 			s.err = ferr
 			s.cond.Broadcast()

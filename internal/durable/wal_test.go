@@ -304,7 +304,7 @@ func TestShortWritesRetried(t *testing.T) {
 }
 
 func TestFailedFsyncPoisonsShard(t *testing.T) {
-	fs := NewMemFS(FaultPlan{FailSyncAtIO: 2}) // first put: Write=1, Sync=2
+	fs := NewMemFS(FaultPlan{FailSyncAtIO: 3}) // Open's dir fsync=1; first put: Write=2, Sync=3
 	state := newMapState()
 	st, err := Open(Config{FS: fs, Dir: "db", Shards: 1}, state.apply)
 	if err != nil {
@@ -327,17 +327,22 @@ func TestCrashLosesOnlyUnacked(t *testing.T) {
 	for crashAt := uint64(1); crashAt <= 40; crashAt++ {
 		fs := NewMemFS(FaultPlan{CrashAtIO: crashAt, TornSeed: crashAt * 31})
 		state := newMapState()
+		acked := map[uint64]uint64{}
 		st, err := Open(Config{FS: fs, Dir: "db", Shards: 2}, state.apply)
-		if err != nil {
+		if err != nil && !fs.Crashed() {
 			t.Fatal(err)
 		}
-		acked := map[uint64]uint64{}
-		for i := uint64(1); i <= 30; i++ {
-			if err := st.LogPut(i, i*3, state.put(i, i*3)); err == nil {
-				acked[i] = i * 3
+		if err == nil {
+			// The crash can also fire inside Open (its dir fsync is an IO
+			// point); then nothing is acknowledged and recovery must yield
+			// an empty store.
+			for i := uint64(1); i <= 30; i++ {
+				if err := st.LogPut(i, i*3, state.put(i, i*3)); err == nil {
+					acked[i] = i * 3
+				}
 			}
+			st.Close()
 		}
-		st.Close()
 		if !fs.Crashed() {
 			t.Fatalf("crashAt=%d: crash never fired", crashAt)
 		}
