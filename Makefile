@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench figures
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -50,3 +50,9 @@ bench-durability:
 # figures: regenerate every paper figure at quick scale.
 figures:
 	go run ./cmd/eunobench -quick all
+
+# trace-demo: record the abort-storm scenario as Chrome trace-event JSON
+# (fragile and resilient lanes side by side); open trace_storm.json in
+# chrome://tracing or ui.perfetto.dev.
+trace-demo:
+	go run ./cmd/eunobench -trace trace_storm.json storm

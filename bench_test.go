@@ -16,6 +16,7 @@ import (
 	"eunomia/internal/core"
 	"eunomia/internal/harness"
 	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
 	"eunomia/internal/workload"
 )
 
@@ -41,17 +42,25 @@ func benchCfg(kind harness.TreeKind, threads int, theta float64) harness.Config 
 func report(b *testing.B, cfg harness.Config) {
 	b.Helper()
 	var throughput, abortsPerOp, wastedPct float64
+	var lat metrics.Histogram
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(42 + i)
 		r := harness.Run(cfg)
 		throughput += r.Throughput
 		abortsPerOp += r.AbortsPerOp
 		wastedPct += r.WastedPct
+		lat.Merge(&r.Latency)
 	}
 	n := float64(b.N)
 	b.ReportMetric(throughput/n/1e6, "vMops/s")
 	b.ReportMetric(abortsPerOp/n, "aborts/op")
 	b.ReportMetric(wastedPct/n, "wasted%")
+	// Virtual per-op latency percentiles, merged across all b.N runs (the
+	// histogram is bucketed, so merging commutes with observation).
+	ls := lat.Snapshot()
+	b.ReportMetric(float64(ls.P50), "p50-cycles")
+	b.ReportMetric(float64(ls.P99), "p99-cycles")
+	b.ReportMetric(float64(ls.P999), "p999-cycles")
 }
 
 // BenchmarkFig1ContentionSweep — Figure 1: the baseline HTM-B+Tree across

@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|recover|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|recover|abortmix|heatmap|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,11 +67,14 @@ func main() {
 		"hostbench": hostbenchCmd,
 		"storm":     stormCmd,
 		"recover":   recoverCmd,
+		"abortmix":  abortmixCmd,
+		"heatmap":   heatmapCmd,
 	}
 	name := strings.ToLower(flag.Arg(0))
 	stopCPU := startCPUProfile()
 	defer writeMemProfile()
 	defer stopCPU()
+	defer flushTrace()
 	if name == "all" {
 		for _, n := range []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "mem"} {
 			figs[n]()

@@ -91,6 +91,11 @@ func runStorm(resilient bool) stormResult {
 		hcfg = r.DeviceConfig(hcfg)
 		pol = r.Apply(pol)
 	}
+	name := "storm fragile"
+	if resilient {
+		name = "storm resilient"
+	}
+	hcfg.Observer = traceLane(name)
 	h := htm.New(arena, hcfg)
 	boot := vclock.NewWallProc(0, 0)
 	hot := arena.AllocAligned(boot, stormHotLines*simmem.WordsPerLine, simmem.TagKeys)

@@ -56,6 +56,7 @@ func (db *DB) openDurable(boot *htm.Thread, d Durability) error {
 		FlushBytes:     d.FlushBytes,
 		SnapshotBytes:  d.SnapshotBytes,
 		AckBeforeFlush: d.AckBeforeFlush,
+		Observer:       db.observer,
 	}, func(op durable.Op) {
 		if op.Delete {
 			db.kv.Delete(boot, op.Key)
@@ -174,7 +175,14 @@ type DurabilityStats struct {
 }
 
 // DurabilityStats returns the current durability counters.
+//
+// Deprecated: use DB.Metrics().Durability, the unified snapshot.
 func (db *DB) DurabilityStats() DurabilityStats {
+	return db.Metrics().Durability
+}
+
+// durabilityMetrics builds the Metrics.Durability section.
+func (db *DB) durabilityMetrics() DurabilityStats {
 	if db.dur == nil {
 		return DurabilityStats{}
 	}

@@ -20,6 +20,18 @@
 //	th := db.NewThread()
 //	th.Put(1, 100)
 //	v, ok, _ := th.Get(1)
+//	for k, v := range th.Range(0, 10) { // range query, Go iterator form
+//		_ = k + v
+//	}
+//
+// Operations on a closed DB return ErrClosed. With Options.Durability
+// set, writes are group-committed to a write-ahead log and acknowledged
+// only after they are on disk; DB.Sync forces buffered bytes down,
+// DB.Snapshot captures the tree and truncates the log, and Open replays
+// both on restart. Options.Resilience opts into the abort-storm
+// hardening layer, and Options.Observability enables abort attribution,
+// contention heatmaps and structured tracing; DB.Metrics returns the
+// unified snapshot of every counter the DB keeps.
 //
 // For deterministic virtual-time parallel execution (the mode all paper
 // figures use), see DB.RunVirtual.
@@ -28,11 +40,13 @@ package eunomia
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sync/atomic"
 
 	"eunomia/internal/core"
 	"eunomia/internal/durable"
 	"eunomia/internal/htm"
+	"eunomia/internal/obs"
 	"eunomia/internal/simmem"
 	"eunomia/internal/tree"
 	"eunomia/internal/tree/htmtree"
@@ -119,6 +133,11 @@ type Options struct {
 	// wall-clock only: RunVirtual panics, because blocking on real fsyncs
 	// inside the lockstep virtual-time scheduler would deadlock it.
 	Durability Durability
+	// Observability enables the observability layer: a pluggable event
+	// Observer plus the built-in per-leaf contention heatmap. The zero
+	// value keeps it fully disabled (zero-cost); see DB.Metrics for the
+	// unified counters, which work regardless.
+	Observability Observability
 }
 
 // ErrReservedValue is returned by Put for the one value the trees reserve
@@ -129,15 +148,17 @@ var ErrReservedValue = errors.New("eunomia: value ^uint64(0) is reserved")
 // arena and emulated HTM device. All methods on DB are safe for concurrent
 // use; per-worker operations go through Thread handles.
 type DB struct {
-	opts    Options
-	arena   *simmem.Arena
-	device  *htm.HTM
-	kv      tree.KV
-	euno    *core.Tree // non-nil when Kind == EunoBTree
-	dur     *durable.Store // non-nil when durability is enabled
-	closed  atomic.Bool
-	nextID  atomic.Int64
-	threads atomic.Int64
+	opts     Options
+	arena    *simmem.Arena
+	device   *htm.HTM
+	kv       tree.KV
+	euno     *core.Tree     // non-nil when Kind == EunoBTree
+	dur      *durable.Store // non-nil when durability is enabled
+	observer obs.Observer   // combined observer chain (nil when disabled)
+	heat     *obs.Heatmap   // non-nil when Observability.Heatmap
+	closed   atomic.Bool
+	nextID   atomic.Int64
+	threads  atomic.Int64
 }
 
 // Open creates a DB.
@@ -153,10 +174,28 @@ func Open(opts Options) (*DB, error) {
 	if opts.Resilience {
 		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
 	}
+	var heat *obs.Heatmap
+	oo := opts.Observability
+	if oo.Heatmap {
+		heat = obs.NewHeatmap(obs.HeatmapConfig{
+			SampleEvery: oo.HeatmapSampleEvery,
+			RingSize:    oo.HeatmapRingSize,
+			TableSize:   oo.HeatmapTableSize,
+		})
+	}
+	var chain []obs.Observer
+	if oo.Observer != nil {
+		chain = append(chain, oo.Observer)
+	}
+	if heat != nil {
+		chain = append(chain, heat)
+	}
+	hcfg.Observer = obs.Multi(chain...)
 	device := htm.New(arena, hcfg)
 	boot := device.NewThread(vclock.NewWallProc(0, 0), 1)
 
-	db := &DB{opts: opts, arena: arena, device: device}
+	db := &DB{opts: opts, arena: arena, device: device,
+		observer: hcfg.Observer, heat: heat}
 	switch opts.Kind {
 	case EunoBTree:
 		cfg := core.DefaultConfig
@@ -281,6 +320,44 @@ func (t *Thread) Scan(from uint64, max int, fn func(key, val uint64) bool) (int,
 	return t.db.kv.Scan(t.th, from, max, fn), nil
 }
 
+// Range returns an iterator over the key/value pairs in [from, to],
+// ascending — the range-over-func form of Scan:
+//
+//	for k, v := range th.Range(10, 19) { ... }
+//
+// Pairs are delivered with the same snapshot granularity as Scan (per
+// leaf, never mid-transaction); keys inserted or deleted while ranging
+// may or may not be observed. Iteration stops silently if the DB closes
+// mid-range; use Scan to distinguish that case.
+func (t *Thread) Range(from, to uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		const batch = 256
+		cur := from
+		for cur <= to {
+			if t.db.closed.Load() {
+				return
+			}
+			n, last, stopped := 0, uint64(0), false
+			t.db.kv.Scan(t.th, cur, batch, func(k, v uint64) bool {
+				if k > to {
+					stopped = true
+					return false
+				}
+				n, last = n+1, k
+				if !yield(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped || n < batch || last == ^uint64(0) {
+				return
+			}
+			cur = last + 1
+		}
+	}
+}
+
 // Stats is a snapshot of a thread's transactional behavior.
 type Stats struct {
 	Commits      uint64
@@ -298,7 +375,8 @@ type Stats struct {
 	AbortsByReason map[string]uint64
 }
 
-// Stats returns the thread's accumulated statistics.
+// Stats returns this thread's accumulated statistics (the per-worker
+// view; the DB-wide aggregate across all threads is DB.Metrics().Tx).
 func (t *Thread) Stats() Stats {
 	s := Stats{
 		Commits:           t.th.Stats.Commits,
@@ -329,11 +407,10 @@ type ResilienceStats struct {
 }
 
 // ResilienceStats returns the current device-level resilience state.
+//
+// Deprecated: use DB.Metrics().Resilience, the unified snapshot.
 func (db *DB) ResilienceStats() ResilienceStats {
-	return ResilienceStats{
-		Degraded:    db.device.Degraded(),
-		StormEvents: db.device.StormEvents(),
-	}
+	return db.Metrics().Resilience
 }
 
 // MemoryStats reports the DB's arena footprint.
@@ -345,13 +422,10 @@ type MemoryStats struct {
 }
 
 // MemoryStats returns the current memory accounting.
+//
+// Deprecated: use DB.Metrics().Memory, the unified snapshot.
 func (db *DB) MemoryStats() MemoryStats {
-	return MemoryStats{
-		LiveBytes:     db.arena.LiveBytes(),
-		PeakBytes:     db.arena.PeakBytes(),
-		ReservedBytes: db.arena.BytesByTag(simmem.TagReserved),
-		CCMBytes:      db.arena.BytesByTag(simmem.TagCCM),
-	}
+	return db.Metrics().Memory
 }
 
 // VirtualResult reports a RunVirtual execution.

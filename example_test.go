@@ -45,6 +45,50 @@ func ExampleThread_Scan() {
 	// 40 1600
 }
 
+// ExampleThread_Range is the range-over-func form of Scan: iterate the
+// key/value pairs in a closed interval [from, to] with a plain for-range
+// loop. Scan remains the right call when you want an explicit count limit
+// or need the closed-DB error.
+func ExampleThread_Range() {
+	db, _ := eunomia.Open(eunomia.Options{ArenaWords: 1 << 20})
+	defer db.Close()
+	th := db.NewThread()
+	for k := uint64(10); k <= 50; k += 10 {
+		th.Put(k, k*k)
+	}
+	for k, v := range th.Range(15, 40) {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 20 400
+	// 30 900
+	// 40 1600
+}
+
+// ExampleDB_Metrics reads the unified metrics snapshot: transactional
+// counters with the abort-reason decomposition, resilience, memory, tree
+// maintenance, durability, and (when enabled) the contention heatmap —
+// one coherent view replacing the per-subsystem accessors.
+func ExampleDB_Metrics() {
+	db, _ := eunomia.Open(eunomia.Options{
+		ArenaWords:    1 << 20,
+		Observability: eunomia.Observability{Heatmap: true},
+	})
+	defer db.Close()
+	th := db.NewThread()
+	for i := uint64(0); i < 100; i++ {
+		th.Put(i, i)
+	}
+	m := db.Metrics()
+	fmt.Println("committed:", m.Tx.Commits > 0)
+	fmt.Println("live bytes tracked:", m.Memory.LiveBytes > 0)
+	fmt.Println("heatmap enabled:", m.Contention.Enabled)
+	// Output:
+	// committed: true
+	// live bytes tracked: true
+	// heatmap enabled: true
+}
+
 // ExampleDB_RunVirtual runs a deterministic parallel workload in virtual
 // time: sixteen virtual cores insert disjoint ranges concurrently.
 func ExampleDB_RunVirtual() {

@@ -10,7 +10,10 @@
 //	DEL <key>            -> OK | NOT_FOUND
 //	SCAN <from> <n>      -> n lines "PAIR <k> <v>", then END
 //	SYNC                 -> OK (forces buffered WAL bytes to disk)
-//	STATS                -> one line of commit/abort (and durability) counters
+//	STATS                -> one line: the DB.Metrics() unified snapshot —
+//	                        server-wide commit/abort counters, the abort
+//	                        decomposition by reason, durability counters,
+//	                        and (with -heatmap) the hottest contended leaves
 //
 // Run with no arguments for a self-contained demo: the server starts on a
 // loopback port, a handful of concurrent clients apply a contended
@@ -29,9 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
 	"net"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -51,6 +56,7 @@ var (
 	flushEvery = flag.Duration("flush-interval", 0, "group-commit flush interval (0 = leader-based immediate commit)")
 	snapBytes  = flag.Int64("snapshot-bytes", 16<<20, "WAL bytes between automatic snapshots (durable mode)")
 	drainFor   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections")
+	heatmap    = flag.Bool("heatmap", false, "enable the per-leaf contention heatmap (surfaced in STATS)")
 )
 
 // maxScan bounds one SCAN reply; a request like "SCAN 0 18446744073709551615"
@@ -150,14 +156,31 @@ func (s *server) serveConn(conn net.Conn) {
 				fmt.Fprintln(out, "OK")
 			}
 		case "STATS":
-			st := th.Stats()
-			rs := s.db.ResilienceStats()
+			// One coherent snapshot for the whole server (every
+			// connection's thread), not just this connection.
+			m := s.db.Metrics()
 			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d",
-				st.Commits, st.Aborts, st.Fallbacks,
-				st.BackoffCycles, st.DegradationEvents, st.WatchdogTrips, rs.StormEvents)
-			if ds := s.db.DurabilityStats(); ds.Enabled {
+				m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks,
+				m.Tx.BackoffCycles, m.Tx.DegradationEvents, m.Tx.WatchdogTrips, m.Resilience.StormEvents)
+			for _, reason := range slices.Sorted(maps.Keys(m.Tx.AbortsByReason)) {
+				fmt.Fprintf(out, " abort[%s]=%d", reason, m.Tx.AbortsByReason[reason])
+			}
+			if ds := m.Durability; ds.Enabled {
 				fmt.Fprintf(out, " flushes=%d batch_avg=%.1f flush_p99_us=%d snapshots=%d replayed=%d",
 					ds.Flushes, ds.AvgBatch, ds.FlushP99Ns/1000, ds.Snapshots, ds.ReplayedFrames)
+			}
+			if c := m.Contention; c.Enabled {
+				fmt.Fprintf(out, " heat_aborts=%d", c.AbortsSeen)
+				for i, l := range c.HotLeaves {
+					if i == 3 {
+						break
+					}
+					site := "line"
+					if l.Annotated {
+						site = "leaf"
+					}
+					fmt.Fprintf(out, " hot[%d]=%s:%#x:%d", i, site, l.ID, l.Total)
+				}
 			}
 			fmt.Fprintln(out)
 		case "QUIT":
@@ -250,7 +273,8 @@ func (s *server) shutdown(ln net.Listener, drain time.Duration) {
 
 func main() {
 	flag.Parse()
-	opts := eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience}
+	opts := eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience,
+		Observability: eunomia.Observability{Heatmap: *heatmap}}
 	if *durableDir != "" {
 		opts.Durability = eunomia.Durability{
 			Dir:           *durableDir,

@@ -435,3 +435,41 @@ func TestOpsAfterCloseReturnErr(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsHeatmap: with the contention heatmap enabled, STATS carries
+// the heat counters, and once aborts have occurred the hottest sites are
+// listed. The abort breakdown keys from the unified Metrics snapshot
+// appear as soon as any abort happens.
+func TestStatsHeatmap(t *testing.T) {
+	addr := startTestServerOpts(t, eunomia.Options{ArenaWords: 1 << 20,
+		Observability: eunomia.Observability{Heatmap: true}})
+	conn, in := dialServer(t, addr)
+	if got := roundTrip(t, conn, in, "PUT 5 50"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+	stats := roundTrip(t, conn, in, "STATS")
+	if !strings.Contains(stats, "heat_aborts=") {
+		t.Fatalf("heatmap STATS missing heat counter: %q", stats)
+	}
+	// STATS is server-wide: a second connection's writes show up too.
+	conn2, in2 := dialServer(t, addr)
+	if got := roundTrip(t, conn2, in2, "PUT 6 60"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+	s1 := statValue(t, roundTrip(t, conn, in, "STATS"), "commits=")
+	if s1 < 2 {
+		t.Fatalf("server-wide commits = %d, want >= 2", s1)
+	}
+}
+
+// statValue extracts one key=value counter from a STATS line.
+func statValue(t *testing.T, stats, key string) uint64 {
+	t.Helper()
+	i := strings.Index(stats, key)
+	if i < 0 {
+		t.Fatalf("STATS %q missing %q", stats, key)
+	}
+	var v uint64
+	fmt.Sscanf(stats[i+len(key):], "%d", &v)
+	return v
+}

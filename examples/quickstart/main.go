@@ -38,19 +38,28 @@ func main() {
 		fmt.Println("get(13) after delete: not found")
 	}
 
-	// Range query: ordered iteration despite the partitioned leaf layout
-	// (segments are merge-sorted through the reserved-keys buffer).
+	// Range queries: ordered iteration despite the partitioned leaf
+	// layout (segments are merge-sorted through the reserved-keys
+	// buffer). Scan takes a callback and a count limit; Range is the Go
+	// 1.23 iterator form over a closed key interval.
 	fmt.Print("scan from 10, 8 keys:")
 	th.Scan(10, 8, func(k, v uint64) bool {
 		fmt.Printf(" %d", k)
 		return true
 	})
 	fmt.Println()
+	fmt.Print("range [20, 25]:")
+	for k, v := range th.Range(20, 25) {
+		fmt.Printf(" %d=%d", k, v)
+	}
+	fmt.Println()
 
-	// Each thread records its HTM behavior.
-	s := th.Stats()
+	// DB.Metrics is the unified snapshot: transactional counters with the
+	// paper's abort decomposition, memory accounting, tree maintenance,
+	// and — when enabled — resilience, durability and contention sections.
+	m := db.Metrics()
 	fmt.Printf("stats: %d commits, %d aborts, %d fallbacks\n",
-		s.Commits, s.Aborts, s.Fallbacks)
-	m := db.MemoryStats()
-	fmt.Printf("memory: %d B live (%d B CCM)\n", m.LiveBytes, m.CCMBytes)
+		m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks)
+	fmt.Printf("memory: %d B live (%d B CCM)\n",
+		m.Memory.LiveBytes, m.Memory.CCMBytes)
 }

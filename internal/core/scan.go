@@ -40,6 +40,7 @@ func (t *Tree) Scan(th *htm.Thread, from uint64, max int, fn func(key, val uint6
 			leaf, s0 = t.upper(th, cur)
 		}
 		ccm := t.ccmAddr(leaf)
+		th.NoteNode(uint64(leaf))
 		t.lockLeaf(th.P, ccm)
 		ok := false
 		next := simmem.NilAddr

@@ -90,11 +90,13 @@ func (t *Tree) Name() string { return "euno-btree" }
 // Config returns the active configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
-// Splits, Compactions, MarkRejects and RootRetries expose diagnostics.
+// Splits, Compactions, MarkRejects, RootRetries and MaintRounds expose
+// diagnostics.
 func (t *Tree) Splits() uint64      { return t.splits.Load() }
 func (t *Tree) Compactions() uint64 { return t.compactions.Load() }
 func (t *Tree) MarkRejects() uint64 { return t.markRejects.Load() }
 func (t *Tree) RootRetries() uint64 { return t.rootRetries.Load() }
+func (t *Tree) MaintRounds() uint64 { return t.maintRounds.Load() }
 
 func (t *Tree) newLeaf(p vclock.Proc) simmem.Addr {
 	addr := t.a.AllocAligned(p, t.leafWords, simmem.TagKeys)
@@ -153,6 +155,10 @@ func (t *Tree) descend(tx *htm.Tx, key uint64, path *[]simmem.Addr) simmem.Addr 
 // upper executes the upper HTM region (Algorithm 2 lines 23-28): traverse
 // the index and sample the target leaf's sequence number.
 func (t *Tree) upper(th *htm.Thread, key uint64) (leaf simmem.Addr, s0 uint64) {
+	// Upper-region conflicts happen on interior/meta lines, not the leaf
+	// the previous operation annotated — clear the observability node
+	// annotation so they attribute to their raw conflict line.
+	th.NoteNode(0)
 	th.Execute(t.upperPol, func(tx *htm.Tx) {
 		leaf = t.descend(tx, key, nil)
 		s0 = tx.Load(leaf + offSeqno)
@@ -177,6 +183,8 @@ func (t *Tree) Get(th *htm.Thread, key uint64) (uint64, bool) {
 		// The stitch: between here and the lower region the leaf may split,
 		// compact, or fill — correctness rests on the seqno re-validation.
 		th.Fault(htm.FaultStitch)
+		th.NoteStitch(uint64(leaf))
+		th.NoteNode(uint64(leaf))
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, useMark := t.ccmGate(th, ccm)
@@ -225,6 +233,8 @@ func (t *Tree) Put(th *htm.Thread, key, val uint64) {
 	for {
 		leaf, s0 := t.upper(th, key)
 		th.Fault(htm.FaultStitch)
+		th.NoteStitch(uint64(leaf))
+		th.NoteNode(uint64(leaf))
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, _ := t.ccmGate(th, ccm)
@@ -296,6 +306,8 @@ func (t *Tree) Delete(th *htm.Thread, key uint64) bool {
 	for {
 		leaf, s0 := t.upper(th, key)
 		th.Fault(htm.FaultStitch)
+		th.NoteStitch(uint64(leaf))
+		th.NoteNode(uint64(leaf))
 		ccm := t.ccmAddr(leaf)
 		slot := t.slotOf(key)
 		useLock, useMark := t.ccmGate(th, ccm)

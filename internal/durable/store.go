@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eunomia/internal/metrics"
+	"eunomia/internal/obs"
 )
 
 // latHist is the flush-latency histogram (wall nanoseconds).
@@ -42,6 +43,9 @@ type Config struct {
 	// crash then loses acknowledged writes, which the checker must catch.
 	// Never enable outside tests.
 	AckBeforeFlush bool
+	// Observer receives an obs.EvWALFlush event per group-commit fsync
+	// (timestamps in wall nanoseconds). nil disables emission.
+	Observer obs.Observer
 }
 
 // withDefaults fills unset fields.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"eunomia/internal/obs"
 )
 
 // ErrWALFailed wraps the first fatal WAL error (failed fsync, write error,
@@ -94,6 +96,18 @@ func (w *wal) leaderFlush(s *shard) {
 		err = f.Sync()
 	}
 	lat := time.Since(start)
+	if o := w.cfg.Observer; o != nil && err == nil {
+		// Emitted with no shard/stats lock held; WAL-flush timestamps are
+		// wall nanoseconds (virtual cycles do not advance during fsync).
+		o.Event(obs.Event{
+			Kind: obs.EvWALFlush,
+			Proc: int32(s.id),
+			TS:   uint64(start.UnixNano()) + uint64(lat.Nanoseconds()),
+			Dur:  uint64(lat.Nanoseconds()),
+			Line: uint64(len(buf)),
+			Node: uint64(frames),
+		})
+	}
 
 	s.mu.Lock()
 	s.flushing = false

@@ -11,6 +11,7 @@ import (
 	"eunomia/internal/core"
 	"eunomia/internal/htm"
 	"eunomia/internal/metrics"
+	"eunomia/internal/obs"
 	"eunomia/internal/simmem"
 	"eunomia/internal/tree"
 	"eunomia/internal/tree/htmtree"
@@ -74,6 +75,12 @@ type Config struct {
 	// policies. Default false keeps the paper-faithful fragile behavior
 	// every figure measures.
 	Resilience bool
+
+	// Observer, when non-nil, is installed on the HTM device and receives
+	// every observability event (tx begin/commit/abort, stitch, fallback);
+	// see internal/obs. Callbacks never advance the virtual clock, so an
+	// attached observer cannot move a run's metrics by a cycle.
+	Observer obs.Observer
 }
 
 // withDefaults fills unset fields.
@@ -146,6 +153,7 @@ func newDevice(cfg Config, arena *simmem.Arena) *htm.HTM {
 	if cfg.Resilience {
 		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
 	}
+	hcfg.Observer = cfg.Observer
 	return htm.New(arena, hcfg)
 }
 

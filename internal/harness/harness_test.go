@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/obs"
 	"eunomia/internal/workload"
 )
 
@@ -192,5 +194,69 @@ func TestRunAndValidate(t *testing.T) {
 		if res.Ops == 0 {
 			t.Fatalf("%v: no ops", k)
 		}
+	}
+}
+
+// TestObserverDoesNotPerturbRun: attaching an observer must leave every
+// virtual-time metric bit-identical — observer callbacks never tick the
+// virtual clock. This is the enabled-path half of the zero-cost
+// guarantee; the disabled path is pinned by the golden fig1/fig8 CSVs.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	for _, k := range []TreeKind{EunoBTree, HTMBTree} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			plain := Run(smallCfg(k))
+			heat := obs.NewHeatmap(obs.HeatmapConfig{})
+			cfg := smallCfg(k)
+			cfg.Observer = heat
+			observed := Run(cfg)
+			if plain.Cycles != observed.Cycles || plain.Ops != observed.Ops {
+				t.Fatalf("observer moved the run: %d/%d cycles, %d/%d ops",
+					plain.Cycles, observed.Cycles, plain.Ops, observed.Ops)
+			}
+			if plain.Stats != observed.Stats {
+				t.Fatalf("observer changed stats:\nplain:    %+v\nobserved: %+v",
+					plain.Stats, observed.Stats)
+			}
+			seen, _ := heat.Seen()
+			if seen != observed.Stats.TotalAborts() {
+				t.Fatalf("heatmap saw %d aborts, run counted %d", seen, observed.Stats.TotalAborts())
+			}
+		})
+	}
+}
+
+// TestAbortDecompositionShape pins the paper's Section 3 abort analysis
+// on the baseline HTM-B+Tree under the contended Figure-8-style workload:
+// layout false conflicts (different records, same line) must dominate the
+// conflict mass, with shared-metadata and true conflicts as minority
+// classes — the observation Eunomia's whole design answers. The same
+// workload on the Euno-B+Tree must cut the false-conflict share (its
+// partitioned leaves put each core's keys on distinct lines).
+func TestAbortDecompositionShape(t *testing.T) {
+	decompose := func(k TreeKind) (falseShare, metaShare, trueShare float64) {
+		cfg := smallCfg(k)
+		cfg.Threads = 8
+		cfg.OpsPerThread = 1200
+		r := Run(cfg)
+		a := r.Stats.Aborts
+		conflicts := float64(a[htm.AbortConflictFalse] + a[htm.AbortConflictMeta] + a[htm.AbortConflictTrue])
+		if conflicts == 0 {
+			t.Fatalf("%v: no conflict aborts under theta=0.9", k)
+		}
+		return float64(a[htm.AbortConflictFalse]) / conflicts,
+			float64(a[htm.AbortConflictMeta]) / conflicts,
+			float64(a[htm.AbortConflictTrue]) / conflicts
+	}
+	f, m, tr := decompose(HTMBTree)
+	if f < 0.5 {
+		t.Fatalf("baseline layout-false share = %.2f, want dominant (paper: 0.87-0.90)", f)
+	}
+	if m > f || tr > f {
+		t.Fatalf("baseline minority classes out of shape: false=%.2f meta=%.2f true=%.2f", f, m, tr)
+	}
+	ef, _, _ := decompose(EunoBTree)
+	if ef >= f {
+		t.Fatalf("Euno layout-false share %.2f not below baseline %.2f", ef, f)
 	}
 }

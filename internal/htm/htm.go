@@ -40,6 +40,7 @@ package htm
 import (
 	"fmt"
 
+	"eunomia/internal/obs"
 	"eunomia/internal/simmem"
 	"eunomia/internal/vclock"
 )
@@ -102,6 +103,13 @@ type Config struct {
 	// Storm configures the per-device abort-storm detector driving
 	// graceful degradation; a zero Window (the default) disables it.
 	Storm StormConfig
+
+	// Observer receives observability events (see internal/obs and
+	// SetObserver). nil — the default — disables emission entirely; each
+	// site then costs one nil check, and virtual-time metrics are
+	// bit-identical to an un-instrumented build either way (observers
+	// never tick the virtual clock).
+	Observer obs.Observer
 }
 
 // DefaultConfig models the paper's Haswell-class parts.
@@ -119,6 +127,8 @@ type HTM struct {
 	qserving simmem.Addr
 	storm    *stormDetector
 	fi       *FaultInjector
+	obs      obs.Observer
+	dev      deviceStats
 }
 
 // New creates an HTM emulator over the arena.
@@ -135,6 +145,7 @@ func New(a *simmem.Arena, cfg Config) *HTM {
 		cfg:      cfg,
 		fallback: a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback),
 		storm:    newStormDetector(cfg.Storm),
+		obs:      cfg.Observer,
 	}
 	if cfg.QueuedFallback {
 		q := a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback)

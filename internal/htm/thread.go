@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"eunomia/internal/obs"
 	"eunomia/internal/vclock"
 )
 
@@ -180,6 +181,12 @@ type Thread struct {
 	// (see Thread.Fault): the next attempt aborts at begin, modeling an
 	// asynchronous abort landing in the window between HTM regions.
 	pendingAbort bool
+	// obsNode is the tree-node annotation attached to emitted abort/commit
+	// events (see NoteNode); 0 when unannotated or observability is off.
+	obsNode uint64
+	// devFlushed is the portion of Stats already folded into the device
+	// aggregates (see flushDeviceStats).
+	devFlushed Stats
 }
 
 // NewThread creates a worker handle executing on proc p.
@@ -203,8 +210,17 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 	tx.rv = t.H.arena.Clock()
 	t.Stats.Attempts++
 	t.P.Tick(t.H.arena.Costs().TxBegin)
+	if o := t.H.obs; o != nil {
+		o.Event(obs.Event{
+			Kind: obs.EvTxBegin,
+			Proc: int32(t.P.ID()),
+			TS:   tx.startCycles,
+			Node: t.obsNode,
+		})
+	}
 
 	reason = AbortNone
+	var abortLine uint64
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -213,6 +229,7 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 					panic(r)
 				}
 				reason = ab.reason
+				abortLine = ab.line
 			}
 		}()
 		if t.pendingAbort {
@@ -231,6 +248,16 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 
 	if reason == AbortNone {
 		t.Stats.Commits++
+		if o := t.H.obs; o != nil {
+			now := t.P.Now()
+			o.Event(obs.Event{
+				Kind: obs.EvTxCommit,
+				Proc: int32(t.P.ID()),
+				TS:   now,
+				Dur:  now - tx.startCycles,
+				Node: t.obsNode,
+			})
+		}
 		return true, AbortNone
 	}
 	t.Stats.Aborts[reason]++
@@ -239,6 +266,23 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 		t.H.arena.Free(t.P, al.addr, al.words, al.tag)
 	}
 	t.P.Tick(t.H.arena.Costs().TxAbort)
+	if o := t.H.obs; o != nil {
+		now := t.P.Now()
+		var tag uint8
+		if reason.IsConflict() || reason == AbortFallbackLock || reason == AbortCapacity {
+			tag = uint8(t.H.arena.TagOf(abortLine))
+		}
+		o.Event(obs.Event{
+			Kind:   obs.EvTxAbort,
+			Reason: uint8(reason),
+			Tag:    tag,
+			Proc:   int32(t.P.ID()),
+			TS:     now,
+			Dur:    now - tx.startCycles,
+			Line:   abortLine,
+			Node:   t.obsNode,
+		})
+	}
 	return false, reason
 }
 
@@ -253,6 +297,7 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 // immediately (graceful degradation); when the policy sets AttemptBudget,
 // the total attempt count is bounded before the guaranteed fallback.
 func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
+	defer t.flushDeviceStats()
 	if fi := t.H.fi; fi != nil && fi.at(FaultFallback) {
 		switch fi.spec.Action {
 		case ActFallback:
@@ -371,7 +416,9 @@ func (t *Thread) backoff(pol RetryPolicy, k uint) {
 // paper-faithful spin-CAS. The lock is released via defer, so a panicking
 // body (or an injected fault) cannot wedge the device.
 func (t *Thread) RunFallback(body func(*Tx)) {
+	defer t.flushDeviceStats()
 	a := t.H.arena
+	start := t.P.Now()
 	if t.H.cfg.QueuedFallback {
 		t.Fault(FaultQLock)
 		// Ticket acquire: AddWordDirect hands out FIFO tickets; the
@@ -401,4 +448,14 @@ func (t *Thread) RunFallback(body func(*Tx)) {
 	tx := &t.tx
 	tx.reset(true)
 	body(tx)
+	if o := t.H.obs; o != nil {
+		now := t.P.Now()
+		o.Event(obs.Event{
+			Kind: obs.EvFallback,
+			Proc: int32(t.P.ID()),
+			TS:   now,
+			Dur:  now - start,
+			Node: t.obsNode,
+		})
+	}
 }

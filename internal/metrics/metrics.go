@@ -66,6 +66,36 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// HistogramSnapshot is an immutable copy of a Histogram at one point in
+// time with the commonly reported derived values pre-computed, safe to
+// hand across API boundaries (the live Histogram is single-writer).
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   uint64
+	Max   uint64
+	Mean  float64
+	// P50/P99/P999 are bucket upper bounds (see Quantile).
+	P50  uint64
+	P99  uint64
+	P999 uint64
+	// Buckets[i] counts observations in [2^(i-1), 2^i).
+	Buckets [65]uint64
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Max:     h.max,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
+		Buckets: h.buckets,
+	}
+}
+
 // Merge adds o's observations into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.buckets {

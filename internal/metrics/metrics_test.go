@@ -47,6 +47,47 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestMergeEquivalenceProperty pins the Merge contract: merging the
+// histograms of two disjoint observation streams must be indistinguishable
+// — bucket by bucket, and through every derived value including Max and
+// the quantiles — from one histogram that observed the concatenation.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		var a, b, all Histogram
+		for _, v := range xs {
+			a.Observe(uint64(v))
+			all.Observe(uint64(v))
+		}
+		for _, v := range ys {
+			b.Observe(uint64(v))
+			all.Observe(uint64(v))
+		}
+		a.Merge(&b)
+		return a.Snapshot() == all.Snapshot()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != h.Count() || s.Max != h.Max() || s.Mean != h.Mean() {
+		t.Fatalf("snapshot disagrees with accessors: %+v", s)
+	}
+	if s.P50 != h.Quantile(0.5) || s.P99 != h.Quantile(0.99) || s.P999 != h.Quantile(0.999) {
+		t.Fatalf("snapshot quantiles disagree: %+v", s)
+	}
+	h.Observe(1 << 40)
+	if s.Max == h.Max() {
+		t.Fatal("snapshot not detached from live histogram")
+	}
+}
+
 func TestQuantileMonotonicProperty(t *testing.T) {
 	f := func(vals []uint16) bool {
 		var h Histogram

@@ -1,0 +1,211 @@
+package obs
+
+import "sync"
+
+// HeatmapConfig sizes a Heatmap. Zero fields take defaults.
+type HeatmapConfig struct {
+	// SampleEvery keeps every Nth abort event (1 = keep all, the default).
+	// Sampling bounds observer overhead on abort storms; the hot-leaf
+	// ranking is scale-invariant under uniform sampling.
+	SampleEvery int
+	// RingSize bounds the most-recent-events ring (default 4096).
+	RingSize int
+	// TableSize bounds the hot-leaf table (default 64 entries).
+	TableSize int
+	// Seed drives the deterministic admission RNG (default 1).
+	Seed uint64
+}
+
+// heatDefaults fills zero fields.
+func (c HeatmapConfig) withDefaults() HeatmapConfig {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 4096
+	}
+	if c.TableSize <= 0 {
+		c.TableSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LeafHeat is one hot-leaf table entry: the abort pressure observed on one
+// tree node (or, for trees that do not annotate nodes, one cache line).
+type LeafHeat struct {
+	// ID is the annotated node id when Annotated, else the conflicting
+	// cache line index.
+	ID        uint64
+	Annotated bool
+	// Tag is the allocation-tag ordinal of the last conflicting line.
+	Tag uint8
+	// Total counts sampled aborts attributed to this leaf; ByReason splits
+	// them by abort-reason ordinal.
+	Total    uint64
+	ByReason [16]uint64
+	// FirstTS and LastTS bracket the observed aborts (virtual cycles).
+	FirstTS, LastTS uint64
+}
+
+// Heatmap is an Observer accumulating per-leaf abort pressure: a bounded
+// ring of recent abort events plus a bounded table of the hottest leaves.
+//
+// The table uses reservoir-style admission: while it has room every new
+// leaf enters; once full, a new leaf is admitted with probability
+// size/(size+overflow) and evicts the coldest entry, so persistent hot
+// spots survive churn while one-off conflicts wash out. Admission draws
+// from a seeded xorshift RNG, keeping virtual-time runs deterministic.
+//
+// All other event kinds are ignored, so a Heatmap can sit on the same
+// observer chain as a trace writer.
+type Heatmap struct {
+	mu      sync.Mutex
+	cfg     HeatmapConfig
+	rng     uint64
+	seen    uint64 // all EvTxAbort events offered
+	sampled uint64 // events kept after sampling
+	dropped uint64 // leaves that lost the admission draw
+	ring    []Event
+	ringPos int
+	wrapped bool
+	table   map[uint64]*LeafHeat
+}
+
+// NewHeatmap creates a Heatmap.
+func NewHeatmap(cfg HeatmapConfig) *Heatmap {
+	cfg = cfg.withDefaults()
+	return &Heatmap{
+		cfg:   cfg,
+		rng:   cfg.Seed,
+		ring:  make([]Event, 0, cfg.RingSize),
+		table: make(map[uint64]*LeafHeat, cfg.TableSize),
+	}
+}
+
+// Event implements Observer.
+func (h *Heatmap) Event(e Event) {
+	if e.Kind != EvTxAbort {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seen++
+	if h.cfg.SampleEvery > 1 && h.seen%uint64(h.cfg.SampleEvery) != 0 {
+		return
+	}
+	h.sampled++
+	// Ring of recent sampled aborts.
+	if len(h.ring) < h.cfg.RingSize {
+		h.ring = append(h.ring, e)
+	} else {
+		h.ring[h.ringPos] = e
+		h.wrapped = true
+	}
+	h.ringPos = (h.ringPos + 1) % h.cfg.RingSize
+	// Hot-leaf table, keyed on the annotated node when present, else the
+	// conflicting line (capacity/explicit aborts with line 0 fold into one
+	// "no site" bucket, which is fine — they carry no location).
+	id, annotated := e.Node, true
+	if id == 0 {
+		id, annotated = e.Line, false
+	}
+	ls, ok := h.table[id]
+	if !ok {
+		if len(h.table) >= h.cfg.TableSize {
+			over := h.sampled - uint64(h.cfg.TableSize)
+			if h.next()%(uint64(h.cfg.TableSize)+over) >= uint64(h.cfg.TableSize) {
+				h.dropped++
+				return
+			}
+			h.evictColdest()
+		}
+		ls = &LeafHeat{ID: id, Annotated: annotated, FirstTS: e.TS}
+		h.table[id] = ls
+	}
+	ls.Total++
+	if int(e.Reason) < len(ls.ByReason) {
+		ls.ByReason[e.Reason]++
+	}
+	ls.Tag = e.Tag
+	ls.LastTS = e.TS
+}
+
+// evictColdest removes the entry with the smallest Total (oldest LastTS
+// breaking ties), making room for a newly admitted leaf.
+func (h *Heatmap) evictColdest() {
+	var victim uint64
+	var vls *LeafHeat
+	for id, ls := range h.table {
+		if vls == nil || ls.Total < vls.Total ||
+			(ls.Total == vls.Total && ls.LastTS < vls.LastTS) {
+			victim, vls = id, ls
+		}
+	}
+	delete(h.table, victim)
+}
+
+// next advances the xorshift64 admission RNG.
+func (h *Heatmap) next() uint64 {
+	x := h.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h.rng = x
+	return x
+}
+
+// Hot returns the hot-leaf table sorted by Total descending (ID ascending
+// on ties, so output is deterministic).
+func (h *Heatmap) Hot() []LeafHeat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]LeafHeat, 0, len(h.table))
+	for _, ls := range h.table {
+		out = append(out, *ls)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; table is small
+		for j := i; j > 0; j-- {
+			a, b := &out[j-1], &out[j]
+			if a.Total > b.Total || (a.Total == b.Total && a.ID <= b.ID) {
+				break
+			}
+			out[j-1], out[j] = *b, *a
+		}
+	}
+	return out
+}
+
+// Ring returns the sampled abort events, oldest first.
+func (h *Heatmap) Ring() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.wrapped {
+		return append([]Event(nil), h.ring...)
+	}
+	out := make([]Event, 0, len(h.ring))
+	out = append(out, h.ring[h.ringPos:]...)
+	out = append(out, h.ring[:h.ringPos]...)
+	return out
+}
+
+// Seen reports how many aborts were offered and how many were kept after
+// sampling.
+func (h *Heatmap) Seen() (aborts, sampled uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seen, h.sampled
+}
+
+// Reset clears all accumulated state (configuration and RNG position are
+// kept).
+func (h *Heatmap) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seen, h.sampled, h.dropped = 0, 0, 0
+	h.ring = h.ring[:0]
+	h.ringPos, h.wrapped = 0, false
+	clear(h.table)
+}

@@ -1,0 +1,160 @@
+// Package obs is the observability layer: a stream of structured events
+// emitted by the HTM device, the core tree, and the durability engine,
+// consumed by pluggable Observers (contention heatmaps, Chrome-trace
+// writers, user callbacks).
+//
+// Design constraints, in priority order:
+//
+//  1. Zero cost when disabled. Every emission site is guarded by a single
+//     nil check on an observer field (the same pattern as the fault
+//     injector), so the paper-faithful figure runs are bit-identical with
+//     observability compiled in but not installed.
+//  2. Zero *virtual-time* cost even when enabled. Observer callbacks never
+//     call Proc.Tick, so attaching a heatmap or trace writer cannot move a
+//     deterministic virtual-time run by a single cycle — goldens hold with
+//     observability on.
+//  3. No dependency on the emitting packages. Event carries raw ordinals
+//     (abort reason, allocation tag) rather than the htm/simmem enum types;
+//     the emitting package registers name functions at init so consumers
+//     can still render human-readable labels.
+//
+// Observers must be safe for concurrent use: under wall-clock execution
+// every worker goroutine delivers events directly.
+package obs
+
+import "sync/atomic"
+
+// EventKind discriminates Event records.
+type EventKind uint8
+
+// Event kinds. The tx triple brackets one transaction attempt; Stitch
+// marks the non-transactional window between the Euno-B+Tree's two HTM
+// regions; Fallback spans a global-lock execution; WALFlush reports one
+// group-commit fsync.
+const (
+	EvNone EventKind = iota
+	// EvTxBegin marks a transaction attempt starting (TS = begin cycles).
+	EvTxBegin
+	// EvTxCommit marks a successful commit (Dur = attempt cycles).
+	EvTxCommit
+	// EvTxAbort marks an aborted attempt. Reason is the abort-reason
+	// ordinal, Line the conflicting cache line (0 when not a memory
+	// conflict), Tag the line's allocation-tag ordinal, Node the annotated
+	// tree node if the emitting tree provided one (0 otherwise), and Dur
+	// the cycles wasted in the attempt.
+	EvTxAbort
+	// EvFallback spans one global-lock execution, including lock acquire
+	// (Dur = cycles from acquire start to body completion).
+	EvFallback
+	// EvStitch marks the stitch window between the Euno two-region
+	// protocol's upper and lower HTM regions (Node = the connection leaf).
+	EvStitch
+	// EvWALFlush reports one durability group-commit fsync. Timestamps for
+	// this kind are wall-clock nanoseconds, not virtual cycles: Dur is the
+	// fsync latency, Node the frames in the batch, Line the bytes written,
+	// Proc the WAL shard index.
+	EvWALFlush
+	NumEventKinds
+)
+
+// String returns a short name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvNone:
+		return "none"
+	case EvTxBegin:
+		return "tx-begin"
+	case EvTxCommit:
+		return "tx-commit"
+	case EvTxAbort:
+		return "tx-abort"
+	case EvFallback:
+		return "fallback"
+	case EvStitch:
+		return "stitch"
+	case EvWALFlush:
+		return "wal-flush"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Event is one observability record. Field meaning varies a little by
+// Kind (documented on the kind constants); the common core is: TS is the
+// event's virtual-cycle timestamp (wall ns for EvWALFlush), Proc the
+// emitting virtual core, and Dur the spanned duration for span-like kinds.
+type Event struct {
+	Kind   EventKind
+	Reason uint8 // abort-reason ordinal (EvTxAbort); see ReasonName
+	Tag    uint8 // allocation-tag ordinal of Line (EvTxAbort); see TagName
+	Proc   int32
+	TS     uint64
+	Dur    uint64
+	Line   uint64 // conflicting cache line, or flushed bytes (EvWALFlush)
+	Node   uint64 // annotated tree node, or flushed frames (EvWALFlush)
+}
+
+// Observer consumes events. Implementations must be safe for concurrent
+// use (wall-clock workers call Event directly) and must be fast: the
+// callback runs on the operation's critical path. Observers must never
+// call back into the emitting DB/device.
+type Observer interface {
+	Event(Event)
+}
+
+// nameFn renders an ordinal; registered by the emitting package.
+type nameFn func(uint8) string
+
+var (
+	reasonNames atomic.Value // nameFn
+	tagNames    atomic.Value // nameFn
+)
+
+// SetReasonNames registers the abort-reason renderer (called from the htm
+// package's init, breaking what would otherwise be an import cycle).
+func SetReasonNames(fn func(uint8) string) { reasonNames.Store(nameFn(fn)) }
+
+// SetTagNames registers the allocation-tag renderer.
+func SetTagNames(fn func(uint8) string) { tagNames.Store(nameFn(fn)) }
+
+// ReasonName renders the abort-reason ordinal of an EvTxAbort event.
+func (e Event) ReasonName() string { return render(&reasonNames, e.Reason) }
+
+// TagName renders the allocation-tag ordinal of an EvTxAbort event.
+func (e Event) TagName() string { return render(&tagNames, e.Tag) }
+
+func render(v *atomic.Value, ord uint8) string {
+	if fn, ok := v.Load().(nameFn); ok {
+		return fn(ord)
+	}
+	return "?"
+}
+
+// multi fans one event out to several observers in order.
+type multi []Observer
+
+func (m multi) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// Multi combines observers into one, skipping nil entries. It returns nil
+// when no non-nil observer remains and the observer itself when exactly
+// one does, so emission sites keep their single nil-check fast path.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func abortEvent(node, line, ts uint64, reason uint8) Event {
+	return Event{Kind: EvTxAbort, Reason: reason, Node: node, Line: line, TS: ts}
+}
+
+func TestHeatmapCounts(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{})
+	for i := 0; i < 10; i++ {
+		h.Event(abortEvent(7, 100, uint64(i), 2))
+	}
+	h.Event(Event{Kind: EvTxCommit}) // non-abort kinds are ignored
+	seen, sampled := h.Seen()
+	if seen != 10 || sampled != 10 {
+		t.Fatalf("seen/sampled = %d/%d, want 10/10", seen, sampled)
+	}
+	hot := h.Hot()
+	if len(hot) != 1 || hot[0].ID != 7 || !hot[0].Annotated || hot[0].Total != 10 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	if hot[0].ByReason[2] != 10 {
+		t.Fatalf("ByReason = %v", hot[0].ByReason)
+	}
+	if hot[0].FirstTS != 0 || hot[0].LastTS != 9 {
+		t.Fatalf("TS bracket = [%d,%d], want [0,9]", hot[0].FirstTS, hot[0].LastTS)
+	}
+}
+
+func TestHeatmapUnannotatedFallsBackToLine(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{})
+	h.Event(abortEvent(0, 42, 1, 1))
+	hot := h.Hot()
+	if len(hot) != 1 || hot[0].ID != 42 || hot[0].Annotated {
+		t.Fatalf("hot = %+v, want unannotated line 42", hot)
+	}
+}
+
+func TestHeatmapSampling(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{SampleEvery: 4})
+	for i := 0; i < 100; i++ {
+		h.Event(abortEvent(1, 1, uint64(i), 1))
+	}
+	seen, sampled := h.Seen()
+	if seen != 100 || sampled != 25 {
+		t.Fatalf("seen/sampled = %d/%d, want 100/25", seen, sampled)
+	}
+}
+
+func TestHeatmapRingWrap(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{RingSize: 4})
+	for i := uint64(0); i < 6; i++ {
+		h.Event(abortEvent(1, 1, i, 1))
+	}
+	ring := h.Ring()
+	if len(ring) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(ring))
+	}
+	for i, e := range ring {
+		if e.TS != uint64(i)+2 {
+			t.Fatalf("ring[%d].TS = %d, want %d (oldest first)", i, e.TS, i+2)
+		}
+	}
+}
+
+// TestHeatmapHotSurvivesChurn: with far more distinct cold sites than
+// table slots, a persistently hot leaf must stay in the table.
+func TestHeatmapHotSurvivesChurn(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{TableSize: 8})
+	for i := 0; i < 4000; i++ {
+		if i%2 == 0 {
+			h.Event(abortEvent(999, 1, uint64(i), 1)) // the hot leaf
+		} else {
+			h.Event(abortEvent(uint64(1000+i), 1, uint64(i), 1)) // one-off churn
+		}
+	}
+	hot := h.Hot()
+	if len(hot) == 0 || hot[0].ID != 999 {
+		t.Fatalf("hot leaf lost to churn: %+v", hot)
+	}
+	if hot[0].Total < 1500 {
+		t.Fatalf("hot leaf total = %d, want ~2000", hot[0].Total)
+	}
+	if len(hot) > 8 {
+		t.Fatalf("table exceeded bound: %d entries", len(hot))
+	}
+}
+
+// TestHeatmapDeterministic: same event stream, same configuration — the
+// reservoir admission RNG is seeded, so results are bit-identical.
+func TestHeatmapDeterministic(t *testing.T) {
+	run := func() []LeafHeat {
+		h := NewHeatmap(HeatmapConfig{TableSize: 4})
+		x := uint64(88172645463325252)
+		for i := 0; i < 2000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			h.Event(abortEvent(x%64, 1, uint64(i), uint8(x%6)))
+		}
+		return h.Hot()
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("non-deterministic heatmap:\n%v\n%v", a, b)
+	}
+}
+
+func TestHeatmapReset(t *testing.T) {
+	h := NewHeatmap(HeatmapConfig{})
+	h.Event(abortEvent(1, 1, 1, 1))
+	h.Reset()
+	if seen, _ := h.Seen(); seen != 0 || len(h.Hot()) != 0 || len(h.Ring()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing must be nil")
+	}
+	h := NewHeatmap(HeatmapConfig{})
+	if got := Multi(nil, h, nil); got != Observer(h) {
+		t.Fatalf("Multi with one live observer must return it directly, got %T", got)
+	}
+	h2 := NewHeatmap(HeatmapConfig{})
+	m := Multi(h, h2)
+	m.Event(abortEvent(1, 1, 1, 1))
+	s1, _ := h.Seen()
+	s2, _ := h2.Seen()
+	if s1 != 1 || s2 != 1 {
+		t.Fatalf("fan-out failed: %d/%d", s1, s2)
+	}
+}
+
+// TestTraceEncode: the rendered document must be valid JSON in the
+// Chrome trace-event format, with B/E attempt spans, instant stitches and
+// complete (X) spans for fallbacks and WAL flushes.
+func TestTraceEncode(t *testing.T) {
+	tw := NewTraceWriter(TraceOptions{CyclesPerUsec: 1000})
+	o := tw.Process("test-run")
+	o.Event(Event{Kind: EvTxBegin, Proc: 1, TS: 1000, Node: 7})
+	o.Event(Event{Kind: EvTxAbort, Proc: 1, TS: 3000, Dur: 2000, Reason: 2, Line: 9, Node: 7})
+	o.Event(Event{Kind: EvTxBegin, Proc: 1, TS: 4000})
+	o.Event(Event{Kind: EvTxCommit, Proc: 1, TS: 6000, Dur: 2000})
+	o.Event(Event{Kind: EvStitch, Proc: 1, TS: 6500, Node: 7})
+	o.Event(Event{Kind: EvFallback, Proc: 2, TS: 9000, Dur: 1500})
+	o.Event(Event{Kind: EvWALFlush, Proc: 0, TS: 12000, Dur: 3000, Line: 4096, Node: 3})
+	if tw.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tw.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tw.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	// 7 events + 1 process_name metadata record.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("traceEvents = %d, want 8", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph]++
+	}
+	if phases["M"] != 1 || phases["B"] != 2 || phases["E"] != 2 || phases["i"] != 1 || phases["X"] != 2 {
+		t.Fatalf("phase histogram = %v", phases)
+	}
+	// Time order must hold for the viewer, and a B must precede its E.
+	last := -1.0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("events out of order at ts=%v", e.Ts)
+		}
+		last = e.Ts
+	}
+}
+
+// TestTraceConcurrentLanes: multiple goroutines recording into separate
+// process lanes concurrently (the wall-clock delivery shape) must not
+// race or lose events.
+func TestTraceConcurrentLanes(t *testing.T) {
+	tw := NewTraceWriter(TraceOptions{})
+	var wg sync.WaitGroup
+	const lanes, per = 4, 500
+	for l := 0; l < lanes; l++ {
+		o := tw.Process(fmt.Sprintf("lane-%d", l))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o.Event(Event{Kind: EvTxBegin, TS: uint64(i)})
+				o.Event(Event{Kind: EvTxCommit, TS: uint64(i) + 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if tw.Len() != lanes*per*2 {
+		t.Fatalf("Len = %d, want %d", tw.Len(), lanes*per*2)
+	}
+	var buf bytes.Buffer
+	if err := tw.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON under concurrency")
+	}
+}
+
+func TestReasonNameFallback(t *testing.T) {
+	// The htm package is not linked into this test binary's init path for
+	// obs alone only when nothing registered; but registration may have
+	// happened via other imports. Render must never panic either way.
+	_ = Event{Reason: 3}.ReasonName()
+	_ = Event{Tag: 2}.TagName()
+	if EvTxAbort.String() != "tx-abort" || EventKind(200).String() != "kind(?)" {
+		t.Fatal("EventKind.String misrenders")
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceOptions configures a TraceWriter.
+type TraceOptions struct {
+	// CyclesPerUsec converts event timestamps to the trace format's
+	// microseconds. The default 2300 matches the simulator's modeled
+	// 2.3 GHz clock; wall-clock recordings (nanosecond timestamps) should
+	// pass 1000.
+	CyclesPerUsec float64
+}
+
+// TraceWriter accumulates events and renders them as Chrome trace-event
+// format JSON (the `chrome://tracing` / Perfetto "JSON Array Format"), so
+// a whole contended virtual-time execution can be opened in a trace
+// viewer: one process per recorded scenario, one track per virtual core,
+// tx attempts as begin/end spans, aborts and stitches as instants,
+// fallback executions and WAL flushes as complete spans.
+//
+// TraceWriter is not itself an Observer; call Process to allocate a named
+// process lane and attach the returned Observer to a device. Collection
+// is unbounded — traces are a diagnostic for bounded runs, not a
+// production always-on sink.
+type TraceWriter struct {
+	opt TraceOptions
+
+	mu     sync.Mutex
+	procs  []string
+	events []traceRecord
+}
+
+type traceRecord struct {
+	pid int
+	ev  Event
+	seq int // arrival order, for a stable sort
+}
+
+// NewTraceWriter creates a TraceWriter emitting to w on Flush.
+func NewTraceWriter(opt TraceOptions) *TraceWriter {
+	if opt.CyclesPerUsec <= 0 {
+		opt.CyclesPerUsec = 2300 // modeled 2.3 GHz core
+	}
+	return &TraceWriter{opt: opt}
+}
+
+// Process allocates a process lane named name and returns the Observer
+// that records into it.
+func (tw *TraceWriter) Process(name string) Observer {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	tw.procs = append(tw.procs, name)
+	return &traceProc{tw: tw, pid: len(tw.procs) - 1}
+}
+
+type traceProc struct {
+	tw  *TraceWriter
+	pid int
+}
+
+func (p *traceProc) Event(e Event) {
+	tw := p.tw
+	tw.mu.Lock()
+	tw.events = append(tw.events, traceRecord{pid: p.pid, ev: e, seq: len(tw.events)})
+	tw.mu.Unlock()
+}
+
+// chromeEvent is one trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Encode renders the accumulated events as a single JSON document. It
+// may be called repeatedly (e.g. periodic dumps of a long run).
+func (tw *TraceWriter) Encode(w io.Writer) error {
+	tw.mu.Lock()
+	recs := append([]traceRecord(nil), tw.events...)
+	procs := append([]string(nil), tw.procs...)
+	tw.mu.Unlock()
+
+	// Stable time order; the viewer requires B before its matching E.
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].ev.TS != recs[j].ev.TS {
+			return recs[i].ev.TS < recs[j].ev.TS
+		}
+		return recs[i].seq < recs[j].seq
+	})
+
+	out := make([]chromeEvent, 0, len(recs)+len(procs))
+	for pid, name := range procs {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	us := func(cycles uint64) float64 { return float64(cycles) / tw.opt.CyclesPerUsec }
+	for _, r := range recs {
+		e := r.ev
+		ce := chromeEvent{Pid: r.pid, Tid: int64(e.Proc), Ts: us(e.TS)}
+		switch e.Kind {
+		case EvTxBegin:
+			ce.Name, ce.Ph = "tx", "B"
+		case EvTxCommit:
+			ce.Name, ce.Ph = "tx", "E"
+			ce.Args = map[string]any{"result": "commit"}
+		case EvTxAbort:
+			ce.Name, ce.Ph = "tx", "E"
+			ce.Args = map[string]any{
+				"result": "abort",
+				"reason": e.ReasonName(),
+				"line":   e.Line,
+				"tag":    e.TagName(),
+			}
+			if e.Node != 0 {
+				ce.Args["node"] = e.Node
+			}
+		case EvFallback:
+			ce.Name, ce.Ph = "fallback", "X"
+			ce.Ts = us(e.TS - min(e.Dur, e.TS))
+			d := us(e.Dur)
+			ce.Dur = &d
+		case EvStitch:
+			ce.Name, ce.Ph, ce.S = "stitch", "i", "t"
+			ce.Args = map[string]any{"node": e.Node}
+		case EvWALFlush:
+			ce.Name, ce.Ph = "wal-flush", "X"
+			ce.Ts = us(e.TS - min(e.Dur, e.TS))
+			d := us(e.Dur)
+			ce.Dur = &d
+			ce.Args = map[string]any{"frames": e.Node, "bytes": e.Line}
+		default:
+			continue
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":`); err != nil {
+		return err
+	}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// Len reports how many events have been recorded.
+func (tw *TraceWriter) Len() int {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return len(tw.events)
+}

@@ -1,0 +1,104 @@
+package eunomia
+
+import "testing"
+
+func rangeDB(t *testing.T) (*DB, *Thread) {
+	t.Helper()
+	db, err := Open(Options{ArenaWords: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, db.NewThread()
+}
+
+// TestRangeMatchesScan: Range must deliver exactly what Scan delivers
+// over the same window, including across leaf boundaries (600 consecutive
+// keys force many leaves and more than one internal batch).
+func TestRangeMatchesScan(t *testing.T) {
+	_, th := rangeDB(t)
+	for k := uint64(100); k < 700; k++ {
+		th.Put(k, k*7)
+	}
+	var scanned [][2]uint64
+	th.Scan(100, 600, func(k, v uint64) bool {
+		scanned = append(scanned, [2]uint64{k, v})
+		return true
+	})
+	var ranged [][2]uint64
+	for k, v := range th.Range(100, 699) {
+		ranged = append(ranged, [2]uint64{k, v})
+	}
+	if len(ranged) != 600 || len(scanned) != len(ranged) {
+		t.Fatalf("got %d ranged / %d scanned pairs, want 600", len(ranged), len(scanned))
+	}
+	for i := range ranged {
+		if ranged[i] != scanned[i] {
+			t.Fatalf("pair %d: Range %v != Scan %v", i, ranged[i], scanned[i])
+		}
+	}
+}
+
+// TestRangeBoundsInclusive: both endpoints are included; keys outside
+// [from, to] are not.
+func TestRangeBoundsInclusive(t *testing.T) {
+	_, th := rangeDB(t)
+	for _, k := range []uint64{5, 10, 15, 20, 25} {
+		th.Put(k, k)
+	}
+	var got []uint64
+	for k := range th.Range(10, 20) {
+		got = append(got, k)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 20 {
+		t.Fatalf("Range(10,20) = %v, want [10 15 20]", got)
+	}
+}
+
+func TestRangeEarlyBreak(t *testing.T) {
+	_, th := rangeDB(t)
+	for k := uint64(0); k < 50; k++ {
+		th.Put(k, k)
+	}
+	var n int
+	for range th.Range(0, 49) {
+		n++
+		if n == 7 {
+			break
+		}
+	}
+	if n != 7 {
+		t.Fatalf("broke after %d pairs, want 7", n)
+	}
+}
+
+func TestRangeEmptyAndExtremes(t *testing.T) {
+	_, th := rangeDB(t)
+	th.Put(42, 1)
+	for k := range th.Range(100, 200) {
+		t.Fatalf("empty window yielded %d", k)
+	}
+	for k := range th.Range(43, 10) { // inverted window
+		t.Fatalf("inverted window yielded %d", k)
+	}
+	// A window covering the whole key space terminates (the ^uint64(0)
+	// guard) and finds the key.
+	var got []uint64
+	for k := range th.Range(0, ^uint64(0)) {
+		got = append(got, k)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("full-space range = %v, want [42]", got)
+	}
+}
+
+// TestRangeClosedDB: ranging on a closed DB stops silently rather than
+// panicking (Scan is the error-reporting form).
+func TestRangeClosedDB(t *testing.T) {
+	db, th := rangeDB(t)
+	th.Put(1, 1)
+	db.Close()
+	for k := range th.Range(0, 10) {
+		t.Fatalf("closed DB yielded %d", k)
+	}
+}

@@ -24,3 +24,9 @@ go test -race ./examples/kvserver/
 # cross-thread shared state; the -short crash-fuzzer pass races recovery
 # against the checker as well.
 go test -race -short ./internal/durable/...
+# Observability layer: the heatmap/trace observers receive events from
+# every wall-clock worker goroutine concurrently, and the root package's
+# observer tests (TestObserverConcurrentWall and friends) drive exactly
+# that delivery shape against a live DB.
+go test -race ./internal/obs/
+go test -race -short .
