@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench figures trace-demo
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -41,6 +41,13 @@ bench-emulator-json:
 # bench: the scaled-down figure benchmarks (virtual-time metrics).
 bench:
 	go test -run=NONE -bench=Fig -benchtime=1x .
+
+# bench-host: the host-backend wall-clock sweep (real goroutines, cost
+# model off) across thread counts and YCSB mixes, recorded into the
+# checked-in artifact. Numbers are machine-dependent; the artifact records
+# GOMAXPROCS/NumCPU so runs stay comparable.
+bench-host:
+	go run ./cmd/eunobench -benchjson BENCH_hostperf.json -benchlabel $(LABEL) hostperf
 
 # bench-durability: wall-clock group-commit and recovery benchmarks,
 # recorded into the durability perf-trajectory artifact.

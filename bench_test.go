@@ -232,3 +232,74 @@ func BenchmarkWallOps(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHostOps is BenchmarkWallOps on the host backend: the cost model
+// is off, so ns/op is the protocol itself (TL2 bookkeeping + tree logic),
+// not the emulator. The WallOps/HostOps ratio is the emulator's overhead.
+func BenchmarkHostOps(b *testing.B) {
+	for _, kind := range []Kind{EunoBTree, HTMBTree, Masstree} {
+		b.Run(kind.String()+"/put", func(b *testing.B) {
+			db, err := Open(Options{Kind: kind, ArenaWords: 1 << 25, Backend: Host})
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := db.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Put(uint64(i%100000)+1, uint64(i))
+			}
+		})
+		b.Run(kind.String()+"/get", func(b *testing.B) {
+			db, err := Open(Options{Kind: kind, ArenaWords: 1 << 25, Backend: Host})
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := db.NewThread()
+			for i := uint64(1); i <= 100000; i++ {
+				th.Put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Get(uint64(i%100000) + 1)
+			}
+		})
+	}
+}
+
+// BenchmarkHostParallel drives the host backend from every benchmark
+// goroutine at once (one Thread each) — the scaling half of the host
+// story. Run with -cpu 1,2,4,8 on a multi-core machine to see it.
+func BenchmarkHostParallel(b *testing.B) {
+	for _, kind := range []Kind{EunoBTree, HTMBTree, Masstree} {
+		for _, mix := range []struct {
+			name   string
+			getPct int
+		}{{"readonly", 100}, {"mixed", 50}} {
+			b.Run(fmt.Sprintf("%s/%s", kind, mix.name), func(b *testing.B) {
+				db, err := Open(Options{Kind: kind, ArenaWords: 1 << 25, Backend: Host})
+				if err != nil {
+					b.Fatal(err)
+				}
+				setup := db.NewThread()
+				const keys = 100_000
+				for i := uint64(1); i <= keys; i++ {
+					setup.Put(i, i)
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					th := db.NewThread()
+					i := 0
+					for pb.Next() {
+						k := uint64(i%keys) + 1
+						if i%100 < mix.getPct {
+							th.Get(k)
+						} else {
+							th.Put(k, uint64(i))
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}

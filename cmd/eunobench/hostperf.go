@@ -1,0 +1,210 @@
+package main
+
+// The `hostperf` subcommand measures the host backend: the same trees and
+// YCSB-style mixes as the figures, but executed on real goroutines at
+// wall-clock speed (htm.BackendHost, no cost model). Where the figure
+// subcommands reproduce the paper's *simulated* hardware, hostperf answers
+// "how fast does the protocol actually run on this machine, and does it
+// scale with real cores".
+//
+// Results go to a separate JSON artifact (-benchjson, conventionally
+// BENCH_hostperf.json) with the same label-dedup behavior as hostbench.
+// Numbers are machine-dependent by design: the artifact records
+// GOMAXPROCS and NumCPU so a single-core CI runner's flat scaling curve
+// is not mistaken for a protocol regression.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eunomia/internal/harness"
+	"eunomia/internal/metrics"
+	"eunomia/internal/workload"
+)
+
+// hostperfResult is one (mix, threads) cell of the artifact.
+type hostperfResult struct {
+	Mix         string  `json:"mix"`
+	Threads     int     `json:"threads"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Speedup     float64 `json:"speedup_vs_1t"`
+	P50Ns       uint64  `json:"p50_ns"`
+	P99Ns       uint64  `json:"p99_ns"`
+	P999Ns      uint64  `json:"p999_ns"`
+	AbortsPerOp float64 `json:"aborts_per_op"`
+	Fallbacks   uint64  `json:"fallbacks"`
+}
+
+// hostperfRun is one labeled invocation of the sweep.
+type hostperfRun struct {
+	Label      string           `json:"label"`
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Tree       string           `json:"tree"`
+	Keys       uint64           `json:"keys"`
+	Theta      float64          `json:"theta"`
+	DurationMS int64            `json:"duration_ms"`
+	Results    []hostperfResult `json:"results"`
+}
+
+// hostperfFile is the artifact schema.
+type hostperfFile struct {
+	Suite string        `json:"suite"`
+	Note  string        `json:"note"`
+	Runs  []hostperfRun `json:"runs"`
+}
+
+// ycsbMixes are the three standard read/write ratios the sweep covers.
+var ycsbMixes = []struct {
+	name string
+	mix  workload.Mix
+}{
+	{"YCSB-C 100r", workload.Mix{GetPct: 100}},
+	{"YCSB-B 95r/5w", workload.Mix{GetPct: 95, PutPct: 5}},
+	{"YCSB-A 50r/50w", workload.Mix{GetPct: 50, PutPct: 50}},
+}
+
+// hostperfCmd runs the host-backend thread sweep and prints/records it.
+func hostperfCmd() {
+	var hf *hostperfFile
+	if *benchjson != "" {
+		var err error
+		if hf, err = loadHostperfFile(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	dur := 750 * time.Millisecond
+	if *quick {
+		dur = 150 * time.Millisecond
+	}
+	const theta = 0.99
+	run := hostperfRun{
+		Label:      *benchlabel,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Tree:       harness.EunoBTree.String(),
+		Keys:       *keys,
+		Theta:      theta,
+		DurationMS: dur.Milliseconds(),
+	}
+	tbl := harness.Table{
+		Title: fmt.Sprintf("Host backend: Euno-B+Tree wall-clock throughput "+
+			"(GOMAXPROCS=%d, NumCPU=%d, zipfian theta=%.2f, %v per point)",
+			run.GoMaxProcs, run.NumCPU, theta, dur),
+		Header: []string{"mix", "threads", "ops/s", "speedup-vs-1t",
+			"p50(us)", "p99(us)", "p999(us)", "aborts/op", "fallbacks"},
+	}
+	for _, m := range ycsbMixes {
+		var base float64
+		for _, n := range hostThreadSweep() {
+			res := harness.RunHost(harness.HostConfig{
+				Tree:       harness.EunoBTree,
+				Threads:    n,
+				Keys:       *keys,
+				PreloadPct: 100, // reads must hit: YCSB runs over a loaded table
+				Dist:       workload.Spec{Kind: workload.Zipfian, Theta: theta},
+				Mix:        m.mix,
+				Duration:   dur,
+				Seed:       *seed,
+				Resilience: *resilience,
+			})
+			if n == 1 {
+				base = res.Throughput
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = res.Throughput / base
+			}
+			ls := res.Latency.Snapshot()
+			hr := hostperfResult{
+				Mix:         m.name,
+				Threads:     n,
+				OpsPerSec:   res.Throughput,
+				Speedup:     speedup,
+				P50Ns:       ls.P50,
+				P99Ns:       ls.P99,
+				P999Ns:      ls.P999,
+				AbortsPerOp: res.AbortsPerOp,
+				Fallbacks:   res.Stats.Fallbacks,
+			}
+			run.Results = append(run.Results, hr)
+			tbl.AddRow(m.name, fmt.Sprint(n), metrics.FormatOps(res.Throughput),
+				fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%.1f", float64(ls.P50)/1e3),
+				fmt.Sprintf("%.1f", float64(ls.P99)/1e3),
+				fmt.Sprintf("%.1f", float64(ls.P999)/1e3),
+				harness.F2(res.AbortsPerOp), fmt.Sprint(res.Stats.Fallbacks))
+		}
+	}
+	emit(&tbl)
+	if hf == nil {
+		return
+	}
+	if err := appendHostperfRun(*benchjson, hf, run); err != nil {
+		fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (label %q)\n", *benchjson, run.Label)
+}
+
+// hostThreadSweep returns the goroutine counts hostperf measures, capped by
+// -threads.
+func hostThreadSweep() []int {
+	var out []int
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		if n <= *threads {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// loadHostperfFile parses the artifact at path, or returns a fresh one if
+// the file does not exist yet.
+func loadHostperfFile(path string) (*hostperfFile, error) {
+	hf := &hostperfFile{
+		Suite: "HostPerf",
+		Note: "Wall-clock throughput of the host backend (real goroutines, " +
+			"cost model off) across thread counts and YCSB mixes; regenerate " +
+			"with `make bench-host` or `eunobench -benchjson " +
+			"BENCH_hostperf.json -benchlabel <label> hostperf`. Numbers are " +
+			"machine-dependent: check gomaxprocs/num_cpu before comparing " +
+			"runs, and expect flat scaling on single-core runners.",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, hf); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return hf, nil
+}
+
+// appendHostperfRun merges run into the artifact, replacing any existing
+// run with the same label.
+func appendHostperfRun(path string, hf *hostperfFile, run hostperfRun) error {
+	kept := hf.Runs[:0]
+	for _, r := range hf.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	hf.Runs = append(kept, run)
+	data, err := json.MarshalIndent(hf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

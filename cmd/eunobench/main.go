@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|storm|recover|abortmix|heatmap|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|storm|recover|abortmix|heatmap|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +65,7 @@ func main() {
 		"adjacency": adjacency,
 		"validate":  validateCmd,
 		"hostbench": hostbenchCmd,
+		"hostperf":  hostperfCmd,
 		"storm":     stormCmd,
 		"recover":   recoverCmd,
 		"abortmix":  abortmixCmd,

@@ -90,6 +90,36 @@ func (k Kind) String() string {
 	}
 }
 
+// Backend selects the execution engine behind a DB. Both run the same
+// transactional protocol over the same arena metadata; they differ in what
+// the clock means (see internal/htm.Backend and DESIGN.md §10).
+type Backend int
+
+// The two execution engines.
+const (
+	// Emulated (the default) charges every access through the virtual-time
+	// cost model, so contention behaves like the paper's hardware and
+	// RunVirtual is deterministic. Wall-clock Threads work too, but their
+	// speed measures the emulator, not the protocol.
+	Emulated Backend = iota
+	// Host disables the cost model and runs the protocol at native speed:
+	// Threads are meant to be one-per-goroutine, throughput scales with
+	// real cores, and time is wall-clock. RunVirtual is unavailable.
+	Host
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Emulated:
+		return "emulated"
+	case Host:
+		return "host"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
 // Tuning mirrors the Euno-B+Tree design knobs (the Figure 13 ablation
 // flags). The zero value of each field keeps the default.
 type Tuning struct {
@@ -117,6 +147,11 @@ type Options struct {
 	Fanout int
 	// Euno tunes the Euno-B+Tree (ignored for other kinds).
 	Euno Tuning
+	// Backend selects the execution engine (default Emulated). Host runs
+	// the same protocol on real goroutines at native speed — use it for
+	// actual-throughput work; use the default for paper-comparable,
+	// deterministic virtual-time numbers.
+	Backend Backend
 	// YieldEvery inserts a cooperative scheduling point into wall-clock
 	// threads every N charged cycles; 0 disables. It matters only when
 	// running more worker goroutines than host cores.
@@ -174,6 +209,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.Resilience {
 		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
 	}
+	switch opts.Backend {
+	case Emulated:
+	case Host:
+		hcfg.Backend = htm.BackendHost
+	default:
+		return nil, fmt.Errorf("eunomia: unknown backend %v", opts.Backend)
+	}
 	var heat *obs.Heatmap
 	oo := opts.Observability
 	if oo.Heatmap {
@@ -192,7 +234,12 @@ func Open(opts Options) (*DB, error) {
 	}
 	hcfg.Observer = obs.Multi(chain...)
 	device := htm.New(arena, hcfg)
-	boot := device.NewThread(vclock.NewWallProc(0, 0), 1)
+	var boot *htm.Thread
+	if opts.Backend == Host {
+		boot = device.NewHostThread(0, 1)
+	} else {
+		boot = device.NewThread(vclock.NewWallProc(0, 0), 1)
+	}
 
 	db := &DB{opts: opts, arena: arena, device: device,
 		observer: hcfg.Observer, heat: heat}
@@ -257,11 +304,16 @@ type Thread struct {
 	th *htm.Thread
 }
 
-// NewThread creates a wall-clock worker handle.
+// NewThread creates a wall-clock worker handle. On the Host backend the
+// handle runs at native speed; create one per worker goroutine.
 func (db *DB) NewThread() *Thread {
 	id := int(db.nextID.Add(1))
+	seed := uint64(id)*0x9e3779b9 + 1
+	if db.opts.Backend == Host {
+		return &Thread{db: db, th: db.device.NewHostThread(id, seed)}
+	}
 	p := vclock.NewWallProc(id, db.opts.YieldEvery)
-	return &Thread{db: db, th: db.device.NewThread(p, uint64(id)*0x9e3779b9+1)}
+	return &Thread{db: db, th: db.device.NewThread(p, seed)}
 }
 
 // Get returns the value stored under key.
@@ -449,6 +501,11 @@ func (db *DB) RunVirtual(threads int, body func(t *Thread)) VirtualResult {
 		// simulator waits for every proc to reach its next virtual event —
 		// a guaranteed deadlock. Durability is wall-clock only.
 		panic("eunomia: RunVirtual is incompatible with Options.Durability")
+	}
+	if db.opts.Backend == Host {
+		// The host backend has no cost model, so "virtual cycles" would be
+		// meaningless; determinism is the emulated backend's whole point.
+		panic("eunomia: RunVirtual requires Options.Backend == Emulated")
 	}
 	sim := vclock.NewSim(threads, 0)
 	workers := make([]*Thread, threads)

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/simmem"
+	"eunomia/internal/workload"
+)
+
+// Host-backend experiment driver: the same trees and workload machinery as
+// Run, but executed on real goroutines at wall-clock speed (htm.
+// BackendHost). Where Run answers "what would the paper's hardware do",
+// RunHost answers "how fast does this protocol actually go on this
+// machine" — the eunobench hostperf scenario and the BenchmarkHost*
+// benchmarks are built on it.
+
+// HostConfig describes one wall-clock experiment.
+type HostConfig struct {
+	Tree TreeKind
+	// EunoCfg overrides the Euno-B+Tree configuration; the zero value
+	// means core.DefaultConfig.
+	EunoCfg *core.Config
+
+	Threads      int    // goroutines issuing operations
+	Keys         uint64 // key-space size
+	PreloadPct   int
+	Dist         workload.Spec
+	Mix          workload.Mix
+	OpsPerThread int
+	// Duration, when nonzero, switches to fixed-duration methodology:
+	// every goroutine issues operations until the deadline, and
+	// OpsPerThread is ignored.
+	Duration time.Duration
+	Seed     uint64
+
+	Fanout     int
+	ArenaWords uint64
+
+	// Resilience enables the hardening layer (queued fallback lock,
+	// backoff, lemming-wait, storm detector) exactly as Config.Resilience
+	// does; on the host backend the waits are wall-clock.
+	Resilience bool
+}
+
+// hostDefaults fills unset fields, mirroring Config.withDefaults with a
+// wall-clock duration default.
+func (c HostConfig) hostDefaults() HostConfig {
+	if c.Threads == 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.PreloadPct == 0 {
+		c.PreloadPct = 50
+	}
+	if c.Dist.N == 0 {
+		c.Dist.N = c.Keys
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.DefaultMix
+	}
+	if c.OpsPerThread == 0 && c.Duration == 0 {
+		c.OpsPerThread = 20_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.ArenaWords == 0 {
+		c.ArenaWords = c.Keys * 24
+		if c.ArenaWords < 1<<22 {
+			c.ArenaWords = 1 << 22
+		}
+	}
+	return c
+}
+
+// emulated converts to the shared Config shape buildTree consumes (only
+// the tree-construction fields matter there).
+func (c HostConfig) emulated() Config {
+	return Config{
+		Tree:       c.Tree,
+		EunoCfg:    c.EunoCfg,
+		Fanout:     c.Fanout,
+		Resilience: c.Resilience,
+	}
+}
+
+// HostResult summarizes one wall-clock run.
+type HostResult struct {
+	Config HostConfig
+
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // ops per wall second
+
+	Stats       htm.Stats // merged across threads
+	AbortsPerOp float64
+
+	Latency metrics.Histogram // per-op latency in nanoseconds
+
+	PreloadedKeys uint64
+	GoMaxProcs    int
+	NumCPU        int
+}
+
+// RunHost executes one experiment on the host backend and returns its
+// result. Unlike Run, results are machine- and schedule-dependent: only
+// correctness is deterministic, not the numbers.
+func RunHost(cfg HostConfig) HostResult {
+	cfg = cfg.hostDefaults()
+	if err := cfg.Mix.Validate(); err != nil {
+		panic(err)
+	}
+	arena := simmem.NewArena(cfg.ArenaWords)
+	hcfg := htm.DefaultConfig
+	if cfg.Resilience {
+		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
+	}
+	hcfg.Backend = htm.BackendHost
+	device := htm.New(arena, hcfg)
+	boot := device.NewHostThread(0, cfg.Seed)
+	kv := buildTree(cfg.emulated(), device, boot)
+
+	// Load phase (not measured).
+	var preloaded uint64
+	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {
+		kv.Put(boot, key, key*31+7)
+		preloaded++
+	})
+
+	// Measured phase: real goroutines, wall-clock stop condition.
+	var stop atomic.Bool
+	if cfg.Duration > 0 {
+		defer time.AfterFunc(cfg.Duration, func() { stop.Store(true) }).Stop()
+	}
+	stats := make([]htm.Stats, cfg.Threads)
+	hists := make([]metrics.Histogram, cfg.Threads)
+	opsDone := make([]uint64, cfg.Threads)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := device.NewHostThread(w+1, cfg.Seed+uint64(w)*7919+1)
+			stream := workload.NewStream(cfg.Dist, cfg.Mix)
+			for i := 0; moreHost(cfg, i, &stop); i++ {
+				opsDone[w]++
+				op := stream.Next(th.Rand)
+				start := time.Now()
+				switch op.Kind {
+				case workload.OpGet:
+					kv.Get(th, op.Key)
+				case workload.OpPut:
+					kv.Put(th, op.Key, op.Key<<8|uint64(i)&0xff)
+				case workload.OpDelete:
+					kv.Delete(th, op.Key)
+				case workload.OpScan:
+					kv.Scan(th, op.Key, op.ScanLen, func(k, v uint64) bool { return true })
+				}
+				hists[w].Observe(uint64(time.Since(start)))
+			}
+			th.FlushStats() // fold the batched tail into device aggregates
+			stats[w] = th.Stats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	res := HostResult{
+		Config:        cfg,
+		Elapsed:       elapsed,
+		PreloadedKeys: preloaded,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+	}
+	for i := range stats {
+		res.Ops += opsDone[i]
+		res.Stats.Merge(&stats[i])
+		res.Latency.Merge(&hists[i])
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(res.Ops) / s
+	}
+	if res.Ops > 0 {
+		res.AbortsPerOp = float64(res.Stats.TotalAborts()) / float64(res.Ops)
+	}
+	return res
+}
+
+// moreHost is the measured-phase loop condition: fixed duration (checked
+// via the shared stop flag so the hot loop costs one atomic load) or
+// op-count mode.
+func moreHost(cfg HostConfig, i int, stop *atomic.Bool) bool {
+	if cfg.Duration > 0 {
+		return !stop.Load()
+	}
+	return i < cfg.OpsPerThread
+}

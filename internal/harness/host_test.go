@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"eunomia/internal/workload"
+)
+
+func TestRunHostAllTrees(t *testing.T) {
+	for _, kind := range []TreeKind{EunoBTree, HTMBTree, Masstree, HTMMasstree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			res := RunHost(HostConfig{
+				Tree:         kind,
+				Threads:      4,
+				Keys:         2_000,
+				OpsPerThread: 400,
+			})
+			if want := uint64(4 * 400); res.Ops != want {
+				t.Fatalf("ops = %d, want %d", res.Ops, want)
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("throughput = %f", res.Throughput)
+			}
+			if res.PreloadedKeys == 0 {
+				t.Fatal("nothing preloaded")
+			}
+			if got := res.Latency.Count(); got != res.Ops {
+				t.Fatalf("latency observations = %d, want %d", got, res.Ops)
+			}
+			// Masstree is lock-based (no transactions); the HTM trees must
+			// have committed at least one transaction per op or fallen back.
+			if kind != Masstree && res.Stats.Commits+res.Stats.Fallbacks < res.Ops {
+				t.Fatalf("commits+fallbacks = %d < ops %d", res.Stats.Commits+res.Stats.Fallbacks, res.Ops)
+			}
+		})
+	}
+}
+
+func TestRunHostDurationMode(t *testing.T) {
+	res := RunHost(HostConfig{
+		Tree:     EunoBTree,
+		Threads:  2,
+		Keys:     2_000,
+		Duration: 30 * time.Millisecond,
+	})
+	if res.Ops == 0 {
+		t.Fatal("duration run issued no operations")
+	}
+	if res.Elapsed < 30*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than the configured duration", res.Elapsed)
+	}
+}
+
+func TestRunHostResilience(t *testing.T) {
+	res := RunHost(HostConfig{
+		Tree:         EunoBTree,
+		Threads:      4,
+		Keys:         200, // tiny keyspace: force real contention
+		Dist:         workload.Spec{Kind: workload.Zipfian, N: 200, Theta: 0.99},
+		Mix:          workload.Mix{GetPct: 50, PutPct: 50},
+		OpsPerThread: 300,
+		Resilience:   true,
+	})
+	if want := uint64(4 * 300); res.Ops != want {
+		t.Fatalf("ops = %d, want %d", res.Ops, want)
+	}
+	if res.GoMaxProcs <= 0 || res.NumCPU <= 0 {
+		t.Fatalf("environment not recorded: GOMAXPROCS=%d NumCPU=%d", res.GoMaxProcs, res.NumCPU)
+	}
+}
+
+func TestRunHostDeviceStatsFlushed(t *testing.T) {
+	// The per-thread tail is batched on the host backend; RunHost must
+	// flush it so thread-merged and device-aggregated stats agree.
+	res := RunHost(HostConfig{
+		Tree:         HTMBTree,
+		Threads:      3,
+		Keys:         1_000,
+		OpsPerThread: 200,
+	})
+	if res.Stats.Commits == 0 {
+		t.Fatal("no commits recorded in merged thread stats")
+	}
+}

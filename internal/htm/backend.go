@@ -1,0 +1,85 @@
+package htm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"eunomia/internal/vclock"
+)
+
+// Backend selects the execution engine behind the transactional API. Both
+// backends run the *same* TL2-style protocol over the same per-line
+// version/lock metadata — the concurrency control in this package is real
+// either way (the arena is atomics, commits CAS line locks, wall-clock
+// tests race real goroutines through it even in emulated mode). What the
+// backend changes is the clock:
+//
+//   - BackendEmulated charges every memory access and transaction event
+//     through the virtual-time cost model, so contention plays out in
+//     deterministic simulated cycles (the mode all paper figures use).
+//
+//   - BackendHost turns the cost model off and measures nothing but wall
+//     time: threads are plain goroutines on vclock.HostProc, loads and
+//     stores are bare sync/atomic word operations, and the resilience
+//     waits (backoff, lemming-wait, fallback spins) pause in real time
+//     with cooperative yields. This is the engine for real multi-core
+//     throughput numbers (eunobench hostperf).
+type Backend int
+
+// The two execution engines.
+const (
+	BackendEmulated Backend = iota
+	BackendHost
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendEmulated:
+		return "emulated"
+	case BackendHost:
+		return "host"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// Host reports whether the device runs on the host backend.
+func (h *HTM) Host() bool { return h.host }
+
+// NewHostThread creates a worker handle on a fresh native-speed proc. It is
+// the host-backend counterpart of NewThread(vclock.NewWallProc(...), seed);
+// id only labels the thread (host proc IDs are unbounded).
+func (h *HTM) NewHostThread(id int, seed uint64) *Thread {
+	return h.NewThread(vclock.NewHostProc(id), seed)
+}
+
+// hostSpinSink gives host-backend pause loops a load the compiler cannot
+// elide without the coherence cost of a shared store.
+var hostSpinSink atomic.Uint64
+
+// hostPause busy-waits for roughly n spin units (about a nanosecond each),
+// yielding the OS thread periodically so a descheduled lock holder or
+// conflicting writer can run — mandatory for progress when goroutines
+// outnumber cores. It is the host-backend realization of "pause for d
+// virtual cycles" in the randomized backoff.
+func hostPause(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		_ = hostSpinSink.Load()
+		if i&1023 == 1023 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// hostWait spins until cond returns true, escalating from a brief busy wait
+// to yielding every iteration. Used for the host-backend fallback-lock
+// waits, where the condition flips only when another goroutine gets to run.
+func hostWait(cond func() bool) {
+	for spins := 0; !cond(); spins++ {
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}

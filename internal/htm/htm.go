@@ -96,6 +96,12 @@ type Config struct {
 	MaxReadLines  int
 	MaxWriteLines int
 
+	// Backend selects the execution engine (see Backend). The default,
+	// BackendEmulated, is the deterministic virtual-time emulator every
+	// figure uses; BackendHost disables the arena's cost model and runs
+	// the same protocol at native speed on real goroutines.
+	Backend Backend
+
 	// QueuedFallback replaces the spin-CAS fallback lock with a fair
 	// ticket lock (FIFO hand-off), so a fallback hog cannot starve
 	// waiters. Default false keeps the paper-faithful unfair lock.
@@ -121,10 +127,14 @@ type HTM struct {
 	cfg      Config
 	fallback simmem.Addr // global elision lock word, on its own line
 	// qticket/qserving implement the optional fair ticket fallback lock;
-	// they live on their own line (allocated only with QueuedFallback, so
-	// the default arena layout is untouched).
+	// each lives on its own line (allocated only with QueuedFallback, so
+	// the default arena layout is untouched). Separate lines matter on the
+	// host backend: ticket takers CAS one word while waiters spin-load the
+	// other, and co-locating them would ping-pong the waiters' line on
+	// every queue join.
 	qticket  simmem.Addr
 	qserving simmem.Addr
+	host     bool // cfg.Backend == BackendHost, cached for hot paths
 	storm    *stormDetector
 	fi       *FaultInjector
 	obs      obs.Observer
@@ -144,12 +154,16 @@ func New(a *simmem.Arena, cfg Config) *HTM {
 		arena:    a,
 		cfg:      cfg,
 		fallback: a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback),
+		host:     cfg.Backend == BackendHost,
 		storm:    newStormDetector(cfg.Storm),
 		obs:      cfg.Observer,
 	}
+	if h.host {
+		a.DisableCostModel()
+	}
 	if cfg.QueuedFallback {
-		q := a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback)
-		h.qticket, h.qserving = q, q+1
+		h.qticket = a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback)
+		h.qserving = a.AllocAligned(boot, simmem.WordsPerLine, simmem.TagFallback)
 	}
 	return h
 }

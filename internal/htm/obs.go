@@ -56,15 +56,19 @@ func (t *Thread) NoteStitch(node uint64) {
 // deviceStats aggregates Stats across every thread of the device.
 // Per-thread Stats stay plain uint64s owned by their goroutine (the hot
 // path); each thread folds its delta into these atomics once per Execute/
-// RunFallback, so DB-wide snapshots are race-free and cheap.
+// RunFallback (batched on the host backend, see maybeFlushDeviceStats), so
+// DB-wide snapshots are race-free and cheap. The per-transaction counters
+// are padded to their own cache lines: on the host backend every worker
+// flushes into them concurrently, and packing them would make the flush a
+// coherence hotspot of exactly the kind pad.go's benchmark measures.
 type deviceStats struct {
-	attempts          atomic.Uint64
-	commits           atomic.Uint64
-	fallbacks         atomic.Uint64
+	attempts          simmem.PaddedUint64
+	commits           simmem.PaddedUint64
+	fallbacks         simmem.PaddedUint64
+	txLoads           simmem.PaddedUint64
+	txStores          simmem.PaddedUint64
+	wastedCycles      simmem.PaddedUint64
 	aborts            [NumAbortReasons]atomic.Uint64
-	wastedCycles      atomic.Uint64
-	txLoads           atomic.Uint64
-	txStores          atomic.Uint64
 	backoffCycles     atomic.Uint64
 	degradationEvents atomic.Uint64
 	watchdogTrips     atomic.Uint64
@@ -102,17 +106,43 @@ func (t *Thread) flushDeviceStats() {
 			c.Add(now - before)
 		}
 	}
-	add(&d.attempts, cur.Attempts, prev.Attempts)
-	add(&d.commits, cur.Commits, prev.Commits)
-	add(&d.fallbacks, cur.Fallbacks, prev.Fallbacks)
+	add(&d.attempts.Uint64, cur.Attempts, prev.Attempts)
+	add(&d.commits.Uint64, cur.Commits, prev.Commits)
+	add(&d.fallbacks.Uint64, cur.Fallbacks, prev.Fallbacks)
 	for i := range cur.Aborts {
 		add(&d.aborts[i], cur.Aborts[i], prev.Aborts[i])
 	}
-	add(&d.wastedCycles, cur.WastedCycles, prev.WastedCycles)
-	add(&d.txLoads, cur.TxLoads, prev.TxLoads)
-	add(&d.txStores, cur.TxStores, prev.TxStores)
+	add(&d.wastedCycles.Uint64, cur.WastedCycles, prev.WastedCycles)
+	add(&d.txLoads.Uint64, cur.TxLoads, prev.TxLoads)
+	add(&d.txStores.Uint64, cur.TxStores, prev.TxStores)
 	add(&d.backoffCycles, cur.BackoffCycles, prev.BackoffCycles)
 	add(&d.degradationEvents, cur.DegradationEvents, prev.DegradationEvents)
 	add(&d.watchdogTrips, cur.WatchdogTrips, prev.WatchdogTrips)
 	t.devFlushed = *cur
 }
+
+// hostFlushEvery is how many Execute/RunFallback completions a host-backend
+// thread batches before folding its stats into the device aggregates.
+// Emulated mode flushes every time (the flush is free in virtual time and
+// keeping it per-op preserves bit-identical figure runs); on the host a
+// per-op flush of half a dozen shared atomics would itself become the
+// scaling bottleneck it is meant to observe.
+const hostFlushEvery = 64
+
+func (t *Thread) maybeFlushDeviceStats() {
+	if !t.H.host {
+		t.flushDeviceStats()
+		return
+	}
+	t.sinceFlush++
+	if t.sinceFlush >= hostFlushEvery {
+		t.sinceFlush = 0
+		t.flushDeviceStats()
+	}
+}
+
+// FlushStats folds any batched per-thread statistics into the device
+// aggregates immediately. Host-backend harnesses call it per thread at the
+// end of a run so DeviceStats reflects every completed operation; it is a
+// harmless no-op when nothing is pending.
+func (t *Thread) FlushStats() { t.flushDeviceStats() }

@@ -185,8 +185,10 @@ type Thread struct {
 	// events (see NoteNode); 0 when unannotated or observability is off.
 	obsNode uint64
 	// devFlushed is the portion of Stats already folded into the device
-	// aggregates (see flushDeviceStats).
+	// aggregates (see flushDeviceStats); sinceFlush counts the executions
+	// skipped by the host backend's batched flushing.
 	devFlushed Stats
+	sinceFlush int
 }
 
 // NewThread creates a worker handle executing on proc p.
@@ -297,7 +299,7 @@ func (t *Thread) Run(body func(*Tx)) (committed bool, reason AbortReason) {
 // immediately (graceful degradation); when the policy sets AttemptBudget,
 // the total attempt count is bounded before the guaranteed fallback.
 func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
-	defer t.flushDeviceStats()
+	defer t.maybeFlushDeviceStats()
 	if fi := t.H.fi; fi != nil && fi.at(FaultFallback) {
 		switch fi.spec.Action {
 		case ActFallback:
@@ -350,8 +352,12 @@ func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 				// Lemming mitigation: wait for the lock holder to finish
 				// instead of burning more aborts against the held lock.
 				a := t.H.arena
-				for a.LoadWord(t.P, t.H.fallback) != 0 {
-					t.P.Tick(a.Costs().SpinIter)
+				if t.H.host {
+					hostWait(func() bool { return a.LoadWord(t.P, t.H.fallback) == 0 })
+				} else {
+					for a.LoadWord(t.P, t.H.fallback) != 0 {
+						t.P.Tick(a.Costs().SpinIter)
+					}
 				}
 			} else {
 				t.P.Tick(t.H.arena.Costs().SpinIter)
@@ -389,7 +395,10 @@ func (t *Thread) Execute(pol RetryPolicy, body func(*Tx)) {
 
 // backoff charges the k-th randomized exponential pause: a uniform draw
 // from [1, min(BackoffBase<<k, BackoffMax)] virtual ticks off the thread
-// RNG, so lockstep-simulated runs remain bit-for-bit reproducible.
+// RNG, so lockstep-simulated runs remain bit-for-bit reproducible. On the
+// host backend the draw is realized as a real busy-wait of roughly that
+// many spin units (with cooperative yields) instead of a virtual-clock
+// charge — same distribution, wall-clock duration.
 func (t *Thread) backoff(pol RetryPolicy, k uint) {
 	if k > 32 {
 		k = 32
@@ -403,6 +412,10 @@ func (t *Thread) backoff(pol RetryPolicy, k uint) {
 	}
 	d := 1 + t.Rand.Uint64()%window
 	t.Stats.BackoffCycles += d
+	if t.H.host {
+		hostPause(d)
+		return
+	}
 	t.P.Tick(d)
 }
 
@@ -416,25 +429,34 @@ func (t *Thread) backoff(pol RetryPolicy, k uint) {
 // paper-faithful spin-CAS. The lock is released via defer, so a panicking
 // body (or an injected fault) cannot wedge the device.
 func (t *Thread) RunFallback(body func(*Tx)) {
-	defer t.flushDeviceStats()
+	defer t.maybeFlushDeviceStats()
 	a := t.H.arena
 	start := t.P.Now()
 	if t.H.cfg.QueuedFallback {
 		t.Fault(FaultQLock)
 		// Ticket acquire: AddWordDirect hands out FIFO tickets; the
-		// ticket/serving words live on their own line so queue joins do
-		// not disturb transactions subscribed to the lock word.
+		// ticket and serving words each live on their own line so queue
+		// joins do not disturb transactions subscribed to the lock word
+		// (nor, on the host backend, the waiters spinning on serving).
 		my := a.AddWordDirect(t.P, t.H.qticket, 1) - 1
-		for a.LoadWord(t.P, t.H.qserving) != my {
-			t.P.Tick(a.Costs().SpinIter)
+		if t.H.host {
+			hostWait(func() bool { return a.LoadWord(t.P, t.H.qserving) == my })
+		} else {
+			for a.LoadWord(t.P, t.H.qserving) != my {
+				t.P.Tick(a.Costs().SpinIter)
+			}
 		}
 		// Exclusive by ticket order; publish the held flag transactions
 		// subscribe to (the version bump aborts in-flight readers).
 		a.StoreWordDirect(t.P, t.H.fallback, 1)
 	} else {
 		for !a.CASWordDirect(t.P, t.H.fallback, 0, 1) {
-			for a.LoadWord(t.P, t.H.fallback) != 0 {
-				t.P.Tick(a.Costs().SpinIter)
+			if t.H.host {
+				hostWait(func() bool { return a.LoadWord(t.P, t.H.fallback) == 0 })
+			} else {
+				for a.LoadWord(t.P, t.H.fallback) != 0 {
+					t.P.Tick(a.Costs().SpinIter)
+				}
 			}
 		}
 	}

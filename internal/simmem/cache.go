@@ -61,6 +61,9 @@ func cacheSlot(line uint64) uint64 {
 // cost if the proc's cache holds the line at its current version, the miss
 // penalty otherwise (installing it). write selects the store hit cost.
 func (a *Arena) ChargeAccess(p vclock.Proc, addr Addr, write bool) {
+	if a.nocost {
+		return
+	}
 	line := addr.Line()
 	a.chargeAccessLine(p, line, StateVersion(a.state[line].Load()), write)
 }
@@ -71,6 +74,9 @@ func (a *Arena) ChargeAccess(p vclock.Proc, addr Addr, write bool) {
 // the state, removing a redundant atomic load from the hottest path in the
 // emulator.
 func (a *Arena) ChargeAccessVersioned(p vclock.Proc, addr Addr, ver uint64, write bool) {
+	if a.nocost {
+		return
+	}
 	a.chargeAccessLine(p, addr.Line(), ver, write)
 }
 
@@ -98,6 +104,9 @@ func (a *Arena) chargeAccessLine(p vclock.Proc, line, ver uint64, write bool) {
 // parallelism). It only affects the cost model — no values are read and no
 // transactional bookkeeping happens — so it is always safe to call.
 func (a *Arena) Prefetch(p vclock.Proc, addrs ...Addr) {
+	if a.nocost {
+		return
+	}
 	c := a.cacheFor(p)
 	costs := &a.costs
 	misses := 0
@@ -121,6 +130,9 @@ func (a *Arena) Prefetch(p vclock.Proc, addrs ...Addr) {
 // NoteLineWritten refreshes the writer's own cached copy after it advanced
 // a line's version, so a core re-reading its own recent write still hits.
 func (a *Arena) NoteLineWritten(p vclock.Proc, line uint64, newVer uint64) {
+	if a.nocost {
+		return
+	}
 	c := a.cacheFor(p)
 	slot := cacheSlot(line)
 	c.valid[slot] = true

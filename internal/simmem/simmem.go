@@ -114,12 +114,25 @@ type Arena struct {
 	words []uint64
 	state []atomic.Uint64 // per line: version<<1 | lock
 	wmask []atomic.Uint32 // per line: word mask of the last committed writer
-	tags  []Tag           // per line: allocation tag (written before publish)
+	// tags holds each line's allocation tag. Reads (abort classification)
+	// can race with retag/free of a recycled line, so the slots are atomic;
+	// a classification that observes the old tag is as good as one that
+	// observes the new one (the abort already happened either way).
+	tags []atomic.Uint32
 
-	clock atomic.Uint64 // global TL2 version clock
-	next  atomic.Uint64 // bump pointer, in words
+	// clock and next are the two hottest cross-thread words in the arena
+	// (every committing writer bumps clock; every allocation bumps next).
+	// Each sits alone on its cache line so host-backend cores do not
+	// false-share them with each other or with neighboring fields.
+	clock PaddedUint64 // global TL2 version clock
+	next  PaddedUint64 // bump pointer, in words
 
 	costs vclock.CostModel
+
+	// nocost disables the cycle-cost cache model (see DisableCostModel):
+	// every Charge*/Prefetch/NoteLineWritten becomes a no-op. Set once
+	// before the arena is shared; the host backend runs this way.
+	nocost bool
 
 	mu    sync.Mutex
 	free  map[int][]Addr // line-aligned free lists by size class (words)
@@ -143,7 +156,7 @@ func NewArena(words uint64) *Arena {
 		words: make([]uint64, words),
 		state: make([]atomic.Uint64, lines),
 		wmask: make([]atomic.Uint32, lines),
-		tags:  make([]Tag, lines),
+		tags:  make([]atomic.Uint32, lines),
 		costs: vclock.DefaultCosts,
 		free:  make(map[int][]Addr),
 	}
@@ -153,6 +166,17 @@ func NewArena(words uint64) *Arena {
 
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() uint64 { return uint64(len(a.words)) }
+
+// DisableCostModel switches off cycle-cost accounting and the per-proc
+// cache model: ChargeAccess, ChargeAccessVersioned, Prefetch and
+// NoteLineWritten become no-ops, and proc IDs are no longer bounded by the
+// cache model's table. The line version/lock metadata — the part of the
+// arena that carries correctness — is unaffected. The host backend calls
+// this once at device construction, before the arena is shared.
+func (a *Arena) DisableCostModel() { a.nocost = true }
+
+// CostModelDisabled reports whether DisableCostModel was called.
+func (a *Arena) CostModelDisabled() bool { return a.nocost }
 
 // Clock returns the current value of the global version clock.
 func (a *Arena) Clock() uint64 { return a.clock.Load() }
@@ -202,7 +226,7 @@ func (a *Arena) setTags(addr Addr, nWords int, tag Tag) {
 	first := addr.Line()
 	last := (uint64(addr) + uint64(nWords) - 1) >> LineShift
 	for l := first; l <= last; l++ {
-		a.tags[l] = tag
+		a.tags[l].Store(uint32(tag))
 	}
 }
 
@@ -242,8 +266,8 @@ func (a *Arena) Free(p vclock.Proc, addr Addr, nWords int, tag Tag) {
 		p.Tick(a.costs.Store * WordsPerLine)
 		// Per-line tag accounting: parts of the allocation may have been
 		// retagged (node metadata, CCM lines).
-		a.byTag[a.tags[line]].Add(-LineBytes)
-		a.tags[line] = tag
+		a.byTag[Tag(a.tags[line].Load())].Add(-LineBytes)
+		a.tags[line].Store(uint32(tag))
 	}
 	a.live.Add(int64(-n * WordBytes))
 	a.mu.Lock()
@@ -261,7 +285,7 @@ func (a *Arena) PeakBytes() int64 { return a.peak.Load() }
 func (a *Arena) BytesByTag(t Tag) int64 { return a.byTag[t].Load() }
 
 // TagOf returns the allocation tag of a line.
-func (a *Arena) TagOf(line uint64) Tag { return a.tags[line] }
+func (a *Arena) TagOf(line uint64) Tag { return Tag(a.tags[line].Load()) }
 
 // Retag reassigns the classification tag of the lines spanned by
 // [addr, addr+nWords). Trees use it to mark a node's metadata line
@@ -272,9 +296,9 @@ func (a *Arena) TagOf(line uint64) Tag { return a.tags[line] }
 func (a *Arena) Retag(addr Addr, nWords int, tag Tag) {
 	first := addr.Line()
 	last := (uint64(addr) + uint64(nWords) - 1) >> LineShift
-	old := a.tags[first]
+	old := Tag(a.tags[first].Load())
 	for l := first; l <= last; l++ {
-		a.tags[l] = tag
+		a.tags[l].Store(uint32(tag))
 	}
 	b := int64(nWords * WordBytes)
 	a.byTag[old].Add(-b)

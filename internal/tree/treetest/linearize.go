@@ -1,6 +1,7 @@
 package treetest
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -41,6 +42,35 @@ func runLinearizabilitySweep(t *testing.T, mk Factory) {
 // complements rather than replaces the sweep.
 func runLinearizabilityWall(t *testing.T, mk Factory) {
 	h, boot := NewDevice(1 << 22)
+	runLinearizabilityOn(t, mk, h, boot, func(w int) *htm.Thread {
+		return h.NewThread(vclock.NewWallProc(w+1, 32), uint64(w)+13)
+	})
+}
+
+// runLinearizabilityHost is the same recorded history on the host backend:
+// real goroutines racing the TL2 protocol at native speed. The Wall
+// recorder's shared-counter timestamps are proc-independent, so the checker
+// applies unchanged.
+func runLinearizabilityHost(t *testing.T, mk Factory) {
+	h, boot := NewHostDevice(1 << 22)
+	runLinearizabilityOn(t, mk, h, boot, func(w int) *htm.Thread {
+		return h.NewHostThread(w+1, uint64(w)+13)
+	})
+}
+
+// runLinearizabilityOn is the shared body: build the tree on the supplied
+// device, race workers (one thread each from mkThread) over a small hot
+// universe, and check the recorded history with the complete checker.
+//
+// On the host backend each worker yields between recorded operations.
+// Without that, a single-core scheduler runs each goroutine for a long
+// quantum of native-speed ops while another sits descheduled *mid-op*;
+// that open window chains the whole per-key history into one overlap
+// chunk and overflows the checker's bitset budget. Yielding at op
+// boundaries keeps windows short (emulated wall threads already yield
+// inside ops via WallProc's YieldEvery).
+func runLinearizabilityOn(t *testing.T, mk Factory, h *htm.HTM, boot *htm.Thread, mkThread func(w int) *htm.Thread) {
+	hosted := h.Host()
 	kv := mk(h, boot)
 	rec := check.NewRecorder(kv, check.Wall)
 	universe := make([]uint64, 10)
@@ -63,7 +93,7 @@ func runLinearizabilityWall(t *testing.T, mk Factory) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			th := h.NewThread(vclock.NewWallProc(w+1, 32), uint64(w)+13)
+			th := mkThread(w)
 			r := vclock.NewRand(uint64(w) + 101)
 			for i := 0; i < iters; i++ {
 				k := universe[r.Intn(len(universe))]
@@ -77,6 +107,9 @@ func runLinearizabilityWall(t *testing.T, mk Factory) {
 					rec.Scan(th, k, 3, func(_, _ uint64) bool { return true })
 				default:
 					rec.Get(th, k)
+				}
+				if hosted {
+					runtime.Gosched()
 				}
 			}
 		}(w)

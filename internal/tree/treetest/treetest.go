@@ -26,6 +26,16 @@ func NewDevice(words uint64) (*htm.HTM, *htm.Thread) {
 	return h, h.NewThread(vclock.NewWallProc(0, 0), 1)
 }
 
+// NewHostDevice is NewDevice on the host backend: the cost model is off and
+// threads are expected to be real goroutines on host procs.
+func NewHostDevice(words uint64) (*htm.HTM, *htm.Thread) {
+	a := simmem.NewArena(words)
+	cfg := htm.DefaultConfig
+	cfg.Backend = htm.BackendHost
+	h := htm.New(a, cfg)
+	return h, h.NewHostThread(0, 1)
+}
+
 // RunAll executes the full kit against a factory.
 func RunAll(t *testing.T, mk Factory) {
 	t.Run("EmptyTree", func(t *testing.T) { runEmpty(t, mk) })
@@ -42,6 +52,8 @@ func RunAll(t *testing.T, mk Factory) {
 	t.Run("ConcurrentMixedOpsSim", func(t *testing.T) { runConcurrentMixedSim(t, mk) })
 	t.Run("LinearizabilitySweep", func(t *testing.T) { runLinearizabilitySweep(t, mk) })
 	t.Run("LinearizabilityWall", func(t *testing.T) { runLinearizabilityWall(t, mk) })
+	t.Run("LinearizabilityHost", func(t *testing.T) { runLinearizabilityHost(t, mk) })
+	t.Run("ConcurrentSharedHost", func(t *testing.T) { runConcurrentSharedHost(t, mk) })
 	t.Run("FaultInjection", func(t *testing.T) { runFaultInjection(t, mk) })
 }
 
@@ -304,6 +316,50 @@ func runConcurrentShared(t *testing.T, mk Factory) {
 		go func(w int) {
 			defer wg.Done()
 			th := h.NewThread(vclock.NewWallProc(w+1, 32), uint64(w)+3)
+			r := vclock.NewRand(uint64(w) + 50)
+			for i := 0; i < ops; i++ {
+				k := uint64(r.Intn(hot)) + 1
+				if r.Intn(2) == 0 {
+					kv.Put(th, k, 1<<40|uint64(w)<<20|uint64(i))
+				} else {
+					v, ok := kv.Get(th, k)
+					if !ok || v&(1<<40) == 0 {
+						bad[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, b := range bad {
+		if b != 0 {
+			t.Fatalf("worker %d observed %d invalid reads", w, b)
+		}
+	}
+}
+
+func runConcurrentSharedHost(t *testing.T, mk Factory) {
+	// The shared-hot-set stress on the host backend: same invariant as
+	// runConcurrentShared, but with the cost model off the goroutines run
+	// the protocol at native speed, so far more real interleavings per
+	// second reach the conflict paths.
+	h, boot := NewHostDevice(1 << 24)
+	kv := mk(h, boot)
+	const workers, hot = 6, 16
+	ops := 1500
+	if testing.Short() {
+		ops = 300 // keep -race -short runs inside CI time budgets
+	}
+	for k := uint64(1); k <= hot; k++ {
+		kv.Put(boot, k, 1<<40)
+	}
+	var wg sync.WaitGroup
+	bad := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := h.NewHostThread(w+1, uint64(w)+3)
 			r := vclock.NewRand(uint64(w) + 50)
 			for i := 0; i < ops; i++ {
 				k := uint64(r.Intn(hot)) + 1

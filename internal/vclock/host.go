@@ -1,0 +1,52 @@
+package vclock
+
+import (
+	"runtime"
+	"time"
+)
+
+// hostEpoch anchors HostProc.Now: clocks are nanoseconds since process
+// start, so durations fit comfortably in uint64 and early timestamps stay
+// small. time.Since uses the monotonic clock, so Now never goes backwards.
+var hostEpoch = time.Now()
+
+// hostYieldCycles is how many charged cycles a HostProc accumulates before
+// cooperatively yielding the OS thread. Cost charging is mostly disabled on
+// the host backend (the arena's cache model is off), so the remaining Tick
+// calls come from transaction bookkeeping and — critically — from spin
+// loops (the fallback-lock waits, the CCM advisory-lock loops, line-lock
+// spins). Folding the yield into Tick gives every such loop a scheduling
+// point without host-specific branches at each site, which is what keeps
+// spinners from starving a lock holder when goroutines outnumber cores.
+const hostYieldCycles = 1 << 14
+
+// HostProc is a Proc for native-speed execution on the host backend: Tick
+// charges nothing (wall time is the only clock), and Now returns real
+// nanoseconds. With a HostProc, "cycles" in Stats (WastedCycles, latency
+// histograms) are nanoseconds.
+type HostProc struct {
+	id  int
+	acc uint64
+}
+
+// NewHostProc creates a native-speed proc. IDs only label threads (they are
+// not bounded by the emulator's cache-model proc limit, which the host
+// backend bypasses).
+func NewHostProc(id int) *HostProc { return &HostProc{id: id} }
+
+// ID implements Proc.
+func (p *HostProc) ID() int { return p.id }
+
+// Now implements Proc: nanoseconds of wall-clock time since process start.
+func (p *HostProc) Now() uint64 { return uint64(time.Since(hostEpoch)) }
+
+// Tick implements Proc. It costs nothing in time accounting but yields the
+// OS thread every hostYieldCycles charged cycles, which turns every
+// cost-charging spin loop in the substrate into a polite waiter.
+func (p *HostProc) Tick(cycles uint64) {
+	p.acc += cycles
+	if p.acc >= hostYieldCycles {
+		p.acc = 0
+		runtime.Gosched()
+	}
+}

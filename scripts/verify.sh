@@ -12,6 +12,13 @@
 # queued fallback lock, watchdog) whose counters are the only cross-thread
 # shared state the hardening added; the kvserver pass races the resilience-
 # enabled server against real concurrent sockets.
+#
+# The host execution backend rides these same passes: its htm-level tests
+# (TestHost*) run in the internal/htm line, the per-tree
+# LinearizabilityHost/ConcurrentSharedHost subtests and the harness
+# RunHost tests run in the -short tree/harness line, and the root host API
+# tests run in the final line. CI additionally runs them in a dedicated
+# host-backend-race job.
 set -eux
 
 go vet ./...
