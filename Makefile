@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host figures trace-demo
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -48,6 +48,13 @@ bench:
 # GOMAXPROCS/NumCPU so runs stay comparable.
 bench-host:
 	go run ./cmd/eunobench -benchjson BENCH_hostperf.json -benchlabel $(LABEL) hostperf
+
+# bench-cluster: the sharded-Cluster sweep (host backend) across shard
+# counts and Zipfian skew, recorded into the checked-in artifact. On a
+# single-core runner sharding only trims abort/retry work — the artifact
+# records GOMAXPROCS/NumCPU so curves stay comparable.
+bench-cluster:
+	go run ./cmd/eunobench -benchjson BENCH_cluster.json -benchlabel $(LABEL) cluster
 
 # bench-durability: wall-clock group-commit and recovery benchmarks,
 # recorded into the durability perf-trajectory artifact.

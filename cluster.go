@@ -1,0 +1,529 @@
+package eunomia
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"eunomia/internal/durable"
+	"eunomia/internal/shard"
+)
+
+// This file is the sharded serving layer: a Cluster partitions the key
+// space across N independent DB shards — each with its own arena, HTM
+// device, tree, WAL shard-group, resilience policy, and metrics domain —
+// and routes operations through Sessions. Sharding multiplies every
+// single-tree property: N contention domains instead of one (a hot key
+// storms only its shard), N group-commit pipelines, N recovery streams.
+// Cross-shard range queries merge the per-shard iterators back into one
+// globally ordered stream.
+
+// Partition selects how a Cluster cuts the key space; see the shard
+// package for the trade-off.
+type Partition int
+
+const (
+	// HashPartition (the default) scatters keys — and any hot set — across
+	// shards uniformly by a 64-bit mix.
+	HashPartition Partition = iota
+	// RangePartition gives shard i the contiguous interval
+	// [i*width, (i+1)*width) of the uint64 key space.
+	RangePartition
+)
+
+// String names the partition scheme.
+func (p Partition) String() string { return p.internal().String() }
+
+func (p Partition) internal() shard.Partition {
+	if p == RangePartition {
+		return shard.Range
+	}
+	return shard.Hash
+}
+
+// ClusterOptions configures OpenCluster.
+type ClusterOptions struct {
+	// Shards is the number of independent DB shards (default 4).
+	Shards int
+	// Partition selects the key-space cut (default HashPartition).
+	Partition Partition
+	// Shard is the per-shard Options template: every shard is an ordinary
+	// DB opened with these options. With Durability.Dir set, it names the
+	// cluster root: shard i logs under Dir/shard-<i>, and the cluster's
+	// snapshot-barrier manifest lives in Dir itself.
+	Shard Options
+	// PerShard, when non-nil, adjusts shard i's options after templating —
+	// the hook the crash harness uses to give every shard its own
+	// fault-injecting filesystem.
+	PerShard func(i int, o *Options)
+}
+
+// Cluster is a hash- or range-partitioned key-value store over N
+// independent DB shards. All methods are safe for concurrent use;
+// per-worker operations go through Session handles.
+type Cluster struct {
+	opts   ClusterOptions
+	router shard.Router
+	shards []*DB
+
+	// Durable clusters keep the barrier manifest on fs under dir.
+	fs  durable.FS
+	dir string
+
+	snapMu sync.Mutex // serializes cluster snapshots (barrier + manifest)
+	snapID atomic.Uint64
+	closed atomic.Bool
+}
+
+// shardDirName names shard i's durability directory under the cluster
+// root.
+func shardDirName(root string, i int) string {
+	return root + "/shard-" + fmt.Sprint(i)
+}
+
+// OpenCluster opens every shard (recovering each from its own WAL and
+// snapshots when durable) and verifies the cluster-wide snapshot barrier:
+// if a previous Snapshot recorded a barrier LSN vector, every shard must
+// have recovered at least up to its entry — a shard that comes back short
+// has lost acknowledged writes (a swapped disk, a deleted directory), and
+// OpenCluster fails loudly instead of serving the hole.
+func OpenCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 4
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("eunomia: cluster needs >= 1 shard, got %d", opts.Shards)
+	}
+	c := &Cluster{
+		opts:   opts,
+		router: shard.New(opts.Shards, opts.Partition.internal()),
+	}
+	if opts.Shard.Durability.Dir != "" {
+		c.dir = opts.Shard.Durability.Dir
+		c.fs = opts.Shard.Durability.FS
+		if c.fs == nil {
+			c.fs = durable.OSFS{}
+		}
+		if err := c.fs.MkdirAll(c.dir); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		o := opts.Shard
+		if o.Durability.Dir != "" {
+			o.Durability.Dir = shardDirName(c.dir, i)
+		}
+		if opts.PerShard != nil {
+			opts.PerShard(i, &o)
+		}
+		db, err := Open(o)
+		if err != nil {
+			err = fmt.Errorf("eunomia: cluster shard %d: %w", i, err)
+			return nil, errors.Join(append([]error{err}, closeAll(c.shards)...)...)
+		}
+		c.shards = append(c.shards, db)
+	}
+	if c.dir != "" {
+		if err := c.verifyBarrier(); err != nil {
+			return nil, errors.Join(append([]error{err}, closeAll(c.shards)...)...)
+		}
+	}
+	return c, nil
+}
+
+// closeAll closes every shard, collecting the non-nil errors.
+func closeAll(shards []*DB) []error {
+	var errs []error
+	for i, db := range shards {
+		if err := db.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d close: %w", i, err))
+		}
+	}
+	return errs
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// ShardFor returns the shard that owns key.
+func (c *Cluster) ShardFor(key uint64) int { return c.router.Route(key) }
+
+// DB returns shard i's underlying DB — for per-shard drain, metrics, or
+// direct inspection. Mutating a shard outside the router's key map breaks
+// the cluster's partitioning invariant.
+func (c *Cluster) DB(i int) *DB { return c.shards[i] }
+
+// Session is a Cluster's per-worker handle: one tree Thread per shard,
+// with operations routed by key. Like Thread, a Session must be used by
+// one goroutine at a time; create one per worker.
+type Session struct {
+	c       *Cluster
+	threads []*Thread
+}
+
+// NewSession creates a worker handle spanning every shard.
+func (c *Cluster) NewSession() *Session {
+	s := &Session{c: c, threads: make([]*Thread, len(c.shards))}
+	for i, db := range c.shards {
+		s.threads[i] = db.NewThread()
+	}
+	return s
+}
+
+// Get returns the value stored under key, from the owning shard.
+func (s *Session) Get(key uint64) (uint64, bool, error) {
+	return s.threads[s.c.router.Route(key)].Get(key)
+}
+
+// Put inserts or updates key on its owning shard. Durability semantics
+// match Thread.Put: with a durable cluster, Put returns only after the
+// owning shard's WAL has the operation on disk.
+func (s *Session) Put(key, val uint64) error {
+	return s.threads[s.c.router.Route(key)].Put(key, val)
+}
+
+// Delete removes key from its owning shard, reporting whether it was
+// present.
+func (s *Session) Delete(key uint64) (bool, error) {
+	return s.threads[s.c.router.Route(key)].Delete(key)
+}
+
+// Range returns an iterator over the key/value pairs in [from, to],
+// ascending across every shard: the per-shard iterators (each globally
+// sorted within its shard) are merged into one ordered stream. Keys are
+// yielded strictly increasing — each key at most once, from its owning
+// shard. Per-key snapshot granularity matches Thread.Range; keys written
+// concurrently may or may not be observed. Breaking out of the loop
+// releases every per-shard iterator immediately.
+func (s *Session) Range(from, to uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		type head struct {
+			next func() (uint64, uint64, bool)
+			stop func()
+			k, v uint64
+			ok   bool
+		}
+		heads := make([]head, 0, len(s.threads))
+		defer func() {
+			for i := range heads {
+				heads[i].stop()
+			}
+		}()
+		for _, th := range s.threads {
+			next, stop := iter.Pull2(th.Range(from, to))
+			h := head{next: next, stop: stop}
+			h.k, h.v, h.ok = next()
+			heads = append(heads, h)
+		}
+		last, have := uint64(0), false
+		for {
+			best := -1
+			for i := range heads {
+				if heads[i].ok && (best < 0 || heads[i].k < heads[best].k) {
+					best = i
+				}
+			}
+			if best < 0 {
+				return
+			}
+			h := &heads[best]
+			k, v := h.k, h.v
+			h.k, h.v, h.ok = h.next()
+			if have && k == last {
+				// Shards own disjoint keys, so a duplicate can only mean a
+				// mis-routed write; the merge still guarantees strictly
+				// increasing output and keeps the lowest-shard copy.
+				continue
+			}
+			last, have = k, true
+			if !yield(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Scan visits up to max keys >= from in ascending order across all
+// shards, stopping early if fn returns false, and returns the number
+// visited — the callback form of Range.
+func (s *Session) Scan(from uint64, max int, fn func(key, val uint64) bool) (int, error) {
+	if s.c.closed.Load() || s.c.shards[0].closed.Load() {
+		return 0, ErrClosed
+	}
+	n := 0
+	for k, v := range s.Range(from, ^uint64(0)) {
+		if n == max {
+			break
+		}
+		n++
+		if !fn(k, v) {
+			break
+		}
+	}
+	return n, nil
+}
+
+// Sync forces every shard's acknowledged-but-buffered WAL bytes to disk.
+// Every shard is synced even if some fail; the error joins every failing
+// shard's error rather than hiding all but the first.
+func (c *Cluster) Sync() error {
+	var errs []error
+	for i, db := range c.shards {
+		if err := db.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d sync: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Snapshot takes a consistent cluster-wide snapshot:
+//
+//  1. Barrier: every shard flushes its WAL, then the per-shard
+//     durable-LSN vector (flushed watermark, sound under concurrent
+//     writers) is captured — a cut known on disk on every shard.
+//  2. The vector is committed as the barrier manifest (tmp + sync +
+//     rename + dir fsync) in the cluster root.
+//  3. Each shard snapshots and truncates independently.
+//
+// The manifest is the cross-shard consistency witness: recovery re-checks
+// every shard against it, so a shard silently rolled back below the
+// barrier (lost disk, restored-from-older-backup) fails OpenCluster
+// instead of serving a state no single point in time ever had. Every
+// shard is attempted even if some fail; failures are joined.
+func (c *Cluster) Snapshot() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if c.dir == "" {
+		return nil
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if err := c.Sync(); err != nil {
+		return err
+	}
+	vec := make([]uint64, len(c.shards))
+	for i, db := range c.shards {
+		vec[i] = db.durableLSN()
+	}
+	if err := c.writeBarrier(vec); err != nil {
+		return err
+	}
+	var errs []error
+	for i, db := range c.shards {
+		if err := db.Snapshot(); err != nil {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d snapshot: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close closes every shard (flushing each WAL) and marks the cluster
+// closed. Idempotent. Every shard is closed even if some fail; failures
+// are joined.
+func (c *Cluster) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return errors.Join(closeAll(c.shards)...)
+}
+
+// barrierFile is the manifest's name in the cluster root.
+const barrierFile = "cluster-barrier"
+
+// writeBarrier commits the barrier LSN vector crash-atomically.
+func (c *Cluster) writeBarrier(vec []uint64) error {
+	id := c.snapID.Add(1)
+	tmp := c.dir + "/" + barrierFile + ".tmp"
+	f, err := c.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "euno-cluster-barrier v1 id=%d shards=%d\n", id, len(vec))
+	for i, lsn := range vec {
+		fmt.Fprintf(&b, "%d %d\n", i, lsn)
+	}
+	_, err = f.Write([]byte(b.String()))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = c.fs.Rename(tmp, c.dir+"/"+barrierFile)
+	}
+	if err != nil {
+		c.fs.Remove(tmp)
+		return err
+	}
+	return c.fs.SyncDir(c.dir)
+}
+
+// readBarrier loads the manifest's LSN vector; a missing manifest returns
+// (nil, nil) — no barrier has ever committed, so there is nothing to
+// verify against.
+func (c *Cluster) readBarrier() ([]uint64, error) {
+	names, err := c.fs.List(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, n := range names {
+		if n == barrierFile {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, nil
+	}
+	f, err := c.fs.Open(c.dir + "/" + barrierFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("eunomia: cluster barrier manifest empty")
+	}
+	var id uint64
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v1 id=%d shards=%d", &id, &n); err != nil {
+		return nil, fmt.Errorf("eunomia: cluster barrier manifest header %q: %v", sc.Text(), err)
+	}
+	if n != len(c.shards) {
+		return nil, fmt.Errorf("eunomia: cluster barrier covers %d shards, cluster has %d (resharding is not supported)", n, len(c.shards))
+	}
+	vec := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("eunomia: cluster barrier manifest truncated at shard %d", i)
+		}
+		var idx int
+		var lsn uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &idx, &lsn); err != nil || idx != i {
+			return nil, fmt.Errorf("eunomia: cluster barrier manifest line %q", sc.Text())
+		}
+		vec[i] = lsn
+	}
+	if id > c.snapID.Load() {
+		c.snapID.Store(id)
+	}
+	return vec, sc.Err()
+}
+
+// verifyBarrier cross-checks every recovered shard against the last
+// committed barrier vector.
+func (c *Cluster) verifyBarrier() error {
+	vec, err := c.readBarrier()
+	if err != nil || vec == nil {
+		return err
+	}
+	var errs []error
+	for i, db := range c.shards {
+		if got := db.recoveredSeq(); got < vec[i] {
+			errs = append(errs, fmt.Errorf(
+				"eunomia: cluster shard %d recovered to LSN %d but the snapshot barrier requires >= %d: acknowledged writes were lost",
+				i, got, vec[i]))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ClusterMetrics is the cluster-wide unified snapshot: the per-shard
+// Metrics plus their aggregate.
+type ClusterMetrics struct {
+	// Shards is the shard count.
+	Shards int
+	// Agg sums (or, where summing is meaningless, conservatively merges)
+	// every shard's Metrics.
+	Agg Metrics
+	// PerShard holds each shard's own snapshot, index-aligned with
+	// Cluster.DB.
+	PerShard []Metrics
+}
+
+// Metrics returns one coherent snapshot of every shard plus the
+// aggregate. Like DB.Metrics, it is safe to call concurrently with
+// operations.
+func (c *Cluster) Metrics() ClusterMetrics {
+	cm := ClusterMetrics{Shards: len(c.shards)}
+	for _, db := range c.shards {
+		m := db.Metrics()
+		cm.PerShard = append(cm.PerShard, m)
+		mergeMetrics(&cm.Agg, &m)
+	}
+	sort.Slice(cm.Agg.Contention.HotLeaves, func(i, j int) bool {
+		return cm.Agg.Contention.HotLeaves[i].Total > cm.Agg.Contention.HotLeaves[j].Total
+	})
+	return cm
+}
+
+// mergeMetrics folds src into dst. Counters add; percentiles and booleans
+// merge conservatively (max / or).
+func mergeMetrics(dst *Metrics, src *Metrics) {
+	dst.Tx.Attempts += src.Tx.Attempts
+	dst.Tx.Commits += src.Tx.Commits
+	dst.Tx.Aborts += src.Tx.Aborts
+	dst.Tx.Fallbacks += src.Tx.Fallbacks
+	dst.Tx.WastedCycles += src.Tx.WastedCycles
+	dst.Tx.TxLoads += src.Tx.TxLoads
+	dst.Tx.TxStores += src.Tx.TxStores
+	dst.Tx.BackoffCycles += src.Tx.BackoffCycles
+	dst.Tx.DegradationEvents += src.Tx.DegradationEvents
+	dst.Tx.WatchdogTrips += src.Tx.WatchdogTrips
+	if len(src.Tx.AbortsByReason) > 0 && dst.Tx.AbortsByReason == nil {
+		dst.Tx.AbortsByReason = map[string]uint64{}
+	}
+	for r, n := range src.Tx.AbortsByReason {
+		dst.Tx.AbortsByReason[r] += n
+	}
+	dst.Resilience.Degraded = dst.Resilience.Degraded || src.Resilience.Degraded
+	dst.Resilience.StormEvents += src.Resilience.StormEvents
+	dst.Memory.LiveBytes += src.Memory.LiveBytes
+	dst.Memory.PeakBytes += src.Memory.PeakBytes
+	dst.Memory.ReservedBytes += src.Memory.ReservedBytes
+	dst.Memory.CCMBytes += src.Memory.CCMBytes
+	dst.Tree.Splits += src.Tree.Splits
+	dst.Tree.Compactions += src.Tree.Compactions
+	dst.Tree.MarkRejects += src.Tree.MarkRejects
+	dst.Tree.RootRetries += src.Tree.RootRetries
+	dst.Tree.MaintRounds += src.Tree.MaintRounds
+	d, s := &dst.Durability, &src.Durability
+	d.Enabled = d.Enabled || s.Enabled
+	d.Flushes += s.Flushes
+	d.FlushedFrames += s.FlushedFrames
+	d.FlushedBytes += s.FlushedBytes
+	if s.MaxBatch > d.MaxBatch {
+		d.MaxBatch = s.MaxBatch
+	}
+	if d.Flushes > 0 {
+		d.AvgBatch = float64(d.FlushedFrames) / float64(d.Flushes)
+	}
+	if s.FlushP50Ns > d.FlushP50Ns {
+		d.FlushP50Ns = s.FlushP50Ns
+	}
+	if s.FlushP99Ns > d.FlushP99Ns {
+		d.FlushP99Ns = s.FlushP99Ns
+	}
+	if s.FlushMaxNs > d.FlushMaxNs {
+		d.FlushMaxNs = s.FlushMaxNs
+	}
+	d.Snapshots += s.Snapshots
+	d.SnapshotErrors += s.SnapshotErrors
+	d.RecoveryNs += s.RecoveryNs
+	d.SnapshotPairs += s.SnapshotPairs
+	d.ReplayedFrames += s.ReplayedFrames
+	d.TornTails += s.TornTails
+	dst.Contention.Enabled = dst.Contention.Enabled || src.Contention.Enabled
+	dst.Contention.AbortsSeen += src.Contention.AbortsSeen
+	dst.Contention.AbortsSampled += src.Contention.AbortsSampled
+	dst.Contention.HotLeaves = append(dst.Contention.HotLeaves, src.Contention.HotLeaves...)
+}

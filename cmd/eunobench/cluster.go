@@ -1,0 +1,214 @@
+package main
+
+// The `cluster` subcommand measures the sharded multi-tree Cluster on the
+// host backend: shard count × Zipfian skew, real goroutines at wall-clock
+// speed. The question is contention decomposition — hash routing scatters
+// a hot set across shards, each with its own fallback lock and storm
+// detector, so throughput should hold or rise and aborts/op fall as the
+// shard count grows under skew.
+//
+// Results go to a separate JSON artifact (-benchjson, conventionally
+// BENCH_cluster.json) with the same label-dedup behavior as hostperf.
+// Numbers are machine-dependent by design: the artifact records GOMAXPROCS
+// and NumCPU, so a single-core runner's modest curves (sharding there only
+// shortens abort/retry work, it cannot add parallelism) are not mistaken
+// for a protocol regression.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eunomia/internal/harness"
+	"eunomia/internal/metrics"
+	"eunomia/internal/workload"
+)
+
+// clusterResult is one (theta, shards) cell of the artifact.
+type clusterResult struct {
+	Theta       float64 `json:"theta"`
+	Shards      int     `json:"shards"`
+	Threads     int     `json:"threads"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Speedup     float64 `json:"speedup_vs_1shard"`
+	P50Ns       uint64  `json:"p50_ns"`
+	P99Ns       uint64  `json:"p99_ns"`
+	AbortsPerOp float64 `json:"aborts_per_op"`
+	Fallbacks   uint64  `json:"fallbacks"`
+}
+
+// clusterRun is one labeled invocation of the sweep.
+type clusterRun struct {
+	Label      string          `json:"label"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Tree       string          `json:"tree"`
+	Keys       uint64          `json:"keys"`
+	Mix        string          `json:"mix"`
+	DurationMS int64           `json:"duration_ms"`
+	Results    []clusterResult `json:"results"`
+}
+
+// clusterFile is the artifact schema.
+type clusterFile struct {
+	Suite string       `json:"suite"`
+	Note  string       `json:"note"`
+	Runs  []clusterRun `json:"runs"`
+}
+
+// clusterCmd runs the shard-count × skew sweep and prints/records it.
+func clusterCmd() {
+	var cf *clusterFile
+	if *benchjson != "" {
+		var err error
+		if cf, err = loadClusterFile(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	dur := 500 * time.Millisecond
+	if *quick {
+		dur = 100 * time.Millisecond
+	}
+	mix := workload.Mix{GetPct: 50, PutPct: 50} // write-heavy: contention is the point
+	// At least 4 workers even on small machines: contention decomposition
+	// is the quantity under study, and one worker has nothing to conflict
+	// with (preempted goroutines conflict even on one core).
+	nthreads := runtime.GOMAXPROCS(0)
+	if nthreads < 4 {
+		nthreads = 4
+	}
+	if nthreads > *threads {
+		nthreads = *threads
+	}
+	run := clusterRun{
+		Label:      *benchlabel,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Tree:       harness.EunoBTree.String(),
+		Keys:       *keys,
+		Mix:        "YCSB-A 50r/50w",
+		DurationMS: dur.Milliseconds(),
+	}
+	tbl := harness.Table{
+		Title: fmt.Sprintf("Cluster: sharded Euno-B+Tree wall-clock throughput "+
+			"(GOMAXPROCS=%d, NumCPU=%d, %d workers, 50r/50w, %v per point)",
+			run.GoMaxProcs, run.NumCPU, nthreads, dur),
+		Header: []string{"theta", "shards", "ops/s", "speedup-vs-1shard",
+			"p50(us)", "p99(us)", "aborts/op", "fallbacks"},
+	}
+	for _, theta := range clusterThetas() {
+		var base float64
+		for _, n := range clusterShardSweep() {
+			res := harness.RunCluster(harness.ClusterConfig{
+				Shards:     n,
+				Tree:       harness.EunoBTree,
+				Threads:    nthreads,
+				Keys:       *keys,
+				PreloadPct: 100, // reads must hit: YCSB runs over a loaded table
+				Dist:       workload.Spec{Kind: workload.Zipfian, Theta: theta},
+				Mix:        mix,
+				Duration:   dur,
+				Seed:       *seed,
+				Host:       true,
+				Resilience: *resilience,
+			})
+			if n == 1 {
+				base = res.Throughput
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = res.Throughput / base
+			}
+			ls := res.Latency.Snapshot()
+			run.Results = append(run.Results, clusterResult{
+				Theta:       theta,
+				Shards:      n,
+				Threads:     nthreads,
+				OpsPerSec:   res.Throughput,
+				Speedup:     speedup,
+				P50Ns:       ls.P50,
+				P99Ns:       ls.P99,
+				AbortsPerOp: res.AbortsPerOp,
+				Fallbacks:   res.Stats.Fallbacks,
+			})
+			tbl.AddRow(fmt.Sprintf("%.2f", theta), fmt.Sprint(n),
+				metrics.FormatOps(res.Throughput), fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%.1f", float64(ls.P50)/1e3),
+				fmt.Sprintf("%.1f", float64(ls.P99)/1e3),
+				harness.F2(res.AbortsPerOp), fmt.Sprint(res.Stats.Fallbacks))
+		}
+	}
+	emit(&tbl)
+	if cf == nil {
+		return
+	}
+	if err := appendClusterRun(*benchjson, cf, run); err != nil {
+		fmt.Fprintf(os.Stderr, "eunobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (label %q)\n", *benchjson, run.Label)
+}
+
+// clusterThetas returns the skew points: near-uniform and the paper's
+// high-contention 0.99.
+func clusterThetas() []float64 {
+	if *quick {
+		return []float64{0.99}
+	}
+	return []float64{0.2, 0.99}
+}
+
+// clusterShardSweep returns the shard counts measured.
+func clusterShardSweep() []int {
+	if *quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// loadClusterFile parses the artifact at path, or returns a fresh one if
+// the file does not exist yet.
+func loadClusterFile(path string) (*clusterFile, error) {
+	cf := &clusterFile{
+		Suite: "Cluster",
+		Note: "Wall-clock throughput of the sharded Cluster (host backend) " +
+			"across shard counts and Zipfian skew; regenerate with `make " +
+			"bench-cluster` or `eunobench -benchjson BENCH_cluster.json " +
+			"-benchlabel <label> cluster`. Numbers are machine-dependent: " +
+			"check gomaxprocs/num_cpu before comparing runs — on a " +
+			"single-core runner sharding only trims abort/retry work, so " +
+			"expect modest curves there.",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, cf); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return cf, nil
+}
+
+// appendClusterRun merges run into the artifact, replacing any existing
+// run with the same label.
+func appendClusterRun(path string, cf *clusterFile, run clusterRun) error {
+	kept := cf.Runs[:0]
+	for _, r := range cf.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	cf.Runs = append(kept, run)
+	data, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

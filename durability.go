@@ -149,6 +149,29 @@ func (db *DB) Close() error {
 	return db.dur.Close()
 }
 
+// durableLSN returns the highest WAL LSN known flushed to disk (0 without
+// durability). The Cluster's snapshot barrier captures this after a Sync
+// to define a per-shard durability cut; the flushed watermark (rather
+// than the last assigned LSN) keeps the cut sound with writers running
+// concurrently with the barrier.
+func (db *DB) durableLSN() uint64 {
+	if db.dur == nil {
+		return 0
+	}
+	return db.dur.DurableLSN()
+}
+
+// recoveredSeq returns the highest LSN this DB's Open recovered (0
+// without durability). The Cluster cross-checks it against the last
+// committed barrier vector to detect a shard rolled back behind the
+// cluster-wide snapshot.
+func (db *DB) recoveredSeq() uint64 {
+	if db.dur == nil {
+		return 0
+	}
+	return db.dur.RecoveryInfo().MaxSeq
+}
+
 // DurabilityStats reports the durability layer's behavior: group-commit
 // batching, flush latency, snapshots, and what recovery replayed.
 type DurabilityStats struct {

@@ -1,7 +1,10 @@
-// kvserver exposes a Euno-B+Tree over TCP with a minimal text protocol —
-// the "in-memory database index" deployment the paper's introduction
-// motivates (DBX-style stores front their HTM B+Trees with exactly this
-// kind of request loop).
+// kvserver exposes a sharded cluster of Euno-B+Trees over TCP with a
+// minimal text protocol — the "in-memory database index" deployment the
+// paper's introduction motivates (DBX-style stores front their HTM
+// B+Trees with exactly this kind of request loop). -shards N partitions
+// the key space across N independent trees (own arena, HTM device, WAL
+// group, metrics domain each); requests route by key, SCAN merges the
+// per-shard iterators into one ordered stream.
 //
 // Protocol (one request per line):
 //
@@ -9,22 +12,26 @@
 //	PUT <key> <value>    -> OK
 //	DEL <key>            -> OK | NOT_FOUND
 //	SCAN <from> <n>      -> n lines "PAIR <k> <v>", then END
-//	SYNC                 -> OK (forces buffered WAL bytes to disk)
-//	STATS                -> one line: the DB.Metrics() unified snapshot —
-//	                        server-wide commit/abort counters, the abort
+//	SYNC                 -> OK (forces buffered WAL bytes to disk, all shards)
+//	SNAPSHOT             -> OK (consistent cluster-wide snapshot: barrier
+//	                        manifest + per-shard snapshot/truncate)
+//	STATS                -> one line: the Cluster.Metrics() aggregate —
+//	                        cluster-wide commit/abort counters, the abort
 //	                        decomposition by reason, durability counters,
 //	                        and (with -heatmap) the hottest contended leaves
 //
 // Run with no arguments for a self-contained demo: the server starts on a
 // loopback port, a handful of concurrent clients apply a contended
-// workload through real sockets, and the tree's HTM statistics are
+// workload through real sockets, and the cluster's HTM statistics are
 // printed. Run with -listen :7070 to serve interactively (e.g. with nc).
 //
 // With -durable DIR every acknowledged PUT/DEL is crash-durable: writes
-// group-commit through a write-ahead log in DIR and are replayed on the
-// next start. SIGINT/SIGTERM triggers a graceful shutdown: the listener
-// closes, in-flight requests drain (bounded by -drain), the WAL is
-// flushed, and the process exits 0.
+// group-commit through the owning shard's write-ahead log under
+// DIR/shard-<i> and are replayed on the next start, which also verifies
+// the cluster snapshot barrier (a shard rolled back behind a committed
+// cluster snapshot refuses to serve). SIGINT/SIGTERM triggers a graceful
+// shutdown: the listener closes, in-flight requests drain (bounded by
+// -drain), every shard's WAL is flushed, and the process exits 0.
 package main
 
 import (
@@ -51,6 +58,7 @@ import (
 
 var (
 	listen     = flag.String("listen", "", "address to serve on (empty = run the built-in demo)")
+	shards     = flag.Int("shards", 4, "number of independent tree shards the key space is partitioned across")
 	resilience = flag.Bool("resilience", false, "enable the abort-storm hardening layer (backoff, queued fallback, storm detector, watchdog)")
 	durableDir = flag.String("durable", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
 	flushEvery = flag.Duration("flush-interval", 0, "group-commit flush interval (0 = leader-based immediate commit)")
@@ -64,7 +72,7 @@ var (
 const maxScan = 4096
 
 type server struct {
-	db       *eunomia.DB
+	c        *eunomia.Cluster
 	requests atomic.Uint64
 
 	closing atomic.Bool
@@ -73,14 +81,14 @@ type server struct {
 	wg      sync.WaitGroup
 }
 
-func newServer(db *eunomia.DB) *server {
-	return &server{db: db, conns: map[net.Conn]struct{}{}}
+func newServer(c *eunomia.Cluster) *server {
+	return &server{c: c, conns: map[net.Conn]struct{}{}}
 }
 
 // serveConn handles one client connection; each connection gets its own
-// tree Thread, mirroring a per-connection worker. A panic while serving one
-// client tears down that connection only — the server and every other
-// client keep running.
+// cluster Session (one tree Thread per shard), mirroring a per-connection
+// worker. A panic while serving one client tears down that connection only
+// — the server and every other client keep running.
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer func() {
@@ -88,7 +96,7 @@ func (s *server) serveConn(conn net.Conn) {
 			log.Printf("kvserver: connection %s: recovered: %v", conn.RemoteAddr(), r)
 		}
 	}()
-	th := s.db.NewThread()
+	th := s.c.NewSession()
 	in := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
@@ -150,17 +158,24 @@ func (s *server) serveConn(conn net.Conn) {
 			}
 			fmt.Fprintln(out, "END")
 		case "SYNC":
-			if err := s.db.Sync(); err != nil {
+			if err := s.c.Sync(); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
+		case "SNAPSHOT":
+			if err := s.c.Snapshot(); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else {
 				fmt.Fprintln(out, "OK")
 			}
 		case "STATS":
-			// One coherent snapshot for the whole server (every
-			// connection's thread), not just this connection.
-			m := s.db.Metrics()
-			fmt.Fprintf(out, "STATS commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d",
-				m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks,
+			// One coherent snapshot for the whole server: every shard,
+			// every connection's threads — not just this connection.
+			cm := s.c.Metrics()
+			m := cm.Agg
+			fmt.Fprintf(out, "STATS shards=%d commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d",
+				cm.Shards, m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks,
 				m.Tx.BackoffCycles, m.Tx.DegradationEvents, m.Tx.WatchdogTrips, m.Resilience.StormEvents)
 			for _, reason := range slices.Sorted(maps.Keys(m.Tx.AbortsByReason)) {
 				fmt.Fprintf(out, " abort[%s]=%d", reason, m.Tx.AbortsByReason[reason])
@@ -246,8 +261,9 @@ func (s *server) run(ln net.Listener) {
 
 // shutdown drains the server gracefully: stop accepting, let in-flight
 // connections finish (up to drain — after that their reads are cancelled),
-// then flush and close the DB. Every acknowledged write is on disk when
-// shutdown returns.
+// then flush and close every shard. A failing shard does not stop the
+// others from draining — Cluster.Close closes them all and joins the
+// errors. Every acknowledged write is on disk when shutdown returns.
 func (s *server) shutdown(ln net.Listener, drain time.Duration) {
 	s.closing.Store(true)
 	ln.Close()
@@ -266,31 +282,31 @@ func (s *server) shutdown(ln net.Listener, drain time.Duration) {
 		s.mu.Unlock()
 		<-done
 	}
-	if err := s.db.Close(); err != nil {
+	if err := s.c.Close(); err != nil {
 		log.Printf("kvserver: close: %v", err)
 	}
 }
 
 func main() {
 	flag.Parse()
-	opts := eunomia.Options{ArenaWords: 1 << 23, YieldEvery: 128, Resilience: *resilience,
+	opts := eunomia.Options{ArenaWords: 1 << 22, YieldEvery: 128, Resilience: *resilience,
 		Observability: eunomia.Observability{Heatmap: *heatmap}}
 	if *durableDir != "" {
 		opts.Durability = eunomia.Durability{
-			Dir:           *durableDir,
+			Dir:           *durableDir, // cluster root; shard i logs under shard-<i>
 			FlushInterval: *flushEvery,
 			SnapshotBytes: *snapBytes,
 		}
 	}
-	db, err := eunomia.Open(opts)
+	c, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: *shards, Shard: opts})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ds := db.DurabilityStats(); ds.Enabled && (ds.SnapshotPairs > 0 || ds.ReplayedFrames > 0) {
-		fmt.Printf("kvserver recovered %d snapshot pairs + %d log frames in %.2f ms\n",
-			ds.SnapshotPairs, ds.ReplayedFrames, float64(ds.RecoveryNs)/1e6)
+	if ds := c.Metrics().Agg.Durability; ds.Enabled && (ds.SnapshotPairs > 0 || ds.ReplayedFrames > 0) {
+		fmt.Printf("kvserver recovered %d snapshot pairs + %d log frames in %.2f ms across %d shards\n",
+			ds.SnapshotPairs, ds.ReplayedFrames, float64(ds.RecoveryNs)/1e6, c.Shards())
 	}
-	s := newServer(db)
+	s := newServer(c)
 
 	addr := *listen
 	if addr == "" {
@@ -301,7 +317,7 @@ func main() {
 		log.Fatal(err)
 	}
 	go s.run(ln)
-	fmt.Printf("kvserver listening on %s (%s)\n", ln.Addr(), db.Kind())
+	fmt.Printf("kvserver listening on %s (%s x %d shards)\n", ln.Addr(), c.DB(0).Kind(), c.Shards())
 
 	if *listen != "" {
 		// Serve until SIGINT/SIGTERM, then drain and exit cleanly.

@@ -13,33 +13,39 @@ import (
 	"eunomia"
 )
 
+// testShards is the cluster width the protocol tests run against: >1 so
+// routing, the merged SCAN, and cross-shard STATS aggregation are all
+// exercised by every test.
+const testShards = 3
+
 // startTestServer brings up the server on a loopback port.
 func startTestServer(t *testing.T) net.Addr {
 	t.Helper()
 	return startTestServerOpts(t, eunomia.Options{ArenaWords: 1 << 20})
 }
 
-// startTestServerOpts is startTestServer with explicit DB options.
+// startTestServerOpts is startTestServer with explicit per-shard options.
 func startTestServerOpts(t *testing.T, opts eunomia.Options) net.Addr {
 	t.Helper()
 	_, ln := startServer(t, opts)
 	return ln.Addr()
 }
 
-// startServer brings up a server and returns it with its listener, for
-// tests that drive the graceful-shutdown path directly.
+// startServer brings up a server over a testShards-wide cluster and
+// returns it with its listener, for tests that drive the
+// graceful-shutdown path directly.
 func startServer(t *testing.T, opts eunomia.Options) (*server, net.Listener) {
 	t.Helper()
-	db, err := eunomia.Open(opts)
+	c, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: testShards, Shard: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(db)
+	s := newServer(c)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close(); db.Close() })
+	t.Cleanup(func() { ln.Close(); c.Close() })
 	go s.run(ln)
 	return s, ln
 }
@@ -427,7 +433,7 @@ func TestOpsAfterCloseReturnErr(t *testing.T) {
 	if got := roundTrip(t, conn, in, "PUT 1 1"); got != "OK" {
 		t.Fatalf("put: %q", got)
 	}
-	s.db.Close()
+	s.c.Close()
 	for _, req := range []string{"GET 1", "PUT 2 2", "DEL 1", "SCAN 0 5"} {
 		got := roundTrip(t, conn, in, req)
 		if !strings.HasPrefix(got, "ERR") || !strings.Contains(got, "closed") {
@@ -459,6 +465,62 @@ func TestStatsHeatmap(t *testing.T) {
 	s1 := statValue(t, roundTrip(t, conn, in, "STATS"), "commits=")
 	if s1 < 2 {
 		t.Fatalf("server-wide commits = %d, want >= 2", s1)
+	}
+}
+
+// TestStatsAggregatesShards: STATS reports the cluster-wide aggregate —
+// the shard count appears, and writes that hash to different shards are
+// all counted in one commits= figure.
+func TestStatsAggregatesShards(t *testing.T) {
+	addr := startTestServer(t)
+	conn, in := dialServer(t, addr)
+	// 32 consecutive keys hash across every shard of a 3-shard cluster.
+	for k := 0; k < 32; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k)); got != "OK" {
+			t.Fatalf("put %d: %q", k, got)
+		}
+	}
+	stats := roundTrip(t, conn, in, "STATS")
+	if got := statValue(t, stats, "shards="); got != testShards {
+		t.Fatalf("STATS shards = %d, want %d: %q", got, testShards, stats)
+	}
+	if got := statValue(t, stats, "commits="); got < 32 {
+		t.Fatalf("aggregate commits = %d, want >= 32 (per-shard counters not summed?): %q", got, stats)
+	}
+}
+
+// TestSnapshotCommand: SNAPSHOT commits a cluster-wide consistent
+// snapshot (barrier manifest + per-shard snapshot), and a restart on the
+// same directory recovers through it.
+func TestSnapshotCommand(t *testing.T) {
+	dir := t.TempDir()
+	opts := eunomia.Options{ArenaWords: 1 << 20,
+		Durability: eunomia.Durability{Dir: dir}}
+	s, ln := startServer(t, opts)
+	conn, in := dialServer(t, ln.Addr())
+	for k := 1; k <= 30; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k*2)); got != "OK" {
+			t.Fatalf("put %d: %q", k, got)
+		}
+	}
+	if got := roundTrip(t, conn, in, "SNAPSHOT"); got != "OK" {
+		t.Fatalf("snapshot: %q", got)
+	}
+	// Post-snapshot writes live only in the (truncated) WALs.
+	for k := 31; k <= 40; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k*2)); got != "OK" {
+			t.Fatalf("put %d: %q", k, got)
+		}
+	}
+	conn.Close()
+	s.shutdown(ln, time.Second)
+
+	_, ln2 := startServer(t, opts)
+	conn2, in2 := dialServer(t, ln2.Addr())
+	for k := 1; k <= 40; k++ {
+		if got := roundTrip(t, conn2, in2, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*2) {
+			t.Fatalf("key %d lost across snapshot+restart: %q", k, got)
+		}
 	}
 }
 

@@ -1,0 +1,180 @@
+package checktrees
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/shard"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+)
+
+// clusterKV puts the sharding layer itself inside the checked surface: it
+// is a tree.KV whose keys are routed across N shard trees, each on its own
+// arena and HTM device — the same architecture as eunomia.Cluster, built
+// from internal packages so the checker sees router + shards as one
+// object. A routing bug (the canonical cluster failure mode: a write and a
+// later read disagreeing on a key's owner) surfaces to the checker as a
+// stale read or lost update, exactly like a tree bug.
+//
+// The caller's device h is only a clock source: per-proc threads are
+// created lazily on each shard device the first time that proc touches the
+// shard. One vclock.Proc drives threads on all N devices; virtual time is
+// charged to the proc regardless of which device does the charging, so the
+// lockstep schedule stays deterministic.
+type clusterKV struct {
+	router  shard.Router
+	devices []*htm.HTM
+	shards  []tree.KV
+
+	mu      sync.Mutex
+	nextIdx int
+	threads map[vclock.Proc]*procThreads
+
+	// ops counts routed operations; once it passes rebalanceAfter (when
+	// non-zero) the seeded mutant shifts every route by one shard — a
+	// "rebalance" that moves ownership without migrating data, so keys
+	// written before the shift are unreachable after it.
+	ops            atomic.Uint64
+	rebalanceAfter uint64
+}
+
+// procThreads is one proc's per-shard thread set plus its registration
+// index (used to derive distinct deterministic seeds; proc IDs alone would
+// collide between the boot WallProc and SimProc 0).
+type procThreads struct {
+	idx int
+	ths []*htm.Thread
+}
+
+// newClusterKV builds n shard trees via mkShard, propagating the caller
+// device's fault injector so sweep fault variants fire inside the shards.
+func newClusterKV(h *htm.HTM, n int, mkShard func(h *htm.HTM, boot *htm.Thread) tree.KV, rebalanceAfter uint64) *clusterKV {
+	c := &clusterKV{
+		router:         shard.New(n, shard.Hash),
+		threads:        map[vclock.Proc]*procThreads{},
+		rebalanceAfter: rebalanceAfter,
+	}
+	for i := 0; i < n; i++ {
+		a := simmem.NewArena(1 << 16)
+		dev := htm.New(a, htm.DefaultConfig)
+		if fi := h.Injector(); fi != nil {
+			dev.SetFaultInjector(fi)
+		}
+		boot := dev.NewThread(vclock.NewWallProc(0, 0), shard.Mix(uint64(i)+0xb007)|1)
+		c.devices = append(c.devices, dev)
+		c.shards = append(c.shards, mkShard(dev, boot))
+	}
+	return c
+}
+
+// route returns key's owning shard, applying the rebalance mutant once the
+// op counter crosses the threshold. The counter advances deterministically
+// under the lockstep scheduler.
+func (c *clusterKV) route(key uint64) int {
+	s := c.router.Route(key)
+	if c.rebalanceAfter != 0 && c.ops.Add(1) > c.rebalanceAfter {
+		s = (s + 1) % c.router.Shards()
+	}
+	return s
+}
+
+// threadFor returns th's thread on shard s, creating it on first use with
+// a seed derived from (proc registration index, shard).
+func (c *clusterKV) threadFor(th *htm.Thread, s int) *htm.Thread {
+	c.mu.Lock()
+	pt := c.threads[th.P]
+	if pt == nil {
+		pt = &procThreads{idx: c.nextIdx, ths: make([]*htm.Thread, len(c.shards))}
+		c.nextIdx++
+		c.threads[th.P] = pt
+	}
+	t := pt.ths[s]
+	if t == nil {
+		t = c.devices[s].NewThread(th.P, shard.Mix(uint64(pt.idx)<<8|uint64(s))|1)
+		pt.ths[s] = t
+	}
+	c.mu.Unlock()
+	return t
+}
+
+func (c *clusterKV) Get(th *htm.Thread, key uint64) (uint64, bool) {
+	s := c.route(key)
+	return c.shards[s].Get(c.threadFor(th, s), key)
+}
+
+func (c *clusterKV) Put(th *htm.Thread, key, val uint64) {
+	s := c.route(key)
+	c.shards[s].Put(c.threadFor(th, s), key, val)
+}
+
+func (c *clusterKV) Delete(th *htm.Thread, key uint64) bool {
+	s := c.route(key)
+	return c.shards[s].Delete(c.threadFor(th, s), key)
+}
+
+// Scan merges the per-shard scans: each shard contributes its first max
+// keys >= from, the union is sorted, and the globally smallest max are
+// emitted. The recorder's coverage bound (last emitted key when max is
+// hit) stays sound: a key k <= last missing from the output would need
+// its shard to hold >= max keys below k, all of which sort before k —
+// leaving no room for k among the emitted max.
+func (c *clusterKV) Scan(th *htm.Thread, from uint64, max int, fn func(key, val uint64) bool) int {
+	if max <= 0 {
+		return 0
+	}
+	type pair struct{ k, v uint64 }
+	var all []pair
+	for s := range c.shards {
+		c.shards[s].Scan(c.threadFor(th, s), from, max, func(k, v uint64) bool {
+			all = append(all, pair{k, v})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	n := 0
+	for _, p := range all {
+		if n == max {
+			break
+		}
+		n++
+		if !fn(p.k, p.v) {
+			break
+		}
+	}
+	return n
+}
+
+func (c *clusterKV) Name() string {
+	return fmt.Sprintf("cluster[%d]/%s", len(c.shards), c.shards[0].Name())
+}
+
+func init() {
+	// euno-cluster: 3 default-geometry Euno shards — the router layered on
+	// the production tree config.
+	Registry["euno-cluster"] = func(h *htm.HTM, _ *htm.Thread) tree.KV {
+		return newClusterKV(h, 3, func(dev *htm.HTM, boot *htm.Thread) tree.KV {
+			return core.New(dev, boot, core.DefaultConfig)
+		}, 0)
+	}
+	// euno-cluster-tiny: 4 split-heavy shards, so cluster histories also
+	// exercise stitch/CCM/split paths inside every shard.
+	Registry["euno-cluster-tiny"] = func(h *htm.HTM, _ *htm.Thread) tree.KV {
+		return newClusterKV(h, 4, func(dev *htm.HTM, boot *htm.Thread) tree.KV {
+			return core.New(dev, boot, tinyEuno())
+		}, 0)
+	}
+	// euno-cluster-broken: the router mutant — after 24 routed operations a
+	// "rebalance" shifts every key's owner by one shard without migrating
+	// data. The sweep must reject it.
+	Registry["euno-cluster-broken"] = func(h *htm.HTM, _ *htm.Thread) tree.KV {
+		return newClusterKV(h, 3, func(dev *htm.HTM, boot *htm.Thread) tree.KV {
+			return core.New(dev, boot, tinyEuno())
+		}, 24)
+	}
+}

@@ -1,0 +1,106 @@
+package checktrees
+
+import (
+	"strings"
+	"testing"
+
+	"eunomia/internal/check"
+	"eunomia/internal/htm"
+)
+
+// TestClusterSweep is the cluster-level linearizability acceptance run:
+// the router + N shard devices are one checked object, so any disagreement
+// between a write's route and a later read's route — or any per-shard tree
+// bug — fails the sweep. Full mode runs 64 seeds on the default-geometry
+// cluster (the acceptance bar) plus 32 on the split-heavy tiny cluster.
+func TestClusterSweep(t *testing.T) {
+	cases := []struct {
+		name         string
+		seeds, short int
+	}{
+		{"euno-cluster", 64, 12},
+		{"euno-cluster-tiny", 32, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seeds := c.seeds
+			if testing.Short() {
+				seeds = c.short
+			}
+			mk, err := Lookup(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			histories, fail := check.Sweep(c.name, mk, check.DefaultSweep(seeds))
+			if fail != nil {
+				t.Fatalf("cluster sweep failed after %d histories:\n%v", histories, fail)
+			}
+			t.Logf("%s: %d histories linearizable (%d seeds)", c.name, histories, seeds)
+		})
+	}
+}
+
+// TestClusterMutantCaught proves the checker has teeth at the cluster
+// level: a router that "rebalances" (shifts every key's owner by one
+// shard) without migrating data must be rejected, the failure must shrink,
+// and the shrunk one-command repro must replay the violation
+// deterministically while the healthy cluster passes the same schedule.
+func TestClusterMutantCaught(t *testing.T) {
+	mk, err := Lookup("euno-cluster-broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	histories, fail := check.Sweep("euno-cluster-broken", mk, check.DefaultSweep(8))
+	if fail == nil {
+		t.Fatalf("router mutant survived %d histories; the cluster checker lost its teeth", histories)
+	}
+	t.Logf("router mutant caught after %d histories", histories)
+	t.Logf("repro: %s", fail.ReproLine())
+	if !strings.Contains(fail.ReproLine(), "tree=euno-cluster-broken") {
+		t.Errorf("repro line does not name the cluster entry: %s", fail.ReproLine())
+	}
+
+	r, err := check.ParseRepro(check.Repro{Tree: fail.Tree, Workload: fail.Workload, Fault: fail.Fault}.String())
+	if err != nil {
+		t.Fatalf("emitted repro does not parse: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := check.RunWorkload(mk, r.Workload, r.Fault); err == nil {
+			t.Fatalf("replay %d of the shrunk repro passed; cluster repro is not deterministic", i)
+		}
+	}
+
+	// The mutant is in the router, not the trees: the same shards with an
+	// honest router must pass the exact failing schedule.
+	healthy, err := Lookup("euno-cluster-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check.RunWorkload(healthy, r.Workload, r.Fault); err != nil {
+		t.Errorf("healthy cluster fails the router mutant's repro schedule:\n%v", err)
+	}
+}
+
+// TestClusterFaultsReachShards: the caller device's fault injector must
+// propagate into the shard devices — otherwise every sweep fault variant
+// silently skips the cluster entries.
+func TestClusterFaultsReachShards(t *testing.T) {
+	mk, err := Lookup("euno-cluster-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := check.Workload{
+		Procs: 3, Ops: 60, Keys: 24,
+		GetPct: 20, PutPct: 60, DelPct: 15, ScanPct: 5,
+		Preload: true, Seed: 11,
+	}
+	spec := htm.FaultSpec{Point: htm.FaultStitch, Action: htm.ActYield, Nth: 2}
+	_, fi, err := check.RunWorkload(mk, wl, spec)
+	if err != nil {
+		t.Fatalf("cluster under stitch faults:\n%v", err)
+	}
+	if fi.Hits(spec.Point) == 0 {
+		t.Fatalf("stitch fault never fired inside any shard (visits=%d)", fi.Visits(spec.Point))
+	}
+	t.Logf("stitch fired %d times across shard devices", fi.Hits(spec.Point))
+}

@@ -1,0 +1,370 @@
+package crashcheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia"
+	"eunomia/internal/check"
+	"eunomia/internal/durable"
+	"eunomia/internal/shard"
+)
+
+// This file extends the crash harness to the sharded Cluster. The failure
+// model is richer than the single-DB one: instead of the whole machine
+// dying, a seeded SUBSET of the shard disks dies (k of N, chosen by a kill
+// bitmask), possibly including the cluster root's manifest disk — so crash
+// points land mid-group-commit on some shards while others keep serving,
+// and mid-snapshot-barrier while the cluster-wide manifest is being
+// committed. Writers deliberately continue past per-shard errors (a dead
+// shard is not a dead process): every failed write stays in the history
+// with an open window, exactly like the single-DB in-flight rule. After
+// the run the whole cluster reboots, recovers through OpenCluster (which
+// re-checks the snapshot-barrier vector), optionally survives extra
+// restart cycles, and the full history — acked writes, open-window
+// failures, post-recovery reads of the entire universe — goes through the
+// linearizability checker.
+
+// ClusterScenario is one fully-specified cluster crash-recovery run.
+type ClusterScenario struct {
+	Shards int    // cluster shards (default 3)
+	Kill   uint64 // bitmask: bit i < Shards kills shard i's disk; bit Shards kills the manifest disk
+	Kind   eunomia.Kind
+	Procs  int    // concurrent writer goroutines (default 2)
+	Ops    int    // operations per writer (default 40)
+	Keys   uint64 // key universe size (default 16)
+	Seed   uint64
+
+	CrashAtIO uint64 // IO point (per killed disk's own IO stream) at which it dies
+	TornSeed  uint64
+	Restarts  int  // post-crash recover→write→restart cycles
+	Barrier   bool // writer 0 triggers a cluster Snapshot mid-run (mid-barrier crash coverage)
+
+	FlushInterval  time.Duration
+	FlushBytes     int
+	SnapshotBytes  int64
+	AckBeforeFlush bool // the deliberately broken mode the harness must catch
+}
+
+func (s ClusterScenario) withDefaults() ClusterScenario {
+	if s.Shards == 0 {
+		s.Shards = 3
+	}
+	if s.Procs == 0 {
+		s.Procs = 2
+	}
+	if s.Ops == 0 {
+		s.Ops = 40
+	}
+	if s.Keys == 0 {
+		s.Keys = 16
+	}
+	if s.Kill == 0 {
+		s.Kill = 1
+	}
+	return s
+}
+
+// String encodes the scenario as the EUNO_CLUSTER_CRASH_REPRO token.
+func (s ClusterScenario) String() string {
+	return fmt.Sprintf("shards=%d,kill=%d,kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,barrier=%d,interval=%d,flushbytes=%d,snapbytes=%d,ack=%d",
+		s.Shards, s.Kill, int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed,
+		s.Restarts, b2i(s.Barrier), int64(s.FlushInterval), s.FlushBytes, s.SnapshotBytes, b2i(s.AckBeforeFlush))
+}
+
+// ParseCluster decodes a ClusterScenario from its String form.
+func ParseCluster(tok string) (ClusterScenario, error) {
+	var s ClusterScenario
+	for _, kv := range strings.Split(strings.TrimSpace(tok), ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return s, fmt.Errorf("crashcheck: bad field %q", kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("crashcheck: bad value in %q: %v", kv, err)
+		}
+		switch name {
+		case "shards":
+			s.Shards = int(n)
+		case "kill":
+			s.Kill = uint64(n)
+		case "kind":
+			s.Kind = eunomia.Kind(n)
+		case "procs":
+			s.Procs = int(n)
+		case "ops":
+			s.Ops = int(n)
+		case "keys":
+			s.Keys = uint64(n)
+		case "seed":
+			s.Seed = uint64(n)
+		case "crash":
+			s.CrashAtIO = uint64(n)
+		case "torn":
+			s.TornSeed = uint64(n)
+		case "restarts":
+			s.Restarts = int(n)
+		case "barrier":
+			s.Barrier = n != 0
+		case "interval":
+			s.FlushInterval = time.Duration(n)
+		case "flushbytes":
+			s.FlushBytes = int(n)
+		case "snapbytes":
+			s.SnapshotBytes = n
+		case "ack":
+			s.AckBeforeFlush = n != 0
+		default:
+			return s, fmt.Errorf("crashcheck: unknown field %q", name)
+		}
+	}
+	return s, nil
+}
+
+// ClusterReproLine renders the one-command repro for a failing scenario.
+func ClusterReproLine(s ClusterScenario) string {
+	return fmt.Sprintf("EUNO_CLUSTER_CRASH_REPRO='%s' go test ./internal/durable/crashcheck -run TestClusterCrashRepro -v", s)
+}
+
+// RunCluster executes one cluster crash-recovery scenario.
+func RunCluster(s ClusterScenario) Result {
+	s = s.withDefaults()
+	plan := durable.FaultPlan{CrashAtIO: s.CrashAtIO, TornSeed: s.TornSeed}
+	fses := make([]*durable.MemFS, s.Shards)
+	for i := range fses {
+		if s.Kill&(1<<uint(i)) != 0 {
+			fses[i] = durable.NewMemFS(plan)
+		} else {
+			fses[i] = durable.NewMemFS(durable.FaultPlan{})
+		}
+	}
+	manifestFS := durable.NewMemFS(durable.FaultPlan{})
+	if s.Kill&(1<<uint(s.Shards)) != 0 {
+		manifestFS = durable.NewMemFS(plan)
+	}
+	anyCrashed := func() bool {
+		for _, fs := range fses {
+			if fs.Crashed() {
+				return true
+			}
+		}
+		return manifestFS.Crashed()
+	}
+	open := func() (*eunomia.Cluster, error) {
+		return eunomia.OpenCluster(eunomia.ClusterOptions{
+			Shards: s.Shards,
+			Shard: eunomia.Options{
+				Kind:       s.Kind,
+				ArenaWords: 1 << 19,
+				Durability: eunomia.Durability{
+					Dir:            "clusterdb",
+					FS:             manifestFS,
+					FlushInterval:  s.FlushInterval,
+					FlushBytes:     s.FlushBytes,
+					SnapshotBytes:  s.SnapshotBytes,
+					AckBeforeFlush: s.AckBeforeFlush,
+				},
+			},
+			PerShard: func(i int, o *eunomia.Options) { o.Durability.FS = fses[i] },
+		})
+	}
+	c, err := open()
+	if err != nil && !anyCrashed() {
+		return Result{Err: fmt.Errorf("crashcheck: first cluster open: %w", err)}
+	}
+	// The crash can fire inside OpenCluster itself (segment creation and
+	// directory fsyncs are IO points); nothing was acknowledged, so phase 1
+	// is skipped and the run goes straight to recovery.
+
+	// Phase 1: concurrent writers. Unlike the single-DB harness, a failed
+	// operation does NOT end the worker — only its shard's disk died, the
+	// process is alive — so every failed write is recorded with an open
+	// window and the worker moves on, exercising healthy shards around the
+	// dead one.
+	var clock atomic.Uint64
+	var mu sync.Mutex
+	var acked []check.Op
+	var inflight []check.Op // response timestamps patched after recovery
+	var wg sync.WaitGroup
+	for p := 0; c != nil && p < s.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sess := c.NewSession()
+			rng := s.Seed*0x9E3779B97F4A7C15 + uint64(p)*0xBF58476D1CE4E5B9 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < s.Ops; i++ {
+				if s.Barrier && p == 0 && i == s.Ops/2 {
+					// Mid-run cluster snapshot: the barrier's per-shard syncs
+					// and the manifest commit interleave their IO points with
+					// the killed disks' streams. Errors are expected when a
+					// shard is already dead.
+					_ = c.Snapshot()
+				}
+				key := next()%s.Keys + 1
+				val := uint64(p)<<40 | uint64(i)<<8 | 0x5
+				del := next()%10 < 3
+				inv := clock.Add(1)
+				var op check.Op
+				var err error
+				if del {
+					var ok bool
+					ok, err = sess.Delete(key)
+					op = check.Op{Kind: check.Delete, Key: key, OK: ok, Proc: p}
+				} else {
+					err = sess.Put(key, val)
+					op = check.Op{Kind: check.Put, Key: key, Val: val, OK: true, Proc: p}
+				}
+				op.Inv = inv
+				op.Rsp = clock.Add(1)
+				mu.Lock()
+				switch {
+				case del && !op.OK:
+					// Never recorded. An absent-delete writes nothing and its
+					// "absent" observation is served from volatile memory —
+					// with workers outliving a dead shard it can witness an
+					// applied-but-unlogged delete that the crash rolls back,
+					// the same group-commit volatility that exempts pre-crash
+					// reads from recording (see the package comment).
+				case err == nil:
+					acked = append(acked, op)
+				default:
+					// Effect unknown: the crash may or may not have persisted
+					// it, so the window stays open past recovery.
+					inflight = append(inflight, op)
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	res := Result{Crashed: anyCrashed(), Acked: len(acked)}
+	if c != nil {
+		c.Close() // joined errors expected after a crash
+	}
+
+	// Phase 2: reboot every disk and recover the whole cluster. Healthy
+	// disks keep everything (clean restart); killed disks keep only synced
+	// prefixes plus seeded torn tails. OpenCluster re-verifies the barrier
+	// vector here: a shard recovering below a committed barrier is itself a
+	// detected failure.
+	for _, fs := range fses {
+		fs.Reboot()
+	}
+	manifestFS.Reboot()
+	c2, err := open()
+	if err != nil {
+		res.Err = fmt.Errorf("crashcheck: cluster recovery failed: %w", err)
+		return res
+	}
+	defer func() { c2.Close() }()
+
+	// Phase 2b: restart cycles — acknowledged writes on the recovered
+	// cluster, clean close, recover again. Regression gate for torn-tail
+	// healing and later-generation replay, per shard.
+	for cy := 0; cy < s.Restarts; cy++ {
+		proc := s.Procs + 1 + cy
+		sess := c2.NewSession()
+		rng := s.Seed*0xBF58476D1CE4E5B9 + uint64(proc)*0x94D049BB133111EB + 1
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < s.Ops; i++ {
+			key := next()%s.Keys + 1
+			val := uint64(proc)<<40 | uint64(i)<<8 | 0x5
+			del := next()%10 < 3
+			inv := clock.Add(1)
+			var op check.Op
+			var err error
+			if del {
+				var ok bool
+				ok, err = sess.Delete(key)
+				op = check.Op{Kind: check.Delete, Key: key, OK: ok, Proc: proc}
+			} else {
+				err = sess.Put(key, val)
+				op = check.Op{Kind: check.Put, Key: key, Val: val, OK: true, Proc: proc}
+			}
+			op.Inv = inv
+			op.Rsp = clock.Add(1)
+			if err != nil {
+				res.Err = fmt.Errorf("crashcheck: cluster restart cycle %d write: %w", cy, err)
+				return res
+			}
+			acked = append(acked, op)
+		}
+		if err := c2.Close(); err != nil {
+			res.Err = fmt.Errorf("crashcheck: cluster restart cycle %d close: %w", cy, err)
+			return res
+		}
+		if c2, err = open(); err != nil {
+			res.Err = fmt.Errorf("crashcheck: cluster restart cycle %d recovery: %w", cy, err)
+			return res
+		}
+	}
+
+	// Phase 3: observe the whole universe through the router, then close
+	// the in-flight windows after every observation.
+	ops := acked
+	sess := c2.NewSession()
+	for key := uint64(1); key <= s.Keys; key++ {
+		inv := clock.Add(1)
+		v, ok, err := sess.Get(key)
+		if err != nil {
+			res.Err = fmt.Errorf("crashcheck: post-recovery cluster get(%d): %w", key, err)
+			return res
+		}
+		ops = append(ops, check.Op{
+			Kind: check.Get, Key: key, Val: v, OK: ok,
+			Inv: inv, Rsp: clock.Add(1), Proc: s.Procs,
+		})
+	}
+	end := clock.Add(1)
+	for _, op := range inflight {
+		op.Rsp = end
+		ops = append(ops, op)
+	}
+	res.Checked = len(ops)
+	if err := check.Check(check.History{Ops: ops}); err != nil {
+		res.Err = fmt.Errorf("crashcheck: %w\nrepro: %s", err, ClusterReproLine(s))
+	}
+	return res
+}
+
+// ClusterSweep runs the base scenario once per crash point in [1, points].
+// Each point perturbs the torn seed and draws a seeded nonzero kill mask,
+// so the sweep covers single-shard deaths, multi-shard deaths, and (when
+// Barrier is set) manifest-disk deaths mid-snapshot-barrier.
+func ClusterSweep(base ClusterScenario, points uint64) (fired int, firstErr error) {
+	base = base.withDefaults()
+	disks := uint(base.Shards)
+	if base.Barrier {
+		disks++ // the manifest disk is killable too
+	}
+	for p := uint64(1); p <= points; p++ {
+		s := base
+		s.CrashAtIO = p
+		s.TornSeed = p*2654435761 + base.Seed
+		s.Kill = shard.Mix(p*0x9E3779B97F4A7C15+base.Seed)%((1<<disks)-1) + 1
+		r := RunCluster(s)
+		if r.Crashed {
+			fired++
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+	}
+	return fired, firstErr
+}

@@ -1,0 +1,204 @@
+package crashcheck
+
+import (
+	"os"
+	"testing"
+
+	"eunomia"
+	"eunomia/internal/durable"
+)
+
+// TestClusterCrashSweep is the cluster acceptance gate: >= 100 seeded
+// crash points (full mode) killing seeded subsets of the shard disks,
+// every recovered cluster verified by the linearizability checker.
+// -short trims the budget for CI's quick lane.
+func TestClusterCrashSweep(t *testing.T) {
+	points := uint64(60)
+	if testing.Short() {
+		points = 15
+	}
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 40, Keys: 16, Seed: 31}
+	fired, err := ClusterSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired < int(points)*2/3 {
+		t.Fatalf("only %d of %d cluster crash points fired", fired, points)
+	}
+	t.Logf("cluster sweep: %d crash points fired across shard subsets, zero violations", fired)
+}
+
+// TestClusterCrashMidBarrier drives crash points through the cluster
+// snapshot barrier: a mid-run Cluster.Snapshot syncs every shard and
+// commits the manifest while a seeded disk subset — including, some
+// points, the manifest disk itself — is dying.
+func TestClusterCrashMidBarrier(t *testing.T) {
+	points := uint64(50)
+	if testing.Short() {
+		points = 12
+	}
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 40, Keys: 16, Seed: 57, Barrier: true}
+	fired, err := ClusterSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("no crash points fired")
+	}
+	t.Logf("mid-barrier sweep: %d crash points fired, zero violations", fired)
+}
+
+// TestClusterCrashRestartCycles mirrors Scenario.Restarts at the cluster
+// level: crash a shard subset, recover the cluster, acknowledge new
+// writes, restart cleanly twice more. Torn-tail healing and
+// later-generation replay must hold independently in every shard's WAL
+// group.
+func TestClusterCrashRestartCycles(t *testing.T) {
+	points := uint64(40)
+	if testing.Short() {
+		points = 10
+	}
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 30, Keys: 12, Seed: 71, Restarts: 2}
+	fired, err := ClusterSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired < int(points)*2/3 {
+		t.Fatalf("only %d of %d crash points fired", fired, points)
+	}
+	t.Logf("cluster restart-cycle sweep: %d crash points fired, zero violations", fired)
+}
+
+// TestClusterAckBeforeFlushMutantCaught: the cluster harness must retain
+// the single-DB harness's teeth — shards that acknowledge before fsync
+// lose acknowledged writes on a shard-subset crash, and the checker (or
+// the barrier verification) must reject the recovered cluster.
+func TestClusterAckBeforeFlushMutantCaught(t *testing.T) {
+	// FlushBytes forces periodic real flushes, so the broken mode has IO
+	// points mid-run to crash at (without it nothing is ever written and
+	// the crash lands inside Open, before anything is acknowledged).
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 60, Keys: 8, Seed: 5, FlushBytes: 256, AckBeforeFlush: true}
+	var failing *ClusterScenario
+	for p := uint64(1); p <= 24; p++ {
+		s := base
+		s.CrashAtIO = p
+		s.TornSeed = p * 17
+		s.Kill = p%uint64(1<<base.Shards-1) + 1
+		r := RunCluster(s)
+		if !r.Crashed {
+			continue
+		}
+		if r.Err != nil {
+			failing = &s
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("cluster ack-before-flush mutant survived every crash point: the checker is blind")
+	}
+	parsed, err := ParseCluster(failing.String())
+	if err != nil {
+		t.Fatalf("repro token does not parse: %v", err)
+	}
+	if parsed != *failing {
+		t.Fatalf("repro round-trip mismatch:\n  %+v\n  %+v", parsed, *failing)
+	}
+	if r := RunCluster(parsed); r.Err == nil {
+		t.Fatal("replayed cluster repro did not reproduce the violation")
+	}
+	t.Logf("cluster mutant caught; repro: %s", ClusterReproLine(*failing))
+}
+
+// TestClusterBarrierDetectsRolledBackShard: commit a snapshot barrier,
+// then replace one shard's disk with an empty one (a lost disk / stale
+// backup). OpenCluster must refuse to serve: the shard recovers below the
+// barrier vector, a state no single point in time ever had.
+func TestClusterBarrierDetectsRolledBackShard(t *testing.T) {
+	fses := make([]*durable.MemFS, 3)
+	for i := range fses {
+		fses[i] = durable.NewMemFS(durable.FaultPlan{})
+	}
+	manifestFS := durable.NewMemFS(durable.FaultPlan{})
+	opts := func() eunomia.ClusterOptions {
+		return eunomia.ClusterOptions{
+			Shards: 3,
+			Shard: eunomia.Options{
+				ArenaWords: 1 << 19,
+				Durability: eunomia.Durability{Dir: "clusterdb", FS: manifestFS},
+			},
+			PerShard: func(i int, o *eunomia.Options) { o.Durability.FS = fses[i] },
+		}
+	}
+	c, err := eunomia.OpenCluster(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.NewSession()
+	for k := uint64(1); k <= 64; k++ {
+		if err := sess.Put(k, k<<8|1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: an intact cluster reopens fine.
+	c2, err := eunomia.OpenCluster(opts())
+	if err != nil {
+		t.Fatalf("intact cluster failed to reopen: %v", err)
+	}
+	c2.Close()
+
+	// Wipe shard 1's disk. The barrier manifest survives; reopen must fail.
+	fses[1] = durable.NewMemFS(durable.FaultPlan{})
+	if _, err := eunomia.OpenCluster(opts()); err == nil {
+		t.Fatal("cluster opened with a wiped shard behind a committed barrier: rollback undetected")
+	} else {
+		t.Logf("rolled-back shard rejected: %v", err)
+	}
+}
+
+// TestClusterScenarioRoundtrip checks String/ParseCluster over a fully
+// populated scenario.
+func TestClusterScenarioRoundtrip(t *testing.T) {
+	s := ClusterScenario{Shards: 5, Kill: 11, Kind: eunomia.Masstree,
+		Procs: 3, Ops: 99, Keys: 31, Seed: 8, CrashAtIO: 42, TornSeed: 77,
+		Restarts: 2, Barrier: true, FlushInterval: 1_000_000,
+		FlushBytes: 512, SnapshotBytes: 4096, AckBeforeFlush: true}
+	parsed, err := ParseCluster(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != s {
+		t.Fatalf("round-trip mismatch:\n  in:  %+v\n  out: %+v", s, parsed)
+	}
+	if _, err := ParseCluster("nope=1"); err == nil {
+		t.Fatal("unknown field parsed")
+	}
+}
+
+// TestClusterCrashRepro replays the scenario in EUNO_CLUSTER_CRASH_REPRO,
+// the one-command repro printed when a cluster sweep fails.
+func TestClusterCrashRepro(t *testing.T) {
+	tok := os.Getenv("EUNO_CLUSTER_CRASH_REPRO")
+	if tok == "" {
+		t.Skip("EUNO_CLUSTER_CRASH_REPRO not set")
+	}
+	s, err := ParseCluster(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunCluster(s)
+	t.Logf("replay: crashed=%v acked=%d checked=%d", r.Crashed, r.Acked, r.Checked)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}

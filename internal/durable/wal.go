@@ -332,15 +332,19 @@ func (w *wal) sweepLocks() {
 
 // syncAll makes everything appended so far durable.
 func (w *wal) syncAll() error {
+	// Every shard is flushed even when one fails — the healthy shards'
+	// acknowledged bytes still deserve to reach disk — and the failures are
+	// joined rather than hiding all but the first.
+	var errs []error
 	for _, s := range w.shards {
 		s.mu.Lock()
 		err := w.flushLocked(s, s.lastSeq, true)
 		s.mu.Unlock()
 		if err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("wal shard %d: %w", s.id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // close flushes and closes every shard. Idempotent.
@@ -350,7 +354,7 @@ func (w *wal) close() error {
 		<-w.flusherDone
 		w.flusherStop = nil
 	}
-	var first error
+	var errs []error
 	for _, s := range w.shards {
 		s.mu.Lock()
 		if s.closed {
@@ -366,9 +370,9 @@ func (w *wal) close() error {
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
-		if first == nil && err != nil {
-			first = err
+		if err != nil {
+			errs = append(errs, fmt.Errorf("wal shard %d: %w", s.id, err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }

@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/core"
+	"eunomia/internal/htm"
+	"eunomia/internal/metrics"
+	"eunomia/internal/shard"
+	"eunomia/internal/simmem"
+	"eunomia/internal/tree"
+	"eunomia/internal/vclock"
+	"eunomia/internal/workload"
+)
+
+// Cluster experiment driver: N independent arena/device/tree shards behind
+// the keyspace router (internal/shard), measured on either backend. The
+// quantity under study is contention decomposition — with hash routing a
+// Zipfian hot set scatters across shards, so every shard is its own
+// contention domain with its own fallback lock and storm detector; the
+// throughput and aborts-per-op curves against shard count are the cluster
+// analogue of the paper's scaling figures.
+
+// ClusterConfig describes one sharded experiment.
+type ClusterConfig struct {
+	Shards    int             // independent shards (default 4)
+	Partition shard.Partition // key-space cut (default Hash)
+
+	Tree TreeKind
+	// EunoCfg overrides the Euno-B+Tree configuration for every shard; the
+	// zero value means core.DefaultConfig.
+	EunoCfg *core.Config
+
+	Threads      int    // workers; each holds one thread per shard
+	Keys         uint64 // key-space size (spans the whole cluster)
+	PreloadPct   int
+	Dist         workload.Spec
+	Mix          workload.Mix
+	OpsPerThread int
+	// Duration, when nonzero on the host backend, switches to
+	// fixed-duration methodology and OpsPerThread is ignored.
+	Duration time.Duration
+	Seed     uint64
+
+	Fanout     int
+	ArenaWords uint64 // arena capacity PER SHARD
+	Slack      uint64 // emulated-backend scheduler slack (0 = exact)
+
+	// Host selects the wall-clock backend (real goroutines, cost model
+	// off); the default is the deterministic emulated backend.
+	Host       bool
+	Resilience bool
+}
+
+// ClusterResult summarizes one sharded run.
+type ClusterResult struct {
+	Config ClusterConfig
+
+	Ops        uint64
+	Cycles     uint64        // emulated: virtual makespan
+	Elapsed    time.Duration // host: wall time
+	Throughput float64       // ops/s (virtual seconds emulated, wall seconds host)
+
+	Stats       htm.Stats // merged across workers and shards
+	AbortsPerOp float64
+
+	Latency metrics.Histogram // host: ns per op; emulated: cycles per op
+
+	PreloadedKeys uint64
+	GoMaxProcs    int
+	NumCPU        int
+}
+
+// clusterDefaults fills unset fields, mirroring Config.withDefaults /
+// HostConfig.hostDefaults per backend.
+func (c ClusterConfig) clusterDefaults() ClusterConfig {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Threads == 0 {
+		if c.Host {
+			c.Threads = runtime.GOMAXPROCS(0)
+		} else {
+			c.Threads = 16
+		}
+	}
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.PreloadPct == 0 {
+		c.PreloadPct = 50
+	}
+	if c.Dist.N == 0 {
+		c.Dist.N = c.Keys
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.DefaultMix
+	}
+	if c.OpsPerThread == 0 && !(c.Host && c.Duration > 0) {
+		if c.Host {
+			c.OpsPerThread = 20_000
+		} else {
+			c.OpsPerThread = 5_000
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.ArenaWords == 0 {
+		// Per shard: size to the slice of the key space the shard carries.
+		c.ArenaWords = c.Keys * 24 / uint64(c.Shards)
+		if c.ArenaWords < 1<<22 {
+			c.ArenaWords = 1 << 22
+		}
+	}
+	return c
+}
+
+// treeConfig converts to the Config shape buildTree consumes.
+func (c ClusterConfig) treeConfig() Config {
+	return Config{
+		Tree:       c.Tree,
+		EunoCfg:    c.EunoCfg,
+		Fanout:     c.Fanout,
+		Resilience: c.Resilience,
+	}
+}
+
+// RunCluster executes one sharded experiment. On the emulated backend the
+// run is deterministic for a fixed config: each worker SimProc owns one
+// thread per shard device, and virtual time accrues to the proc no matter
+// which device charges it, so cross-shard routing costs nothing extra and
+// the serial simulator keeps the schedule reproducible. On the host
+// backend only correctness is deterministic, not the numbers.
+func RunCluster(cfg ClusterConfig) ClusterResult {
+	cfg = cfg.clusterDefaults()
+	if err := cfg.Mix.Validate(); err != nil {
+		panic(err)
+	}
+	router := shard.New(cfg.Shards, cfg.Partition)
+
+	hcfg := htm.DefaultConfig
+	if cfg.Resilience {
+		hcfg = htm.DefaultResilience().DeviceConfig(hcfg)
+	}
+	if cfg.Host {
+		hcfg.Backend = htm.BackendHost
+	}
+	devices := make([]*htm.HTM, cfg.Shards)
+	trees := make([]tree.KV, cfg.Shards)
+	boots := make([]*htm.Thread, cfg.Shards)
+	for i := range devices {
+		arena := simmem.NewArena(cfg.ArenaWords)
+		devices[i] = htm.New(arena, hcfg)
+		if cfg.Host {
+			boots[i] = devices[i].NewHostThread(0, cfg.Seed+uint64(i)+1)
+		} else {
+			boots[i] = devices[i].NewThread(vclock.NewWallProc(0, 0), cfg.Seed+uint64(i)+1)
+		}
+		trees[i] = buildTree(cfg.treeConfig(), devices[i], boots[i])
+	}
+
+	// Load phase (not measured), routed exactly like the measured phase.
+	var preloaded uint64
+	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {
+		s := router.Route(key)
+		trees[s].Put(boots[s], key, key*31+7)
+		preloaded++
+	})
+
+	res := ClusterResult{
+		Config:        cfg,
+		PreloadedKeys: preloaded,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+	}
+	stats := make([]htm.Stats, cfg.Threads)
+	hists := make([]metrics.Histogram, cfg.Threads)
+	opsDone := make([]uint64, cfg.Threads)
+
+	// worker runs measured worker w over its per-shard thread set. now()
+	// reports virtual cycles (emulated) or wall nanoseconds (host);
+	// more(i) is the backend's stop condition.
+	worker := func(w int, ths []*htm.Thread, now func() uint64, more func(i int) bool) {
+		stream := workload.NewStream(cfg.Dist, cfg.Mix)
+		for i := 0; more(i); i++ {
+			opsDone[w]++
+			op := stream.Next(ths[0].Rand)
+			s := router.Route(op.Key)
+			th := ths[s]
+			start := now()
+			switch op.Kind {
+			case workload.OpGet:
+				trees[s].Get(th, op.Key)
+			case workload.OpPut:
+				trees[s].Put(th, op.Key, op.Key<<8|uint64(i)&0xff)
+			case workload.OpDelete:
+				trees[s].Delete(th, op.Key)
+			case workload.OpScan:
+				// Cross-shard scan: every shard contributes up to ScanLen
+				// candidates toward the merged window, which is what the
+				// Cluster facade's Range merge reads — charged here the
+				// same way the real merge would charge it.
+				for sh := range trees {
+					trees[sh].Scan(ths[sh], op.Key, op.ScanLen, func(k, v uint64) bool { return true })
+				}
+			}
+			hists[w].Observe(now() - start)
+		}
+		for s, t := range ths {
+			if cfg.Host {
+				t.FlushStats() // fold the batched tail into device aggregates
+			}
+			if s == 0 {
+				stats[w] = t.Stats
+			} else {
+				stats[w].Merge(&t.Stats)
+			}
+		}
+	}
+
+	// Seed schedule: distinct per (worker, shard), stable across backends.
+	threadSeed := func(w, s int) uint64 {
+		return cfg.Seed + uint64(w)*7919 + uint64(s)*104729 + 1
+	}
+
+	if cfg.Host {
+		var stop atomic.Bool
+		if cfg.Duration > 0 {
+			defer time.AfterFunc(cfg.Duration, func() { stop.Store(true) }).Stop()
+		}
+		var wg sync.WaitGroup
+		begin := time.Now()
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ths := make([]*htm.Thread, cfg.Shards)
+				for s := range ths {
+					ths[s] = devices[s].NewHostThread(w+1, threadSeed(w, s))
+				}
+				worker(w, ths,
+					func() uint64 { return uint64(time.Now().UnixNano()) },
+					func(i int) bool {
+						if cfg.Duration > 0 {
+							return !stop.Load()
+						}
+						return i < cfg.OpsPerThread
+					})
+			}(w)
+		}
+		wg.Wait()
+		res.Elapsed = time.Since(begin)
+		for i := range opsDone {
+			res.Ops += opsDone[i]
+		}
+		if s := res.Elapsed.Seconds(); s > 0 {
+			res.Throughput = float64(res.Ops) / s
+		}
+	} else {
+		sim := vclock.NewSim(cfg.Threads, cfg.Slack)
+		sim.Run(func(p *vclock.SimProc) {
+			w := p.ID()
+			ths := make([]*htm.Thread, cfg.Shards)
+			for s := range ths {
+				ths[s] = devices[s].NewThread(p, threadSeed(w, s))
+			}
+			worker(w, ths, p.Now, func(i int) bool { return i < cfg.OpsPerThread })
+		})
+		res.Cycles = sim.MaxClock()
+		for i := range opsDone {
+			res.Ops += opsDone[i]
+		}
+		if res.Cycles > 0 {
+			res.Throughput = float64(res.Ops) / (float64(res.Cycles) / vclock.CyclesPerSecond)
+		}
+	}
+
+	for i := range stats {
+		res.Stats.Merge(&stats[i])
+		res.Latency.Merge(&hists[i])
+	}
+	if res.Ops > 0 {
+		res.AbortsPerOp = float64(res.Stats.TotalAborts()) / float64(res.Ops)
+	}
+	return res
+}

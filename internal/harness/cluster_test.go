@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"eunomia/internal/shard"
+	"eunomia/internal/workload"
+)
+
+func TestRunClusterEmulatedDeterministic(t *testing.T) {
+	cfg := ClusterConfig{
+		Shards:       3,
+		Tree:         EunoBTree,
+		Threads:      4,
+		Keys:         2_000,
+		OpsPerThread: 300,
+		Seed:         9,
+	}
+	a := RunCluster(cfg)
+	b := RunCluster(cfg)
+	if a.Ops != b.Ops || a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("emulated cluster run is not deterministic:\n  a: ops=%d cycles=%d %+v\n  b: ops=%d cycles=%d %+v",
+			a.Ops, a.Cycles, a.Stats, b.Ops, b.Cycles, b.Stats)
+	}
+	if want := uint64(4 * 300); a.Ops != want {
+		t.Fatalf("ops = %d, want %d", a.Ops, want)
+	}
+	if a.Throughput <= 0 {
+		t.Fatalf("throughput = %f", a.Throughput)
+	}
+	if got := a.Latency.Count(); got != a.Ops {
+		t.Fatalf("latency observations = %d, want %d", got, a.Ops)
+	}
+}
+
+func TestRunClusterAllTreesBothPartitions(t *testing.T) {
+	for _, kind := range []TreeKind{EunoBTree, HTMBTree, Masstree, HTMMasstree} {
+		for _, part := range []shard.Partition{shard.Hash, shard.Range} {
+			res := RunCluster(ClusterConfig{
+				Shards:       2,
+				Partition:    part,
+				Tree:         kind,
+				Threads:      2,
+				Keys:         1_000,
+				OpsPerThread: 150,
+			})
+			if want := uint64(2 * 150); res.Ops != want {
+				t.Fatalf("%s/%v: ops = %d, want %d", kind, part, res.Ops, want)
+			}
+			if res.PreloadedKeys == 0 {
+				t.Fatalf("%s/%v: nothing preloaded", kind, part)
+			}
+		}
+	}
+}
+
+func TestRunClusterHost(t *testing.T) {
+	res := RunCluster(ClusterConfig{
+		Shards:       2,
+		Tree:         EunoBTree,
+		Threads:      2,
+		Keys:         1_000,
+		OpsPerThread: 200,
+		Host:         true,
+	})
+	if want := uint64(2 * 200); res.Ops != want {
+		t.Fatalf("ops = %d, want %d", res.Ops, want)
+	}
+	if res.Elapsed <= 0 || res.Throughput <= 0 {
+		t.Fatalf("elapsed=%v throughput=%f", res.Elapsed, res.Throughput)
+	}
+	if res.GoMaxProcs <= 0 || res.NumCPU <= 0 {
+		t.Fatalf("environment not recorded: GOMAXPROCS=%d NumCPU=%d", res.GoMaxProcs, res.NumCPU)
+	}
+}
+
+func TestRunClusterHostDuration(t *testing.T) {
+	res := RunCluster(ClusterConfig{
+		Shards:   2,
+		Tree:     EunoBTree,
+		Threads:  2,
+		Keys:     1_000,
+		Duration: 25 * time.Millisecond,
+		Host:     true,
+	})
+	if res.Ops == 0 {
+		t.Fatal("duration run issued no operations")
+	}
+	// Allow a grain of timer slop below the configured 25ms.
+	if res.Elapsed < 20*time.Millisecond {
+		t.Fatalf("elapsed %v far shorter than the configured duration", res.Elapsed)
+	}
+}
+
+// TestRunClusterShardsSplitContention: under a hot Zipfian mix, hash
+// sharding must decompose the contention domain — the single-shard run
+// concentrates every conflict on one device, so more shards can only hold
+// or reduce the per-op abort rate (deterministic emulated backend, so the
+// comparison is exact, not statistical).
+func TestRunClusterShardsSplitContention(t *testing.T) {
+	base := ClusterConfig{
+		Tree:         EunoBTree,
+		Threads:      8,
+		Keys:         512,
+		Dist:         workload.Spec{Kind: workload.Zipfian, N: 512, Theta: 0.99},
+		Mix:          workload.Mix{GetPct: 50, PutPct: 50},
+		OpsPerThread: 400,
+		Seed:         3,
+	}
+	one := base
+	one.Shards = 1
+	four := base
+	four.Shards = 4
+	r1, r4 := RunCluster(one), RunCluster(four)
+	t.Logf("1 shard: aborts/op=%.3f cycles=%d; 4 shards: aborts/op=%.3f cycles=%d",
+		r1.AbortsPerOp, r1.Cycles, r4.AbortsPerOp, r4.Cycles)
+	if r4.AbortsPerOp > r1.AbortsPerOp {
+		t.Fatalf("4 shards aborts/op %.3f > 1 shard %.3f: sharding failed to split the contention domain",
+			r4.AbortsPerOp, r1.AbortsPerOp)
+	}
+}

@@ -1,0 +1,99 @@
+// Package shard is the keyspace-partitioning layer shared by the public
+// eunomia.Cluster, the harness's cluster runner, and the cluster-level
+// correctness checks. A Router maps every key to exactly one of N shards;
+// the three consumers must agree on that map (a write routed by one and a
+// read routed by another land on the same shard), which is why it lives in
+// one package instead of three copies.
+package shard
+
+import "fmt"
+
+// Partition selects how the key space is cut into shards.
+type Partition int
+
+const (
+	// Hash spreads keys by a 64-bit mix, so every shard sees a uniform
+	// slice of any workload — including a Zipfian hot set, whose hot keys
+	// scatter across shards. This is the default.
+	Hash Partition = iota
+	// Range cuts the uint64 key space into N contiguous, equal-width
+	// intervals: shard i owns [i*width, (i+1)*width). Range scans touch
+	// only the shards their interval overlaps, at the price of skew
+	// sensitivity (a hot contiguous region lands on one shard).
+	Range
+)
+
+// String names the partition scheme.
+func (p Partition) String() string {
+	switch p {
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Router maps keys to shards. The zero value is invalid; build with New.
+// Routers are immutable and safe for concurrent use.
+type Router struct {
+	n     int
+	part  Partition
+	width uint64 // range mode: interval width
+}
+
+// New builds a router over n shards (n >= 1).
+func New(n int, part Partition) Router {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: need >= 1 shard, got %d", n))
+	}
+	r := Router{n: n, part: part}
+	if part == Range {
+		// ceil(2^64 / n) without overflow: every key / width < n.
+		r.width = ^uint64(0)/uint64(n) + 1
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int { return r.n }
+
+// Partition returns the partition scheme.
+func (r Router) Partition() Partition { return r.part }
+
+// Route returns the owning shard of key, in [0, Shards()).
+func (r Router) Route(key uint64) int {
+	if r.n == 1 {
+		return 0
+	}
+	if r.part == Range {
+		return int(key / r.width)
+	}
+	return int(Mix(key) % uint64(r.n))
+}
+
+// RangeStart returns the first key owned by shard i under Range
+// partitioning (0 for shard 0). Hash partitioning has no contiguous
+// ownership; RangeStart panics there.
+func (r Router) RangeStart(i int) uint64 {
+	if r.part != Range {
+		panic("shard: RangeStart requires Range partitioning")
+	}
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("shard: shard %d out of [0,%d)", i, r.n))
+	}
+	return uint64(i) * r.width
+}
+
+// Mix is the splitmix64 finalizer: a full-avalanche 64-bit mix, used for
+// hash routing and for deriving seeded per-shard values (crash plans,
+// kill masks) elsewhere in the tree.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

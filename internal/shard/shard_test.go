@@ -1,0 +1,97 @@
+package shard
+
+import "testing"
+
+func TestRouteInBounds(t *testing.T) {
+	for _, part := range []Partition{Hash, Range} {
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 64} {
+			r := New(n, part)
+			keys := []uint64{0, 1, 2, 1000, ^uint64(0), ^uint64(0) - 1, 1 << 63, (1 << 63) - 1}
+			for k := uint64(0); k < 10_000; k++ {
+				keys = append(keys, k*7+3, Mix(k))
+			}
+			for _, k := range keys {
+				s := r.Route(k)
+				if s < 0 || s >= n {
+					t.Fatalf("%v/%d: Route(%d) = %d out of bounds", part, n, k, s)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	a := New(5, Hash)
+	b := New(5, Hash)
+	for k := uint64(0); k < 1000; k++ {
+		if a.Route(k) != b.Route(k) {
+			t.Fatalf("routers disagree on key %d", k)
+		}
+	}
+}
+
+func TestRangePartitionContiguous(t *testing.T) {
+	r := New(4, Range)
+	// Keys in ascending order must route to non-decreasing shards, and every
+	// shard boundary must be exact: RangeStart(i) is owned by i, and the key
+	// just below it by i-1.
+	prev := 0
+	for k := uint64(0); k < 1<<20; k += 1 << 12 {
+		s := r.Route(k)
+		if s < prev {
+			t.Fatalf("range routing not monotone at key %d: %d -> %d", k, prev, s)
+		}
+		prev = s
+	}
+	for i := 0; i < 4; i++ {
+		start := r.RangeStart(i)
+		if got := r.Route(start); got != i {
+			t.Fatalf("Route(RangeStart(%d)=%d) = %d", i, start, got)
+		}
+		if i > 0 {
+			if got := r.Route(start - 1); got != i-1 {
+				t.Fatalf("Route(RangeStart(%d)-1) = %d, want %d", i, got, i-1)
+			}
+		}
+	}
+	if got := r.Route(^uint64(0)); got != 3 {
+		t.Fatalf("Route(MaxUint64) = %d, want 3", got)
+	}
+}
+
+func TestHashSpreadsUniformly(t *testing.T) {
+	const n, keys = 8, 1 << 16
+	r := New(n, Hash)
+	var counts [n]int
+	for k := uint64(0); k < keys; k++ {
+		counts[r.Route(k)]++
+	}
+	want := keys / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("shard %d got %d of %d keys (want ~%d): hash not spreading", i, c, keys, want)
+		}
+	}
+}
+
+func TestHashScattersContiguousHotSet(t *testing.T) {
+	// The point of hash routing: a contiguous hot range (a Zipfian head)
+	// must not land on one shard.
+	r := New(4, Hash)
+	seen := map[int]bool{}
+	for k := uint64(0); k < 64; k++ {
+		seen[r.Route(k)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("first 64 keys hit only %d of 4 shards", len(seen))
+	}
+}
+
+func TestNewPanicsOnZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, Hash)
+}

@@ -23,8 +23,11 @@ set -eux
 
 go vet ./...
 go build ./...
-go test -race ./internal/htm/ ./internal/simmem/
+go test -race ./internal/htm/ ./internal/simmem/ ./internal/shard/
 go test -race -short ./internal/core/ ./internal/tree/... ./internal/harness/
+# The kvserver pass now serves a sharded Cluster: real concurrent sockets
+# race the router, per-connection Sessions, the merged cross-shard SCAN,
+# and the aggregated STATS path.
 go test -race ./examples/kvserver/
 # Durability engine under the race detector: the group-commit leader
 # protocol, background flusher, and snapshot rotation are the newest
@@ -36,4 +39,7 @@ go test -race -short ./internal/durable/...
 # observer tests (TestObserverConcurrentWall and friends) drive exactly
 # that delivery shape against a live DB.
 go test -race ./internal/obs/
+# Root package -short pass includes the Cluster: routing, cross-shard
+# range merge (ordering/dedup under concurrent inserts, iterator-leak
+# check), joined per-shard error surfacing, and durable cluster recovery.
 go test -race -short .
