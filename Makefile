@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster figures trace-demo
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster bench-swarm figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -60,6 +60,15 @@ bench-cluster:
 # recorded into the durability perf-trajectory artifact.
 bench-durability:
 	go run ./cmd/eunobench -benchjson BENCH_durability.json -benchlabel $(LABEL) recover
+
+# bench-swarm: the open-loop serving benchmark (Poisson arrivals at a
+# calibrated offered rate against the durable 4-shard cluster) plus its
+# chaos variant (one shard disk killed and revived mid-run; the artifact
+# records the goodput timeline through failure, degraded serving, and
+# repair). Sojourn percentiles include queue wait — that is the point.
+bench-swarm:
+	go run ./cmd/eunobench -benchjson BENCH_swarm.json -benchlabel $(LABEL) swarm
+	go run ./cmd/eunobench -benchjson BENCH_swarm.json -benchlabel $(LABEL) swarmchaos
 
 # figures: regenerate every paper figure at quick scale.
 figures:

@@ -22,6 +22,13 @@ import (
 // storms only its shard), N group-commit pipelines, N recovery streams.
 // Cross-shard range queries merge the per-shard iterators back into one
 // globally ordered stream.
+//
+// Shards are also independent *fault domains*: each carries a health
+// breaker (cluster_health.go) so one dead disk degrades exactly one
+// slice of the key space — routed ops to it fail fast with a typed
+// error, Range skips-and-reports it in partial mode, Sync/Snapshot
+// degrade to the healthy subset, and a background repair loop brings it
+// back once the disk returns.
 
 // Partition selects how a Cluster cuts the key space; see the shard
 // package for the trade-off.
@@ -61,6 +68,30 @@ type ClusterOptions struct {
 	// the hook the crash harness uses to give every shard its own
 	// fault-injecting filesystem.
 	PerShard func(i int, o *Options)
+	// Health configures the per-shard circuit breaker (on by default;
+	// see HealthOptions).
+	Health HealthOptions
+	// Repair configures the self-healing repair loop that reopens Failed
+	// durable shards in the background (on by default; see RepairOptions).
+	Repair RepairOptions
+}
+
+// clusterShard is one shard slot: the live DB behind an atomic pointer
+// (the repair loop swaps in a recovered replacement), the options to
+// reopen it with, its health breaker, and the durable watermark captured
+// when it last tripped — the floor any re-admitted incarnation must have
+// recovered past.
+type clusterShard struct {
+	idx    int
+	opts   Options // final per-shard options (template + PerShard hook)
+	db     atomic.Pointer[DB]
+	gen    atomic.Uint64 // bumped on every repair swap; Sessions re-thread on mismatch
+	health *shard.Health
+	// watermark is the highest durable LSN known flushed when the shard
+	// tripped: everything at or below it was acknowledged AND on disk, so
+	// a reopened incarnation recovering short of it has lost data.
+	watermark atomic.Uint64
+	repairing atomic.Bool
 }
 
 // Cluster is a hash- or range-partitioned key-value store over N
@@ -69,11 +100,25 @@ type ClusterOptions struct {
 type Cluster struct {
 	opts   ClusterOptions
 	router shard.Router
-	shards []*DB
+	shards []*clusterShard
 
 	// Durable clusters keep the barrier manifest on fs under dir.
 	fs  durable.FS
 	dir string
+
+	healthOn  bool
+	healthCfg shard.HealthConfig
+	repair    RepairOptions
+	retryCap  int // per-shard retry tokens a Session may bank
+
+	stop     chan struct{} // closed by Close; repair loops watch it
+	repairMu sync.Mutex    // serializes repair spawn vs Close
+	repairWG sync.WaitGroup
+
+	// Fault-domain counters (see FaultMetrics).
+	shed          atomic.Uint64
+	retries       atomic.Uint64
+	retriesDenied atomic.Uint64
 
 	snapMu sync.Mutex // serializes cluster snapshots (barrier + manifest)
 	snapID atomic.Uint64
@@ -99,9 +144,27 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.Shards < 1 {
 		return nil, fmt.Errorf("eunomia: cluster needs >= 1 shard, got %d", opts.Shards)
 	}
+	if opts.Shards > 64 {
+		// The barrier manifest's exclusion set is a 64-bit mask.
+		return nil, fmt.Errorf("eunomia: cluster supports <= 64 shards, got %d", opts.Shards)
+	}
 	c := &Cluster{
 		opts:   opts,
 		router: shard.New(opts.Shards, opts.Partition.internal()),
+		stop:   make(chan struct{}),
+	}
+	c.healthOn = !opts.Health.Disable
+	c.healthCfg = shard.HealthConfig{
+		Window:           opts.Health.Window,
+		TripFailures:     opts.Health.TripFailures,
+		RecoverSuccesses: opts.Health.RecoverSuccesses,
+	}
+	c.repair = opts.Repair.withDefaults()
+	c.retryCap = opts.Health.RetryBudget
+	if c.retryCap == 0 {
+		c.retryCap = defaultRetryBudget
+	} else if c.retryCap < 0 {
+		c.retryCap = 0
 	}
 	if opts.Shard.Durability.Dir != "" {
 		c.dir = opts.Shard.Durability.Dir
@@ -126,7 +189,9 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 			err = fmt.Errorf("eunomia: cluster shard %d: %w", i, err)
 			return nil, errors.Join(append([]error{err}, closeAll(c.shards)...)...)
 		}
-		c.shards = append(c.shards, db)
+		sh := &clusterShard{idx: i, opts: o, health: shard.NewHealth(c.healthCfg)}
+		sh.db.Store(db)
+		c.shards = append(c.shards, sh)
 	}
 	if c.dir != "" {
 		if err := c.verifyBarrier(); err != nil {
@@ -136,12 +201,16 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 	return c, nil
 }
 
-// closeAll closes every shard, collecting the non-nil errors.
-func closeAll(shards []*DB) []error {
+// closeAll closes every shard's current DB, collecting non-nil errors.
+func closeAll(shards []*clusterShard) []error {
 	var errs []error
-	for i, db := range shards {
+	for _, sh := range shards {
+		db := sh.db.Load()
+		if db == nil {
+			continue
+		}
 		if err := db.Close(); err != nil {
-			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d close: %w", i, err))
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d close: %w", sh.idx, err))
 		}
 	}
 	return errs
@@ -153,10 +222,12 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 // ShardFor returns the shard that owns key.
 func (c *Cluster) ShardFor(key uint64) int { return c.router.Route(key) }
 
-// DB returns shard i's underlying DB — for per-shard drain, metrics, or
-// direct inspection. Mutating a shard outside the router's key map breaks
-// the cluster's partitioning invariant.
-func (c *Cluster) DB(i int) *DB { return c.shards[i] }
+// DB returns shard i's current underlying DB — for per-shard drain,
+// metrics, or direct inspection. The repair loop may swap a Failed
+// shard's DB for a recovered one; the returned handle is the one live at
+// the call. Mutating a shard outside the router's key map breaks the
+// cluster's partitioning invariant.
+func (c *Cluster) DB(i int) *DB { return c.shards[i].db.Load() }
 
 // Session is a Cluster's per-worker handle: one tree Thread per shard,
 // with operations routed by key. Like Thread, a Session must be used by
@@ -164,84 +235,361 @@ func (c *Cluster) DB(i int) *DB { return c.shards[i] }
 type Session struct {
 	c       *Cluster
 	threads []*Thread
+	gens    []uint64 // shard generation each thread was built against
+	tokens  []int    // banked retry tokens (per-shard retry budget)
+	earned  []int    // successes counted toward the next token
 }
 
-// NewSession creates a worker handle spanning every shard.
+// NewSession creates a worker handle spanning every shard. Threads are
+// built lazily so a Failed shard costs nothing until it heals.
 func (c *Cluster) NewSession() *Session {
-	s := &Session{c: c, threads: make([]*Thread, len(c.shards))}
-	for i, db := range c.shards {
-		s.threads[i] = db.NewThread()
+	n := len(c.shards)
+	s := &Session{
+		c:       c,
+		threads: make([]*Thread, n),
+		gens:    make([]uint64, n),
+		tokens:  make([]int, n),
+		earned:  make([]int, n),
+	}
+	for i := range s.tokens {
+		s.tokens[i] = c.retryCap
 	}
 	return s
 }
 
+// shardThread returns the Session's thread for shard i, failing fast
+// when the cluster is closed or the shard's breaker is open, and
+// re-threading against the current DB after a repair swap.
+func (s *Session) shardThread(i int) (*Thread, error) {
+	c := s.c
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	sh := c.shards[i]
+	if c.healthOn && !sh.health.Allow() {
+		c.shed.Add(1)
+		return nil, c.unavailable(i)
+	}
+	if g := sh.gen.Load(); s.threads[i] == nil || g != s.gens[i] {
+		s.threads[i] = sh.db.Load().NewThread()
+		s.gens[i] = g
+	}
+	return s.threads[i], nil
+}
+
+// do runs op against shard i with health accounting and the retry
+// budget: a transient failure is retried at most once, and only while
+// the Session holds a banked token (earned by successes), so retries can
+// never amplify a failure storm.
+func (s *Session) do(i int, op func(*Thread) error) error {
+	c := s.c
+	for attempt := 0; ; attempt++ {
+		th, err := s.shardThread(i)
+		if err != nil {
+			return err
+		}
+		err = op(th)
+		if err == nil {
+			if c.healthOn {
+				c.shards[i].health.RecordSuccess()
+				s.earnRetry(i)
+			}
+			return nil
+		}
+		if errors.Is(err, ErrReservedValue) {
+			// The caller's error, not the shard's: no health signal.
+			return err
+		}
+		retryable := true
+		var nr errHalfApplied
+		if errors.As(err, &nr) {
+			// The op mutated state before the acknowledgement failed.
+			// Retrying would observe its own half-applied effect and could
+			// launder the lost ack into a clean result (a Delete re-run
+			// against the key it just removed reports "was already absent"
+			// — a lie the linearizability fuzzer catches). Surface the
+			// failure instead; the caller holds an effect-unknown window.
+			retryable = false
+			err = nr.error
+		}
+		if c.closed.Load() {
+			return ErrClosed
+		}
+		if !c.healthOn {
+			return err
+		}
+		sh := c.shards[i]
+		cause := c.causeOf(err)
+		if sh.health.RecordFailure(cause, false) {
+			c.tripped(sh)
+		}
+		if attempt == 0 && retryable && sh.health.Allow() {
+			if s.spendRetry(i) {
+				c.retries.Add(1)
+				continue
+			}
+			c.retriesDenied.Add(1)
+		}
+		return &ShardError{Shard: i, State: ShardState(sh.health.State()), Cause: cause}
+	}
+}
+
 // Get returns the value stored under key, from the owning shard.
 func (s *Session) Get(key uint64) (uint64, bool, error) {
-	return s.threads[s.c.router.Route(key)].Get(key)
+	var v uint64
+	var ok bool
+	err := s.do(s.c.router.Route(key), func(th *Thread) error {
+		var e error
+		v, ok, e = th.Get(key)
+		return e
+	})
+	return v, ok, err
 }
 
 // Put inserts or updates key on its owning shard. Durability semantics
 // match Thread.Put: with a durable cluster, Put returns only after the
-// owning shard's WAL has the operation on disk.
+// owning shard's WAL has the operation on disk. A transient shard error
+// is retried once under the Session's retry budget (Put is idempotent,
+// so the retry is safe even if the first attempt half-applied).
 func (s *Session) Put(key, val uint64) error {
-	return s.threads[s.c.router.Route(key)].Put(key, val)
+	return s.do(s.c.router.Route(key), func(th *Thread) error {
+		return th.Put(key, val)
+	})
 }
 
 // Delete removes key from its owning shard, reporting whether it was
-// present.
+// present. Unlike Put, a failed Delete is retried only when the first
+// attempt provably applied nothing (present=false with an error means
+// the shard rejected the op before touching the tree). A half-applied
+// Delete — removal applied, acknowledgement lost — must NOT be retried:
+// the retry would find the key already gone and report a clean
+// "was already absent", silently laundering an unacknowledged removal
+// into a result no linearizable history can explain. Such failures
+// surface as errors; the caller holds an effect-unknown window, exactly
+// as with a non-retried failed Put.
 func (s *Session) Delete(key uint64) (bool, error) {
-	return s.threads[s.c.router.Route(key)].Delete(key)
+	var present bool
+	err := s.do(s.c.router.Route(key), func(th *Thread) error {
+		var e error
+		present, e = th.Delete(key)
+		if e != nil && present {
+			return errHalfApplied{e}
+		}
+		return e
+	})
+	return present, err
+}
+
+// errHalfApplied marks an operation that mutated shard state before its
+// acknowledgement failed. Session.do never retries these: a retry runs
+// against the op's own half-applied effect and can return an answer that
+// contradicts the mutation it silently performed.
+type errHalfApplied struct{ error }
+
+func (e errHalfApplied) Unwrap() error { return e.error }
+
+// RangeStat reports how a partial-mode range ended: which shards were
+// excluded and why. Pass one to RangePartial; read it after iteration.
+type RangeStat struct {
+	// Partial is true when at least one shard's slice of the range is
+	// missing from the merged stream.
+	Partial bool
+	// Skipped lists shards whose breaker was already open when the merge
+	// started — none of their keys appear.
+	Skipped []int
+	// Failed lists shards that died mid-scan — their keys appear only up
+	// to the failure point.
+	Failed []int
+	// Err joins the per-shard errors behind Skipped and Failed (each
+	// errors.Is-matches ErrShardUnavailable, or ErrClosed if the cluster
+	// shut down mid-range).
+	Err error
 }
 
 // Range returns an iterator over the key/value pairs in [from, to],
-// ascending across every shard: the per-shard iterators (each globally
+// ascending across every shard: the per-shard streams (each globally
 // sorted within its shard) are merged into one ordered stream. Keys are
 // yielded strictly increasing — each key at most once, from its owning
 // shard. Per-key snapshot granularity matches Thread.Range; keys written
 // concurrently may or may not be observed. Breaking out of the loop
-// releases every per-shard iterator immediately.
+// releases every per-shard cursor immediately.
+//
+// Range is strict: if any shard fails — breaker already open, or a disk
+// dying mid-scan — iteration stops at the failure rather than silently
+// serving a stream with a hole where that shard's keys should be. Use
+// RangePartial to keep merging the healthy shards instead, or Scan for
+// the error itself.
 func (s *Session) Range(from, to uint64) iter.Seq2[uint64, uint64] {
-	return func(yield func(uint64, uint64) bool) {
-		type head struct {
-			next func() (uint64, uint64, bool)
-			stop func()
-			k, v uint64
-			ok   bool
+	return s.mergedRange(from, to, nil, true)
+}
+
+// RangePartial is Range's explicit partial-result mode: failed shards
+// are skipped (Skipped) or abandoned at their failure point (Failed)
+// while the healthy shards' merge continues, and stat reports exactly
+// what is missing. The caller opts into partiality by calling this —
+// plain Range never silently drops a shard.
+func (s *Session) RangePartial(from, to uint64, stat *RangeStat) iter.Seq2[uint64, uint64] {
+	return s.mergedRange(from, to, stat, false)
+}
+
+// kvPair is one buffered key/value pair in a shard cursor page.
+type kvPair struct{ k, v uint64 }
+
+// shardCursor pages one shard's slice of [from, to] through Thread.Scan,
+// capturing the error when the shard dies mid-scan — the k-way merge's
+// goroutine-free replacement for iter.Pull2 heads, which had no way to
+// surface a failure.
+type shardCursor struct {
+	s         *Session
+	shard     int
+	from, to  uint64
+	buf       []kvPair
+	pos       int
+	exhausted bool
+	err       error
+	k, v      uint64
+	ok        bool
+}
+
+const clusterRangeBatch = 256
+
+// next advances to the following pair, reporting availability. On
+// false, cur.err distinguishes shard failure from normal exhaustion.
+func (cur *shardCursor) next() bool {
+	for {
+		if cur.pos < len(cur.buf) {
+			p := cur.buf[cur.pos]
+			cur.pos++
+			cur.k, cur.v, cur.ok = p.k, p.v, true
+			return true
 		}
-		heads := make([]head, 0, len(s.threads))
+		if cur.exhausted || cur.err != nil {
+			cur.ok = false
+			return false
+		}
+		cur.fill()
+	}
+}
+
+// fill loads the next page. Health is re-checked per page, so a shard
+// tripped by concurrent writers is caught at the next page boundary.
+func (cur *shardCursor) fill() {
+	cur.buf, cur.pos = cur.buf[:0], 0
+	th, err := cur.s.shardThread(cur.shard)
+	if err != nil {
+		cur.err = err
+		return
+	}
+	past := false
+	if _, err := th.Scan(cur.from, clusterRangeBatch, func(k, v uint64) bool {
+		if k > cur.to {
+			past = true
+			return false
+		}
+		cur.buf = append(cur.buf, kvPair{k, v})
+		return true
+	}); err != nil {
+		cur.err = cur.s.scanFailed(cur.shard, err)
+		return
+	}
+	n := len(cur.buf)
+	if n == 0 || past || n < clusterRangeBatch {
+		cur.exhausted = true
+	}
+	if n > 0 {
+		if last := cur.buf[n-1].k; last == ^uint64(0) || last >= cur.to {
+			cur.exhausted = true
+		} else {
+			cur.from = last + 1
+		}
+	}
+}
+
+// scanFailed scores a mid-scan shard failure and wraps it.
+func (s *Session) scanFailed(i int, err error) error {
+	c := s.c
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if !c.healthOn {
+		return err
+	}
+	sh := c.shards[i]
+	cause := c.causeOf(err)
+	if sh.health.RecordFailure(cause, false) {
+		c.tripped(sh)
+	}
+	return &ShardError{Shard: i, State: ShardState(sh.health.State()), Cause: cause}
+}
+
+// mergedRange is the k-way merge behind Range (strict) and RangePartial.
+func (s *Session) mergedRange(from, to uint64, stat *RangeStat, strict bool) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		var errs []error
+		record := func(i int, err error, midScan bool) {
+			if stat != nil {
+				stat.Partial = true
+				if midScan {
+					stat.Failed = append(stat.Failed, i)
+				} else {
+					stat.Skipped = append(stat.Skipped, i)
+				}
+			}
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d range: %w", i, err))
+		}
 		defer func() {
-			for i := range heads {
-				heads[i].stop()
+			if stat != nil {
+				stat.Err = errors.Join(errs...)
 			}
 		}()
-		for _, th := range s.threads {
-			next, stop := iter.Pull2(th.Range(from, to))
-			h := head{next: next, stop: stop}
-			h.k, h.v, h.ok = next()
-			heads = append(heads, h)
+		curs := make([]*shardCursor, 0, len(s.c.shards))
+		for i := range s.c.shards {
+			cur := &shardCursor{s: s, shard: i, from: from, to: to}
+			if cur.next() {
+				curs = append(curs, cur)
+				continue
+			}
+			if cur.err != nil {
+				record(i, cur.err, false)
+				if strict {
+					return
+				}
+			}
 		}
 		last, have := uint64(0), false
 		for {
 			best := -1
-			for i := range heads {
-				if heads[i].ok && (best < 0 || heads[i].k < heads[best].k) {
+			for i, cur := range curs {
+				if cur.ok && (best < 0 || cur.k < curs[best].k) {
 					best = i
 				}
 			}
 			if best < 0 {
 				return
 			}
-			h := &heads[best]
-			k, v := h.k, h.v
-			h.k, h.v, h.ok = h.next()
+			cur := curs[best]
+			k, v := cur.k, cur.v
+			failed := false
+			if !cur.next() && cur.err != nil {
+				record(cur.shard, cur.err, true)
+				failed = true
+			}
 			if have && k == last {
 				// Shards own disjoint keys, so a duplicate can only mean a
 				// mis-routed write; the merge still guarantees strictly
 				// increasing output and keeps the lowest-shard copy.
+				if failed && strict {
+					return
+				}
 				continue
 			}
 			last, have = k, true
 			if !yield(k, v) {
+				return
+			}
+			if failed && strict {
+				// The pair in hand was valid; everything after the failure
+				// point would have a hole, so stop here.
 				return
 			}
 		}
@@ -250,13 +598,16 @@ func (s *Session) Range(from, to uint64) iter.Seq2[uint64, uint64] {
 
 // Scan visits up to max keys >= from in ascending order across all
 // shards, stopping early if fn returns false, and returns the number
-// visited — the callback form of Range.
+// visited — the callback form of Range. Unlike Range's silent stop, a
+// shard failing mid-scan surfaces as an error (wrapping
+// ErrShardUnavailable) alongside however many keys were visited first.
 func (s *Session) Scan(from uint64, max int, fn func(key, val uint64) bool) (int, error) {
-	if s.c.closed.Load() || s.c.shards[0].closed.Load() {
+	if s.c.closed.Load() {
 		return 0, ErrClosed
 	}
+	var stat RangeStat
 	n := 0
-	for k, v := range s.Range(from, ^uint64(0)) {
+	for k, v := range s.RangePartial(from, ^uint64(0), &stat) {
 		if n == max {
 			break
 		}
@@ -265,36 +616,65 @@ func (s *Session) Scan(from uint64, max int, fn func(key, val uint64) bool) (int
 			break
 		}
 	}
-	return n, nil
+	return n, stat.Err
 }
 
-// Sync forces every shard's acknowledged-but-buffered WAL bytes to disk.
-// Every shard is synced even if some fail; the error joins every failing
-// shard's error rather than hiding all but the first.
+// Sync forces every healthy shard's acknowledged-but-buffered WAL bytes
+// to disk. Every healthy shard is synced even if some fail; the error
+// joins every failing (or breaker-open) shard's error rather than hiding
+// all but the first.
 func (c *Cluster) Sync() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
 	var errs []error
-	for i, db := range c.shards {
-		if err := db.Sync(); err != nil {
-			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d sync: %w", i, err))
+	for i, sh := range c.shards {
+		if c.healthOn && !sh.health.Allow() {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d sync: %w", i, c.unavailable(i)))
+			continue
+		}
+		if err := sh.db.Load().Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d sync: %w", i, c.scoreMaintErr(sh, err)))
+		} else if c.healthOn {
+			sh.health.RecordSuccess()
 		}
 	}
 	return errors.Join(errs...)
 }
 
+// scoreMaintErr records a maintenance-path (Sync/Snapshot) failure
+// against the shard's breaker and returns the error to surface.
+func (c *Cluster) scoreMaintErr(sh *clusterShard, err error) error {
+	if !c.healthOn {
+		return err
+	}
+	cause := c.causeOf(err)
+	if sh.health.RecordFailure(cause, false) {
+		c.tripped(sh)
+	}
+	return &ShardError{Shard: sh.idx, State: ShardState(sh.health.State()), Cause: cause}
+}
+
 // Snapshot takes a consistent cluster-wide snapshot:
 //
-//  1. Barrier: every shard flushes its WAL, then the per-shard
+//  1. Barrier: every healthy shard flushes its WAL, then the per-shard
 //     durable-LSN vector (flushed watermark, sound under concurrent
 //     writers) is captured — a cut known on disk on every shard.
 //  2. The vector is committed as the barrier manifest (tmp + sync +
 //     rename + dir fsync) in the cluster root.
-//  3. Each shard snapshots and truncates independently.
+//  3. Each included shard snapshots and truncates independently.
 //
 // The manifest is the cross-shard consistency witness: recovery re-checks
 // every shard against it, so a shard silently rolled back below the
 // barrier (lost disk, restored-from-older-backup) fails OpenCluster
-// instead of serving a state no single point in time ever had. Every
-// shard is attempted even if some fail; failures are joined.
+// instead of serving a state no single point in time ever had.
+//
+// Failed shards do not block the healthy subset: they are excluded from
+// the barrier (the manifest records the exclusion set, and their vector
+// entry carries the best known floor — the durable watermark captured at
+// trip time, never less than the previous barrier's floor) and reported
+// in the joined error. Every included shard is attempted even if some
+// fail; failures are joined.
 func (c *Cluster) Snapshot() error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -304,40 +684,90 @@ func (c *Cluster) Snapshot() error {
 	}
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
-	if err := c.Sync(); err != nil {
-		return err
+	var errs []error
+	excluded := uint64(0)
+	for i, sh := range c.shards {
+		if c.healthOn && !sh.health.Allow() {
+			excluded |= 1 << uint(i)
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d snapshot: %w", i, c.unavailable(i)))
+			continue
+		}
+		if err := sh.db.Load().Sync(); err != nil {
+			err = fmt.Errorf("eunomia: cluster shard %d sync: %w", i, c.scoreMaintErr(sh, err))
+			if !c.healthOn {
+				return errors.Join(append(errs, err)...)
+			}
+			excluded |= 1 << uint(i)
+			errs = append(errs, err)
+		} else if c.healthOn {
+			sh.health.RecordSuccess()
+		}
+	}
+	if excluded == uint64(1)<<uint(len(c.shards))-1 {
+		// Nothing healthy to snapshot; no barrier to write.
+		return errors.Join(errs...)
+	}
+	prev, err := c.readBarrier()
+	if err != nil {
+		return errors.Join(append(errs, err)...)
 	}
 	vec := make([]uint64, len(c.shards))
-	for i, db := range c.shards {
-		vec[i] = db.durableLSN()
+	for i, sh := range c.shards {
+		if excluded&(1<<uint(i)) != 0 {
+			// Best sound floor for an excluded shard: what was flushed when
+			// it tripped (or is flushed now, if it is still live enough to
+			// say), never regressing below the previous barrier.
+			vec[i] = sh.watermark.Load()
+			if db := sh.db.Load(); db != nil {
+				if lsn := db.durableLSN(); lsn > vec[i] {
+					vec[i] = lsn
+				}
+			}
+			if prev != nil && prev[i] > vec[i] {
+				vec[i] = prev[i]
+			}
+			continue
+		}
+		vec[i] = sh.db.Load().durableLSN()
 	}
-	if err := c.writeBarrier(vec); err != nil {
-		return err
+	if err := c.writeBarrier(vec, excluded); err != nil {
+		return errors.Join(append(errs, err)...)
 	}
-	var errs []error
-	for i, db := range c.shards {
-		if err := db.Snapshot(); err != nil {
-			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d snapshot: %w", i, err))
+	for i, sh := range c.shards {
+		if excluded&(1<<uint(i)) != 0 {
+			continue
+		}
+		if err := sh.db.Load().Snapshot(); err != nil {
+			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d snapshot: %w", i, c.scoreMaintErr(sh, err)))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// Close closes every shard (flushing each WAL) and marks the cluster
-// closed. Idempotent. Every shard is closed even if some fail; failures
-// are joined.
+// Close stops the repair loops, closes every shard (flushing each WAL),
+// and marks the cluster closed. Idempotent. Every shard is closed even
+// if some fail; failures are joined.
 func (c *Cluster) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Barrier: any startRepair in flight has either registered with the
+	// WaitGroup (Wait covers it) or will observe closed and stand down.
+	c.repairMu.Lock()
+	c.repairMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	close(c.stop)
+	c.repairWG.Wait()
 	return errors.Join(closeAll(c.shards)...)
 }
 
 // barrierFile is the manifest's name in the cluster root.
 const barrierFile = "cluster-barrier"
 
-// writeBarrier commits the barrier LSN vector crash-atomically.
-func (c *Cluster) writeBarrier(vec []uint64) error {
+// writeBarrier commits the barrier LSN vector crash-atomically. A
+// non-zero exclusion set (Failed shards carried at their last known
+// floor) is recorded in a v2 header; the all-healthy case keeps the v1
+// format.
+func (c *Cluster) writeBarrier(vec []uint64, excluded uint64) error {
 	id := c.snapID.Add(1)
 	tmp := c.dir + "/" + barrierFile + ".tmp"
 	f, err := c.fs.Create(tmp)
@@ -345,7 +775,11 @@ func (c *Cluster) writeBarrier(vec []uint64) error {
 		return err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "euno-cluster-barrier v1 id=%d shards=%d\n", id, len(vec))
+	if excluded != 0 {
+		fmt.Fprintf(&b, "euno-cluster-barrier v2 id=%d shards=%d excluded=%d\n", id, len(vec), excluded)
+	} else {
+		fmt.Fprintf(&b, "euno-cluster-barrier v1 id=%d shards=%d\n", id, len(vec))
+	}
 	for i, lsn := range vec {
 		fmt.Fprintf(&b, "%d %d\n", i, lsn)
 	}
@@ -368,7 +802,9 @@ func (c *Cluster) writeBarrier(vec []uint64) error {
 
 // readBarrier loads the manifest's LSN vector; a missing manifest returns
 // (nil, nil) — no barrier has ever committed, so there is nothing to
-// verify against.
+// verify against. Both the v1 and the v2 (exclusion-recording) header
+// are accepted; the exclusion set does not change verification, since an
+// excluded shard's entry is still a sound floor.
 func (c *Cluster) readBarrier() ([]uint64, error) {
 	names, err := c.fs.List(c.dir)
 	if err != nil {
@@ -393,10 +829,12 @@ func (c *Cluster) readBarrier() ([]uint64, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("eunomia: cluster barrier manifest empty")
 	}
-	var id uint64
+	var id, excluded uint64
 	var n int
-	if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v1 id=%d shards=%d", &id, &n); err != nil {
-		return nil, fmt.Errorf("eunomia: cluster barrier manifest header %q: %v", sc.Text(), err)
+	if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v2 id=%d shards=%d excluded=%d", &id, &n, &excluded); err != nil {
+		if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v1 id=%d shards=%d", &id, &n); err != nil {
+			return nil, fmt.Errorf("eunomia: cluster barrier manifest header %q: %v", sc.Text(), err)
+		}
 	}
 	if n != len(c.shards) {
 		return nil, fmt.Errorf("eunomia: cluster barrier covers %d shards, cluster has %d (resharding is not supported)", n, len(c.shards))
@@ -427,8 +865,8 @@ func (c *Cluster) verifyBarrier() error {
 		return err
 	}
 	var errs []error
-	for i, db := range c.shards {
-		if got := db.recoveredSeq(); got < vec[i] {
+	for i, sh := range c.shards {
+		if got := sh.db.Load().recoveredSeq(); got < vec[i] {
 			errs = append(errs, fmt.Errorf(
 				"eunomia: cluster shard %d recovered to LSN %d but the snapshot barrier requires >= %d: acknowledged writes were lost",
 				i, got, vec[i]))
@@ -438,7 +876,7 @@ func (c *Cluster) verifyBarrier() error {
 }
 
 // ClusterMetrics is the cluster-wide unified snapshot: the per-shard
-// Metrics plus their aggregate.
+// Metrics plus their aggregate, and the fault-domain layer's view.
 type ClusterMetrics struct {
 	// Shards is the shard count.
 	Shards int
@@ -448,17 +886,38 @@ type ClusterMetrics struct {
 	// PerShard holds each shard's own snapshot, index-aligned with
 	// Cluster.DB.
 	PerShard []Metrics
+	// Health holds each shard's breaker state, index-aligned.
+	Health []ShardHealthMetrics
+	// Fault aggregates the fault-domain layer's counters.
+	Fault FaultMetrics
 }
 
 // Metrics returns one coherent snapshot of every shard plus the
 // aggregate. Like DB.Metrics, it is safe to call concurrently with
-// operations.
+// operations. A repaired shard's counters restart with its recovered
+// incarnation.
 func (c *Cluster) Metrics() ClusterMetrics {
 	cm := ClusterMetrics{Shards: len(c.shards)}
-	for _, db := range c.shards {
-		m := db.Metrics()
+	cm.Fault = FaultMetrics{
+		ShedOps:       c.shed.Load(),
+		Retries:       c.retries.Load(),
+		RetriesDenied: c.retriesDenied.Load(),
+	}
+	for _, sh := range c.shards {
+		m := sh.db.Load().Metrics()
 		cm.PerShard = append(cm.PerShard, m)
 		mergeMetrics(&cm.Agg, &m)
+		hs := sh.health.Stats()
+		cm.Health = append(cm.Health, ShardHealthMetrics{
+			State:     ShardState(hs.State),
+			Permanent: hs.Permanent,
+			Failures:  hs.Failures,
+			Trips:     hs.Trips,
+			Repairs:   hs.Repairs,
+			Cause:     hs.Cause,
+		})
+		cm.Fault.Trips += hs.Trips
+		cm.Fault.Repairs += hs.Repairs
 	}
 	sort.Slice(cm.Agg.Contention.HotLeaves, func(i, j int) bool {
 		return cm.Agg.Contention.HotLeaves[i].Total > cm.Agg.Contention.HotLeaves[j].Total

@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|cluster|storm|recover|abortmix|heatmap|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|cluster|storm|recover|abortmix|heatmap|swarm|swarmchaos|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,26 +51,28 @@ func main() {
 		os.Exit(2)
 	}
 	figs := map[string]func(){
-		"fig1":      fig1,
-		"fig2":      fig2,
-		"fig8":      fig8,
-		"fig9":      fig9,
-		"fig10":     fig10,
-		"fig11":     fig11,
-		"fig12":     fig12,
-		"fig13":     fig13,
-		"mem":       mem,
-		"scan":      scanCost,
-		"latency":   latency,
-		"adjacency": adjacency,
-		"validate":  validateCmd,
-		"hostbench": hostbenchCmd,
-		"hostperf":  hostperfCmd,
-		"cluster":   clusterCmd,
-		"storm":     stormCmd,
-		"recover":   recoverCmd,
-		"abortmix":  abortmixCmd,
-		"heatmap":   heatmapCmd,
+		"fig1":       fig1,
+		"fig2":       fig2,
+		"fig8":       fig8,
+		"fig9":       fig9,
+		"fig10":      fig10,
+		"fig11":      fig11,
+		"fig12":      fig12,
+		"fig13":      fig13,
+		"mem":        mem,
+		"scan":       scanCost,
+		"latency":    latency,
+		"adjacency":  adjacency,
+		"validate":   validateCmd,
+		"hostbench":  hostbenchCmd,
+		"hostperf":   hostperfCmd,
+		"cluster":    clusterCmd,
+		"storm":      stormCmd,
+		"recover":    recoverCmd,
+		"abortmix":   abortmixCmd,
+		"heatmap":    heatmapCmd,
+		"swarm":      func() { swarmCmd(false) },
+		"swarmchaos": func() { swarmCmd(true) },
 	}
 	name := strings.ToLower(flag.Arg(0))
 	stopCPU := startCPUProfile()

@@ -18,7 +18,24 @@
 //	STATS                -> one line: the Cluster.Metrics() aggregate —
 //	                        cluster-wide commit/abort counters, the abort
 //	                        decomposition by reason, durability counters,
-//	                        and (with -heatmap) the hottest contended leaves
+//	                        per-shard health + fault-domain counters, the
+//	                        serving-edge shed counters, and (with -heatmap)
+//	                        the hottest contended leaves
+//
+// Overload protection (the serving edge must shed, not queue): any
+// request may instead draw
+//
+//	BUSY <reason>
+//
+// when the server is saturated — the in-flight admission semaphore is
+// full (-maxinflight), or one connection pipelined more than -maxburst
+// requests without draining its replies. A connection beyond -maxconns
+// is answered "BUSY too many connections" and closed at accept time.
+// BUSY is a complete reply: the request was NOT executed, and the client
+// should back off and retry. STATS and QUIT are exempt from admission so
+// the server stays observable while saturated. Per-connection
+// -read-timeout/-write-timeout deadlines bound how long a dead or
+// glacial client can hold a connection slot.
 //
 // Run with no arguments for a self-contained demo: the server starts on a
 // loopback port, a handful of concurrent clients apply a contended
@@ -38,6 +55,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"maps"
 	"net"
@@ -65,15 +83,48 @@ var (
 	snapBytes  = flag.Int64("snapshot-bytes", 16<<20, "WAL bytes between automatic snapshots (durable mode)")
 	drainFor   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections")
 	heatmap    = flag.Bool("heatmap", false, "enable the per-leaf contention heatmap (surfaced in STATS)")
+
+	maxConns    = flag.Int("maxconns", 1024, "max concurrent connections; excess connections get BUSY and are closed (0 = unlimited)")
+	maxInflight = flag.Int("maxinflight", 256, "max cluster requests executing at once; excess requests get BUSY instead of queueing (0 = unlimited)")
+	maxBurst    = flag.Int("maxburst", 64, "max pipelined requests one connection may have outstanding; excess requests in the burst get BUSY (0 = unlimited)")
+	readTimeout = flag.Duration("read-timeout", 5*time.Minute, "per-connection read deadline: a client idle longer is disconnected (0 = none)")
+	writeTo     = flag.Duration("write-timeout", 10*time.Second, "per-connection write deadline for each reply flush (0 = none)")
 )
 
 // maxScan bounds one SCAN reply; a request like "SCAN 0 18446744073709551615"
 // must not convert to a negative (or effectively unbounded) iteration count.
 const maxScan = 4096
 
+// maxLineBytes bounds one request line; a longer line (no newline within
+// the read buffer) tears down the offending connection.
+const maxLineBytes = 64 << 10
+
+// limits is the serving-edge overload policy: shed (fast BUSY) instead
+// of queueing, and never let one client monopolize the edge. Zero fields
+// disable the corresponding limit.
+type limits struct {
+	maxConns     int           // concurrent connections before accept-time BUSY
+	maxInflight  int           // cluster requests executing at once before BUSY
+	maxBurst     int           // pipelined requests per connection before BUSY
+	readTimeout  time.Duration // per-connection idle read deadline
+	writeTimeout time.Duration // per-reply flush deadline
+}
+
+// defaultLimits mirrors the flag defaults for servers built in tests.
+func defaultLimits() limits {
+	return limits{maxConns: 1024, maxInflight: 256, maxBurst: 64,
+		readTimeout: 5 * time.Minute, writeTimeout: 10 * time.Second}
+}
+
 type server struct {
 	c        *eunomia.Cluster
+	lim      limits
+	inflight chan struct{} // admission semaphore; nil when unlimited
 	requests atomic.Uint64
+
+	// Serving-edge shed counters (surfaced in STATS).
+	busyShed      atomic.Uint64 // BUSY replies: admission full or burst cap
+	connsRejected atomic.Uint64 // connections refused at accept time
 
 	closing atomic.Bool
 	mu      sync.Mutex
@@ -81,8 +132,14 @@ type server struct {
 	wg      sync.WaitGroup
 }
 
-func newServer(c *eunomia.Cluster) *server {
-	return &server{c: c, conns: map[net.Conn]struct{}{}}
+func newServer(c *eunomia.Cluster) *server { return newServerLimits(c, defaultLimits()) }
+
+func newServerLimits(c *eunomia.Cluster, lim limits) *server {
+	s := &server{c: c, lim: lim, conns: map[net.Conn]struct{}{}}
+	if lim.maxInflight > 0 {
+		s.inflight = make(chan struct{}, lim.maxInflight)
+	}
+	return s
 }
 
 // serveConn handles one client connection; each connection gets its own
@@ -97,16 +154,74 @@ func (s *server) serveConn(conn net.Conn) {
 		}
 	}()
 	th := s.c.NewSession()
-	in := bufio.NewScanner(conn)
+	rd := bufio.NewReaderSize(conn, maxLineBytes)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
-	for in.Scan() {
+	burst := 0
+	for {
+		if s.lim.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.lim.readTimeout))
+		}
+		line, err := rd.ReadSlice('\n')
+		if err != nil {
+			// A line with no newline inside the whole read buffer is an
+			// oversized request: tear down this connection only. Reads that
+			// time out (idle client past -read-timeout) or fail end the
+			// connection the same way; the listener and every other client
+			// keep running.
+			switch {
+			case err == bufio.ErrBufferFull:
+				log.Printf("kvserver: connection %s: request line exceeds %d bytes", conn.RemoteAddr(), maxLineBytes)
+			case err != io.EOF:
+				log.Printf("kvserver: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
 		s.requests.Add(1)
-		fields := strings.Fields(in.Text())
+		// Burst accounting: a request is part of a pipelined burst when
+		// more input is already buffered behind it — the client is not
+		// reading replies between requests. A drained buffer resets the
+		// burst.
+		if rd.Buffered() > 0 {
+			burst++
+		} else {
+			burst = 0
+		}
+		fields := strings.Fields(string(line))
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
+		if s.lim.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.lim.writeTimeout))
+		}
+		verb := strings.ToUpper(fields[0])
+		admitted := false
+		switch verb {
+		case "STATS", "QUIT":
+			// Exempt from admission: the edge must stay observable (and
+			// connections closable) while it is shedding load.
+		default:
+			if s.lim.maxBurst > 0 && burst > s.lim.maxBurst {
+				s.busyShed.Add(1)
+				fmt.Fprintln(out, "BUSY pipelined burst limit")
+				out.Flush()
+				continue
+			}
+			if s.inflight != nil {
+				select {
+				case s.inflight <- struct{}{}:
+					admitted = true
+				default:
+					// Shed, don't queue: a fast BUSY keeps the reply loop
+					// bounded no matter how deep the arrival backlog is.
+					s.busyShed.Add(1)
+					fmt.Fprintln(out, "BUSY server overloaded")
+					out.Flush()
+					continue
+				}
+			}
+		}
+		switch verb {
 		case "GET":
 			if k, err := parse1(fields); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
@@ -184,6 +299,14 @@ func (s *server) serveConn(conn net.Conn) {
 				fmt.Fprintf(out, " flushes=%d batch_avg=%.1f flush_p99_us=%d snapshots=%d replayed=%d",
 					ds.Flushes, ds.AvgBatch, ds.FlushP99Ns/1000, ds.Snapshots, ds.ReplayedFrames)
 			}
+			// Fault domains (one letter per shard: H/D/F/R) + serving edge.
+			states := make([]byte, cm.Shards)
+			for i, h := range cm.Health {
+				states[i] = h.State.String()[0] - 'a' + 'A'
+			}
+			fmt.Fprintf(out, " health=%s trips=%d repairs=%d shed=%d retries=%d retries_denied=%d busy=%d conns_rejected=%d",
+				states, cm.Fault.Trips, cm.Fault.Repairs, cm.Fault.ShedOps,
+				cm.Fault.Retries, cm.Fault.RetriesDenied, s.busyShed.Load(), s.connsRejected.Load())
 			if c := m.Contention; c.Enabled {
 				fmt.Fprintf(out, " heat_aborts=%d", c.AbortsSeen)
 				for i, l := range c.HotLeaves {
@@ -203,15 +326,10 @@ func (s *server) serveConn(conn net.Conn) {
 		default:
 			fmt.Fprintf(out, "ERR unknown command %q\n", fields[0])
 		}
-		if out.Buffered() > 32<<10 {
-			out.Flush()
+		if admitted {
+			<-s.inflight
 		}
 		out.Flush()
-	}
-	// A scan error (oversized line, mid-request disconnect) tears this
-	// connection down cleanly; the listener and other clients are unaffected.
-	if err := in.Err(); err != nil {
-		log.Printf("kvserver: connection %s: %v", conn.RemoteAddr(), err)
 	}
 }
 
@@ -243,6 +361,17 @@ func (s *server) run(ln net.Listener) {
 		s.mu.Lock()
 		if s.closing.Load() {
 			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.lim.maxConns > 0 && len(s.conns) >= s.lim.maxConns {
+			// Refuse at the door with a fast BUSY: a connection the server
+			// cannot serve must not sit in the accept queue soaking up a
+			// worker and a session.
+			s.mu.Unlock()
+			s.connsRejected.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintln(conn, "BUSY too many connections")
 			conn.Close()
 			continue
 		}
@@ -306,7 +435,13 @@ func main() {
 		fmt.Printf("kvserver recovered %d snapshot pairs + %d log frames in %.2f ms across %d shards\n",
 			ds.SnapshotPairs, ds.ReplayedFrames, float64(ds.RecoveryNs)/1e6, c.Shards())
 	}
-	s := newServer(c)
+	s := newServerLimits(c, limits{
+		maxConns:     *maxConns,
+		maxInflight:  *maxInflight,
+		maxBurst:     *maxBurst,
+		readTimeout:  *readTimeout,
+		writeTimeout: *writeTo,
+	})
 
 	addr := *listen
 	if addr == "" {

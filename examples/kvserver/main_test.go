@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eunomia"
+	"eunomia/internal/durable"
 )
 
 // testShards is the cluster width the protocol tests run against: >1 so
@@ -36,11 +37,19 @@ func startTestServerOpts(t *testing.T, opts eunomia.Options) net.Addr {
 // graceful-shutdown path directly.
 func startServer(t *testing.T, opts eunomia.Options) (*server, net.Listener) {
 	t.Helper()
-	c, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: testShards, Shard: opts})
+	return startClusterServer(t, eunomia.ClusterOptions{Shards: testShards, Shard: opts}, defaultLimits())
+}
+
+// startClusterServer is the fully general harness: explicit cluster
+// options (fault injection, health/repair tuning) and an explicit
+// serving-edge overload policy.
+func startClusterServer(t *testing.T, co eunomia.ClusterOptions, lim limits) (*server, net.Listener) {
+	t.Helper()
+	c, err := eunomia.OpenCluster(co)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(c)
+	s := newServerLimits(c, lim)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -520,6 +529,274 @@ func TestSnapshotCommand(t *testing.T) {
 	for k := 1; k <= 40; k++ {
 		if got := roundTrip(t, conn2, in2, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*2) {
 			t.Fatalf("key %d lost across snapshot+restart: %q", k, got)
+		}
+	}
+}
+
+// TestConnLimitBusy: a connection beyond -maxconns draws one fast
+// "BUSY too many connections" and is closed; once a slot frees, new
+// connections serve again.
+func TestConnLimitBusy(t *testing.T) {
+	lim := defaultLimits()
+	lim.maxConns = 2
+	s, ln := startClusterServer(t,
+		eunomia.ClusterOptions{Shards: testShards, Shard: eunomia.Options{ArenaWords: 1 << 20}}, lim)
+	addr := ln.Addr()
+
+	c1, in1 := dialServer(t, addr)
+	if got := roundTrip(t, c1, in1, "PUT 1 1"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+	c2, in2 := dialServer(t, addr)
+	if got := roundTrip(t, c2, in2, "PUT 2 2"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+
+	// Third connection: refused at the door, then closed.
+	c3, in3 := dialServer(t, addr)
+	if !in3.Scan() {
+		t.Fatal("no reply on the over-limit connection")
+	}
+	if got := in3.Text(); !strings.HasPrefix(got, "BUSY") {
+		t.Fatalf("over-limit connection -> %q, want BUSY", got)
+	}
+	if in3.Scan() {
+		t.Fatalf("over-limit connection stayed open: %q", in3.Text())
+	}
+	_ = c3
+	if got := s.connsRejected.Load(); got == 0 {
+		t.Fatal("conns_rejected counter did not move")
+	}
+
+	// Freeing a slot restores service (unregistration is asynchronous).
+	c1.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		in := bufio.NewScanner(conn)
+		got := roundTrip(t, conn, in, "GET 2")
+		conn.Close()
+		if got == "VALUE 2" {
+			break
+		}
+		if !strings.HasPrefix(got, "BUSY") {
+			t.Fatalf("GET after freeing a slot -> %q", got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after closing a connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestInflightShedsBusy: with the admission semaphore full, requests
+// draw a fast BUSY instead of queueing — while STATS stays exempt so
+// the saturated server remains observable — and service resumes as soon
+// as capacity frees.
+func TestInflightShedsBusy(t *testing.T) {
+	lim := defaultLimits()
+	lim.maxInflight = 2
+	s, ln := startClusterServer(t,
+		eunomia.ClusterOptions{Shards: testShards, Shard: eunomia.Options{ArenaWords: 1 << 20}}, lim)
+	conn, in := dialServer(t, ln.Addr())
+	if got := roundTrip(t, conn, in, "PUT 1 1"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+
+	// Saturate the semaphore deterministically.
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	for _, req := range []string{"GET 1", "PUT 2 2", "DEL 1", "SCAN 0 4", "SYNC"} {
+		if got := roundTrip(t, conn, in, req); got != "BUSY server overloaded" {
+			t.Fatalf("%q while saturated -> %q, want BUSY", req, got)
+		}
+	}
+	stats := roundTrip(t, conn, in, "STATS")
+	if got := statValue(t, stats, "busy="); got < 5 {
+		t.Fatalf("STATS busy = %d, want >= 5: %q", got, stats)
+	}
+
+	// Capacity frees: the same connection serves again.
+	<-s.inflight
+	<-s.inflight
+	if got := roundTrip(t, conn, in, "GET 1"); got != "VALUE 1" {
+		t.Fatalf("GET after drain -> %q", got)
+	}
+}
+
+// TestBurstShedsBusy: a connection that pipelines past -maxburst without
+// draining replies gets BUSY for the excess requests — every request
+// still draws exactly one reply line, and the connection survives.
+func TestBurstShedsBusy(t *testing.T) {
+	lim := defaultLimits()
+	lim.maxBurst = 4
+	lim.maxInflight = 0 // isolate the burst limit
+	_, ln := startClusterServer(t,
+		eunomia.ClusterOptions{Shards: testShards, Shard: eunomia.Options{ArenaWords: 1 << 20}}, lim)
+	conn, in := dialServer(t, ln.Addr())
+
+	const burst = 400
+	var req strings.Builder
+	for i := 0; i < burst; i++ {
+		fmt.Fprintf(&req, "PUT %d 7\n", i)
+	}
+	if _, err := io.WriteString(conn, req.String()); err != nil {
+		t.Fatal(err)
+	}
+	ok, busy := 0, 0
+	for i := 0; i < burst; i++ {
+		if !in.Scan() {
+			t.Fatalf("reply %d missing (ok=%d busy=%d): %v", i, ok, busy, in.Err())
+		}
+		switch line := in.Text(); {
+		case line == "OK":
+			ok++
+		case strings.HasPrefix(line, "BUSY"):
+			busy++
+		default:
+			t.Fatalf("reply %d = %q", i, line)
+		}
+	}
+	if busy == 0 {
+		t.Fatalf("no requests shed from a %d-deep pipelined burst (ok=%d)", burst, ok)
+	}
+	if ok < lim.maxBurst {
+		t.Fatalf("burst head not served: ok=%d, want >= %d", ok, lim.maxBurst)
+	}
+	// The connection is still good once the client drains replies.
+	if got := roundTrip(t, conn, in, "PUT 5 50"); got != "OK" {
+		t.Fatalf("PUT after burst -> %q", got)
+	}
+}
+
+// TestReadTimeoutDisconnectsIdle: a client idle past -read-timeout is
+// disconnected (its slot is reclaimed) while the server keeps serving.
+func TestReadTimeoutDisconnectsIdle(t *testing.T) {
+	lim := defaultLimits()
+	lim.readTimeout = 150 * time.Millisecond
+	_, ln := startClusterServer(t,
+		eunomia.ClusterOptions{Shards: testShards, Shard: eunomia.Options{ArenaWords: 1 << 20}}, lim)
+	conn, in := dialServer(t, ln.Addr())
+	if got := roundTrip(t, conn, in, "PUT 1 1"); got != "OK" {
+		t.Fatalf("put: %q", got)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if in.Scan() {
+		t.Fatalf("idle connection still served: %q", in.Text())
+	}
+	assertAlive(t, ln.Addr())
+}
+
+// TestStatsFaultFields: STATS carries the fault-domain and serving-edge
+// counters, with per-shard health rendered one letter per shard.
+func TestStatsFaultFields(t *testing.T) {
+	addr := startTestServer(t)
+	conn, in := dialServer(t, addr)
+	stats := roundTrip(t, conn, in, "STATS")
+	for _, field := range []string{"health=", "trips=", "repairs=", "shed=",
+		"retries=", "retries_denied=", "busy=", "conns_rejected="} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("STATS %q missing %q", stats, field)
+		}
+	}
+	want := "health=" + strings.Repeat("H", testShards)
+	if !strings.Contains(stats, want) {
+		t.Fatalf("STATS %q: want %q (all shards healthy)", stats, want)
+	}
+}
+
+// TestServeShardKillAndRepair is the serving-layer chaos test: one shard
+// disk dies under a live server — that shard's slice of the key space
+// degrades to typed errors while every other shard keeps serving — and
+// when the disk comes back, the repair loop re-admits the shard and its
+// acknowledged writes are served again, all observed through the socket.
+func TestServeShardKillAndRepair(t *testing.T) {
+	fses := []*durable.MemFS{
+		durable.NewMemFS(durable.FaultPlan{}),
+		durable.NewMemFS(durable.FaultPlan{}),
+		durable.NewMemFS(durable.FaultPlan{}),
+	}
+	co := eunomia.ClusterOptions{
+		Shards: len(fses),
+		Shard: eunomia.Options{
+			ArenaWords: 1 << 19,
+			Durability: eunomia.Durability{Dir: "clusterdb", FS: durable.NewMemFS(durable.FaultPlan{})},
+		},
+		PerShard: func(i int, o *eunomia.Options) { o.Durability.FS = fses[i] },
+		Health:   eunomia.HealthOptions{Window: 8, TripFailures: 2},
+		Repair: eunomia.RepairOptions{Backoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+			Probes: 2, ProbeInterval: time.Millisecond},
+	}
+	s, ln := startClusterServer(t, co, defaultLimits())
+	conn, in := dialServer(t, ln.Addr())
+
+	// Sort keys by owning shard, then ack a batch everywhere.
+	var mine, theirs []uint64 // shard 1's keys vs everyone else's
+	for k := uint64(1); len(mine) < 60 || len(theirs) < 40; k++ {
+		if s.c.ShardFor(k) == 1 {
+			mine = append(mine, k)
+		} else {
+			theirs = append(theirs, k)
+		}
+	}
+	for _, k := range append(append([]uint64{}, mine[:40]...), theirs[:40]...) {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k*3)); got != "OK" {
+			t.Fatalf("put %d: %q", k, got)
+		}
+	}
+
+	// Kill shard 1's disk and drive its keys until the breaker trips.
+	fses[1].Kill()
+	tripped := false
+	for _, k := range mine[40:] {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d 1", k)); strings.HasPrefix(got, "ERR") &&
+			s.c.ShardState(1) == eunomia.ShardFailed {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatalf("shard 1 never tripped (state %v)", s.c.ShardState(1))
+	}
+
+	// Degraded service: shard 1's keys fail with the shard error, every
+	// other shard keeps serving, and STATS shows the open breaker.
+	if got := roundTrip(t, conn, in, fmt.Sprintf("GET %d", mine[0])); !strings.HasPrefix(got, "ERR") ||
+		!strings.Contains(got, "shard 1") {
+		t.Fatalf("dead-shard GET -> %q, want ERR ...shard 1", got)
+	}
+	for _, k := range theirs[:40] {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*3) {
+			t.Fatalf("healthy-shard GET %d -> %q", k, got)
+		}
+	}
+	if stats := roundTrip(t, conn, in, "STATS"); !strings.Contains(stats, "trips=") ||
+		statValue(t, stats, "trips=") == 0 {
+		t.Fatalf("STATS did not record the trip: %q", stats)
+	}
+
+	// The disk returns; the repair loop replays the WAL, runs probation,
+	// and re-admits. Watch it happen through STATS.
+	fses[1].Reboot()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats := roundTrip(t, conn, in, "STATS")
+		if strings.Contains(stats, "health="+strings.Repeat("H", len(fses))) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never re-admitted: %q", stats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Every write acknowledged before the kill is served again.
+	for _, k := range mine[:40] {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*3) {
+			t.Fatalf("re-admitted shard lost key %d: %q", k, got)
 		}
 	}
 }

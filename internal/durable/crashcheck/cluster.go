@@ -43,6 +43,17 @@ type ClusterScenario struct {
 	TornSeed  uint64
 	Restarts  int  // post-crash recover→write→restart cycles
 	Barrier   bool // writer 0 triggers a cluster Snapshot mid-run (mid-barrier crash coverage)
+	// Heal revives the killed disks after phase 1 and requires the
+	// cluster's own repair loop — not a process restart — to trip, reopen,
+	// replay, and re-admit every wounded shard before the run continues.
+	// Acknowledged writes taken through the re-admitted shards join the
+	// checked history, so a repair loop that loses data fails the checker.
+	Heal bool
+	// AdmitBeforeReplay passes the deliberately broken repair mode through
+	// to RepairOptions: re-admit with no replay, no watermark check, no
+	// probation. A Heal run with this set must FAIL the checker — the
+	// mutant proving the probation gate has teeth.
+	AdmitBeforeReplay bool
 
 	FlushInterval  time.Duration
 	FlushBytes     int
@@ -71,9 +82,10 @@ func (s ClusterScenario) withDefaults() ClusterScenario {
 
 // String encodes the scenario as the EUNO_CLUSTER_CRASH_REPRO token.
 func (s ClusterScenario) String() string {
-	return fmt.Sprintf("shards=%d,kill=%d,kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,barrier=%d,interval=%d,flushbytes=%d,snapbytes=%d,ack=%d",
+	return fmt.Sprintf("shards=%d,kill=%d,kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,barrier=%d,heal=%d,mutant=%d,interval=%d,flushbytes=%d,snapbytes=%d,ack=%d",
 		s.Shards, s.Kill, int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed,
-		s.Restarts, b2i(s.Barrier), int64(s.FlushInterval), s.FlushBytes, s.SnapshotBytes, b2i(s.AckBeforeFlush))
+		s.Restarts, b2i(s.Barrier), b2i(s.Heal), b2i(s.AdmitBeforeReplay),
+		int64(s.FlushInterval), s.FlushBytes, s.SnapshotBytes, b2i(s.AckBeforeFlush))
 }
 
 // ParseCluster decodes a ClusterScenario from its String form.
@@ -111,6 +123,10 @@ func ParseCluster(tok string) (ClusterScenario, error) {
 			s.Restarts = int(n)
 		case "barrier":
 			s.Barrier = n != 0
+		case "heal":
+			s.Heal = n != 0
+		case "mutant":
+			s.AdmitBeforeReplay = n != 0
 		case "interval":
 			s.FlushInterval = time.Duration(n)
 		case "flushbytes":
@@ -156,7 +172,7 @@ func RunCluster(s ClusterScenario) Result {
 		return manifestFS.Crashed()
 	}
 	open := func() (*eunomia.Cluster, error) {
-		return eunomia.OpenCluster(eunomia.ClusterOptions{
+		co := eunomia.ClusterOptions{
 			Shards: s.Shards,
 			Shard: eunomia.Options{
 				Kind:       s.Kind,
@@ -171,7 +187,20 @@ func RunCluster(s ClusterScenario) Result {
 				},
 			},
 			PerShard: func(i int, o *eunomia.Options) { o.Durability.FS = fses[i] },
-		})
+		}
+		if s.Heal {
+			// Heal runs need a sensitive breaker and a tight repair loop so
+			// the full trip→reopen→probation→readmit cycle fits in one run.
+			co.Health = eunomia.HealthOptions{Window: 8, TripFailures: 2}
+			co.Repair = eunomia.RepairOptions{
+				Backoff:           2 * time.Millisecond,
+				MaxBackoff:        20 * time.Millisecond,
+				Probes:            2,
+				ProbeInterval:     time.Millisecond,
+				AdmitBeforeReplay: s.AdmitBeforeReplay,
+			}
+		}
+		return eunomia.OpenCluster(co)
 	}
 	c, err := open()
 	if err != nil && !anyCrashed() {
@@ -235,7 +264,13 @@ func RunCluster(s ClusterScenario) Result {
 					// with workers outliving a dead shard it can witness an
 					// applied-but-unlogged delete that the crash rolls back,
 					// the same group-commit volatility that exempts pre-crash
-					// reads from recording (see the package comment).
+					// reads from recording (see the package comment). This
+					// relies on Session.Delete's no-retry-after-half-apply
+					// guarantee: present=false means the removal provably did
+					// not run, whether err is nil or not. (An early retry
+					// design re-ran half-applied deletes, which observed their
+					// own removal and came back (false, nil) — this harness
+					// caught the resulting unexplainable absent keys.)
 				case err == nil:
 					acked = append(acked, op)
 				default:
@@ -248,7 +283,65 @@ func RunCluster(s ClusterScenario) Result {
 		}(p)
 	}
 	wg.Wait()
-	res := Result{Crashed: anyCrashed(), Acked: len(acked)}
+	crashed := anyCrashed()
+	healed := false
+
+	// Phase 1b (Heal): the killed disks come back in place — same files,
+	// same handles — and the cluster's own repair loop must bring every
+	// wounded shard home. Ops keep hammering the whole universe while the
+	// shards are down: failures feed the breakers (tripping shards the
+	// crash left wounded-but-untripped, since their poisoned WALs never
+	// acknowledge again), and once a shard is re-admitted its successes
+	// are real acknowledged writes that enter the checked history. A
+	// repair loop that re-admits a shard missing acknowledged data — or
+	// one that serves writes it won't replay — fails the checker at the
+	// post-reboot read phase.
+	if s.Heal && c != nil && crashed {
+		for _, fs := range fses {
+			if fs.Crashed() {
+				fs.Reboot()
+			}
+		}
+		if manifestFS.Crashed() {
+			manifestFS.Reboot()
+		}
+		proc := s.Procs + s.Restarts + 2
+		sess := c.NewSession()
+		deadline := time.Now().Add(15 * time.Second)
+		for i, rounds := 0, 0; ; rounds++ {
+			allHealthy := true
+			for sh := 0; sh < s.Shards; sh++ {
+				if c.ShardState(sh) != eunomia.ShardHealthy {
+					allHealthy = false
+					break
+				}
+			}
+			if allHealthy && rounds > 0 {
+				healed = true
+				break
+			}
+			if time.Now().After(deadline) {
+				return Result{Crashed: crashed, Acked: len(acked), Err: fmt.Errorf(
+					"crashcheck: shards never re-admitted after disk revival\nrepro: %s", ClusterReproLine(s))}
+			}
+			for key := uint64(1); key <= s.Keys; key++ {
+				val := uint64(proc)<<40 | uint64(i)<<8 | 0x5
+				i++
+				op := check.Op{Kind: check.Put, Key: key, Val: val, OK: true,
+					Proc: proc, Inv: clock.Add(1)}
+				err := sess.Put(key, val)
+				op.Rsp = clock.Add(1)
+				if err == nil {
+					acked = append(acked, op)
+				} else {
+					inflight = append(inflight, op)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	res := Result{Crashed: crashed, Healed: healed, Acked: len(acked)}
 	if c != nil {
 		c.Close() // joined errors expected after a crash
 	}

@@ -113,6 +113,91 @@ func TestClusterAckBeforeFlushMutantCaught(t *testing.T) {
 	t.Logf("cluster mutant caught; repro: %s", ClusterReproLine(*failing))
 }
 
+// TestClusterCrashHealSweep: the self-healing gate. Seeded crash points
+// kill seeded shard-disk subsets mid-run; the disks then come back and
+// the cluster's own repair loop — trip, reopen, WAL replay, watermark
+// check, probation — must re-admit every shard, after which the
+// re-admitted cluster takes acknowledged writes and the whole history
+// (pre-crash acks, open windows, post-heal acks, post-reboot reads) is
+// checked linearizable.
+func TestClusterCrashHealSweep(t *testing.T) {
+	points := uint64(30)
+	if testing.Short() {
+		points = 8
+	}
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 40, Keys: 16, Seed: 93, Heal: true}
+	fired, healed := 0, 0
+	for p := uint64(1); p <= points; p++ {
+		s := base
+		s.CrashAtIO = p
+		s.TornSeed = p*2654435761 + base.Seed
+		s.Kill = p%uint64(1<<base.Shards-1) + 1 // shard disks only
+		r := RunCluster(s)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Crashed {
+			fired++
+		}
+		if r.Healed {
+			healed++
+		}
+	}
+	if fired == 0 || healed == 0 {
+		t.Fatalf("heal sweep exercised nothing: fired=%d healed=%d", fired, healed)
+	}
+	t.Logf("heal sweep: %d crash points fired, %d clusters healed in place, zero violations", fired, healed)
+}
+
+// TestClusterHealMutantCaught: repair with AdmitBeforeReplay — re-admit
+// with no replay, no watermark check, no probation — must be caught by
+// the heal fuzzer. If every crash point survives, the probation gate is
+// decorative.
+func TestClusterHealMutantCaught(t *testing.T) {
+	base := ClusterScenario{Shards: 3, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 40, Keys: 16, Seed: 93, Heal: true, AdmitBeforeReplay: true}
+	var failing *ClusterScenario
+	for p := uint64(1); p <= 24 && failing == nil; p++ {
+		s := base
+		s.CrashAtIO = p
+		s.TornSeed = p*2654435761 + base.Seed
+		s.Kill = p%uint64(1<<base.Shards-1) + 1
+		r := RunCluster(s)
+		if !r.Crashed || r.Err == nil {
+			continue
+		}
+		// Whether the premature re-admission is observed depends on how the
+		// hammer rounds interleave with the mutant repair loop, so only a
+		// point that fails again is accepted — the printed repro token must
+		// be actionable, not a one-off scheduling fluke.
+		for try := 0; try < 5; try++ {
+			if RunCluster(s).Err != nil {
+				failing = &s
+				break
+			}
+		}
+	}
+	if failing == nil {
+		t.Fatal("admit-before-replay mutant survived every heal crash point: the probation gate is blind")
+	}
+	parsed, err := ParseCluster(failing.String())
+	if err != nil {
+		t.Fatalf("repro token does not parse: %v", err)
+	}
+	if parsed != *failing {
+		t.Fatalf("repro round-trip mismatch:\n  %+v\n  %+v", parsed, *failing)
+	}
+	reproduced := false
+	for try := 0; try < 10 && !reproduced; try++ {
+		reproduced = RunCluster(parsed).Err != nil
+	}
+	if !reproduced {
+		t.Fatal("replayed heal-mutant repro did not reproduce the violation in 10 attempts")
+	}
+	t.Logf("heal mutant caught; repro: %s", ClusterReproLine(*failing))
+}
+
 // TestClusterBarrierDetectsRolledBackShard: commit a snapshot barrier,
 // then replace one shard's disk with an empty one (a lost disk / stale
 // backup). OpenCluster must refuse to serve: the shard recovers below the

@@ -144,6 +144,7 @@ func ReproLine(s Scenario) string {
 // Result reports one Run.
 type Result struct {
 	Crashed bool // whether the injected crash actually fired
+	Healed  bool // Heal runs: every shard returned to Healthy via repair
 	Acked   int  // writes acknowledged before the crash
 	Checked int  // operations in the checked history
 	// Err is a linearizability violation (acknowledged-write loss,

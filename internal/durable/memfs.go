@@ -85,6 +85,18 @@ func (m *MemFS) IOCount() uint64 {
 	return m.ioCount
 }
 
+// Kill crashes the filesystem immediately — the explicit-kill analogue
+// of FaultPlan.CrashAtIO, for harnesses that script failures on a
+// wall-clock timeline (the swarmchaos bench, the heal fuzzer) instead of
+// at a counted IO point. Every later operation returns ErrCrashed, with
+// the same unsynced-data semantics as a counted crash; Reboot revives
+// the disk.
+func (m *MemFS) Kill() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = true
+}
+
 // Reboot simulates the post-crash restart: the directory reverts to its
 // last SyncDir'd state (un-pinned creates vanish, renames undo, removes
 // resurrect), every surviving file keeps its synced prefix plus a

@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Per-shard health: a circuit breaker with a probation-gated recovery
+// path. The state machine is
+//
+//	Healthy ──failure──▶ Degraded ──window trips──▶ Failed
+//	   ▲                    │                         │
+//	   │  consecutive       │                         │ repair loop
+//	   └────successes───────┘                         ▼
+//	   ▲                                          Recovering
+//	   └────────────── probation passes ──────────────┘
+//
+// plus a terminal refinement: a *permanent* failure (data loss,
+// corruption — anything a reopen cannot fix) parks the shard in Failed
+// with Permanent() set, and BeginRecovery refuses to leave it.
+//
+// The breaker is deliberately generic: it scores opaque outcomes and
+// never inspects errors itself. Classifying an error as transient vs
+// permanent is the caller's job (the eunomia package knows its own error
+// taxonomy; this package must not import it).
+
+// State is a shard's serving state.
+type State int32
+
+const (
+	// Healthy shards serve normally.
+	Healthy State = iota
+	// Degraded shards have seen recent failures but still serve; enough
+	// consecutive successes restore Healthy, enough windowed failures trip
+	// to Failed.
+	Degraded
+	// Failed shards do not serve: the breaker is open and routed
+	// operations fail fast. A repair loop may move the shard to
+	// Recovering — unless the failure was permanent.
+	Failed
+	// Recovering shards are reopened but on probation: still not serving,
+	// while repair probes decide between Admit (→ Healthy) and
+	// RefuseRecovery (→ Failed).
+	Recovering
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	case Recovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// HealthConfig sizes the breaker. The zero value picks the defaults.
+type HealthConfig struct {
+	// Window is the sliding window of recent outcomes the breaker scores,
+	// in operations (max 64 — it is a bitmask). Default 32.
+	Window int
+	// TripFailures is the number of failures within Window that trip
+	// Degraded → Failed. Default 5.
+	TripFailures int
+	// RecoverSuccesses is the number of consecutive successes that clear
+	// Degraded → Healthy. Default 8.
+	RecoverSuccesses int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Window > 64 {
+		c.Window = 64
+	}
+	if c.TripFailures <= 0 {
+		c.TripFailures = 5
+	}
+	if c.TripFailures > c.Window {
+		c.TripFailures = c.Window
+	}
+	if c.RecoverSuccesses <= 0 {
+		c.RecoverSuccesses = 8
+	}
+	return c
+}
+
+// HealthStats is a point-in-time snapshot of one shard's breaker.
+type HealthStats struct {
+	State     State
+	Permanent bool   // Failed with no legal path out
+	Failures  uint64 // outcomes scored as failures, lifetime
+	Trips     uint64 // times the breaker opened (→ Failed)
+	Repairs   uint64 // times a repaired shard was re-admitted (→ Healthy)
+	Cause     string // last failure cause, "" when none
+}
+
+// Health is one shard's breaker. All methods are safe for concurrent
+// use; State/Allow are lock-free reads on the hot path.
+type Health struct {
+	cfg   HealthConfig
+	state atomic.Int32
+
+	mu        sync.Mutex
+	window    uint64 // ring bitmask of the last cfg.Window outcomes, 1 = failure
+	pos       int    // next bit to overwrite
+	windowed  int    // failures currently in the window
+	consecOK  int    // successes since the last failure
+	cause     error  // last failure cause
+	permanent bool
+
+	failures atomic.Uint64
+	trips    atomic.Uint64
+	repairs  atomic.Uint64
+}
+
+// NewHealth builds a breaker in the Healthy state.
+func NewHealth(cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.withDefaults()}
+}
+
+// State returns the current serving state.
+func (h *Health) State() State { return State(h.state.Load()) }
+
+// Allow reports whether the shard should serve routed operations: true
+// in Healthy and Degraded, false once the breaker is open (Failed,
+// Recovering).
+func (h *Health) Allow() bool {
+	s := State(h.state.Load())
+	return s == Healthy || s == Degraded
+}
+
+// Cause returns the most recent failure cause (nil when the shard has
+// never failed).
+func (h *Health) Cause() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cause
+}
+
+// Permanent reports whether the shard is terminally Failed: repair must
+// not attempt recovery.
+func (h *Health) Permanent() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.permanent
+}
+
+// RecordSuccess scores a successful operation. Enough consecutive
+// successes clear Degraded back to Healthy. Success while Failed or
+// Recovering is ignored (stale in-flight ops racing the trip).
+func (h *Health) RecordSuccess() {
+	if s := State(h.state.Load()); s != Healthy && s != Degraded {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := State(h.state.Load())
+	if s != Healthy && s != Degraded {
+		return
+	}
+	h.push(false)
+	h.consecOK++
+	if s == Degraded && h.consecOK >= h.cfg.RecoverSuccesses {
+		h.state.Store(int32(Healthy))
+	}
+}
+
+// RecordFailure scores a failed operation and reports whether this
+// failure tripped the breaker (the caller should capture the shard's
+// durable watermark and start repair exactly when tripped is true). A
+// permanent failure trips immediately and parks the shard.
+func (h *Health) RecordFailure(cause error, permanent bool) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := State(h.state.Load())
+	if s == Failed || s == Recovering {
+		// Already open: remember a permanent cause (it forbids repair),
+		// otherwise just count.
+		h.failures.Add(1)
+		if permanent && !h.permanent {
+			h.permanent = true
+			h.cause = cause
+		}
+		return false
+	}
+	h.push(true)
+	h.consecOK = 0
+	h.cause = cause
+	h.failures.Add(1)
+	if permanent {
+		h.permanent = true
+		h.state.Store(int32(Failed))
+		h.trips.Add(1)
+		return true
+	}
+	if h.windowed >= h.cfg.TripFailures {
+		h.state.Store(int32(Failed))
+		h.trips.Add(1)
+		return true
+	}
+	h.state.Store(int32(Degraded))
+	return false
+}
+
+// Trip force-opens the breaker regardless of the window — for failures
+// that are conclusive on their own (the shard's store is poisoned, its
+// disk is gone). Reports whether this call did the tripping.
+func (h *Health) Trip(cause error, permanent bool) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := State(h.state.Load())
+	if s == Failed || s == Recovering {
+		if permanent && !h.permanent {
+			h.permanent = true
+			h.cause = cause
+		}
+		return false
+	}
+	h.cause = cause
+	h.permanent = permanent
+	h.consecOK = 0
+	h.state.Store(int32(Failed))
+	h.trips.Add(1)
+	return true
+}
+
+// BeginRecovery moves Failed → Recovering, the repair loop's claim that
+// a reopen succeeded and probation is starting. Refused (returns false)
+// unless the shard is Failed and the failure is not permanent.
+func (h *Health) BeginRecovery() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if State(h.state.Load()) != Failed || h.permanent {
+		return false
+	}
+	h.state.Store(int32(Recovering))
+	return true
+}
+
+// RefuseRecovery aborts probation: Recovering → Failed. A permanent
+// refusal (recovered state below the durable watermark — data loss)
+// parks the shard for good.
+func (h *Health) RefuseRecovery(cause error, permanent bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if State(h.state.Load()) != Recovering {
+		return
+	}
+	h.cause = cause
+	h.permanent = h.permanent || permanent
+	h.state.Store(int32(Failed))
+}
+
+// Admit completes probation: Recovering → Healthy with a clean window.
+func (h *Health) Admit() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if State(h.state.Load()) != Recovering {
+		return false
+	}
+	h.window, h.pos, h.windowed, h.consecOK = 0, 0, 0, 0
+	h.cause = nil
+	h.state.Store(int32(Healthy))
+	h.repairs.Add(1)
+	return true
+}
+
+// Stats snapshots the breaker.
+func (h *Health) Stats() HealthStats {
+	h.mu.Lock()
+	cause, perm := h.cause, h.permanent
+	h.mu.Unlock()
+	st := HealthStats{
+		State:     h.State(),
+		Permanent: perm,
+		Failures:  h.failures.Load(),
+		Trips:     h.trips.Load(),
+		Repairs:   h.repairs.Load(),
+	}
+	if cause != nil {
+		st.Cause = cause.Error()
+	}
+	return st
+}
+
+// push records one outcome bit into the ring window. Caller holds mu.
+func (h *Health) push(failed bool) {
+	bit := uint64(1) << uint(h.pos)
+	if h.window&bit != 0 {
+		h.windowed--
+	}
+	if failed {
+		h.window |= bit
+		h.windowed++
+	} else {
+		h.window &^= bit
+	}
+	h.pos = (h.pos + 1) % h.cfg.Window
+}

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestHealthTripAfterWindowedFailures(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 8, TripFailures: 3, RecoverSuccesses: 2})
+	if got := h.State(); got != Healthy {
+		t.Fatalf("initial state = %v, want healthy", got)
+	}
+	if !h.Allow() {
+		t.Fatal("healthy shard must allow")
+	}
+	if h.RecordFailure(errBoom, false) {
+		t.Fatal("first failure must not trip")
+	}
+	if got := h.State(); got != Degraded {
+		t.Fatalf("after 1 failure state = %v, want degraded", got)
+	}
+	if !h.Allow() {
+		t.Fatal("degraded shard must still allow")
+	}
+	if h.RecordFailure(errBoom, false) {
+		t.Fatal("second failure must not trip (threshold 3)")
+	}
+	if !h.RecordFailure(errBoom, false) {
+		t.Fatal("third windowed failure must trip")
+	}
+	if got := h.State(); got != Failed {
+		t.Fatalf("state = %v, want failed", got)
+	}
+	if h.Allow() {
+		t.Fatal("failed shard must not allow")
+	}
+	if h.Permanent() {
+		t.Fatal("transient trip must not be permanent")
+	}
+	if st := h.Stats(); st.Trips != 1 || st.Failures != 3 || st.Cause == "" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealthSuccessesClearDegraded(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 8, TripFailures: 3, RecoverSuccesses: 2})
+	h.RecordFailure(errBoom, false)
+	if got := h.State(); got != Degraded {
+		t.Fatalf("state = %v, want degraded", got)
+	}
+	h.RecordSuccess()
+	if got := h.State(); got != Degraded {
+		t.Fatalf("one success: state = %v, want still degraded", got)
+	}
+	h.RecordSuccess()
+	if got := h.State(); got != Healthy {
+		t.Fatalf("two successes: state = %v, want healthy", got)
+	}
+	// The window forgets: old failures slide out, so spaced failures
+	// never trip.
+	for i := 0; i < 20; i++ {
+		h.RecordFailure(errBoom, false)
+		for j := 0; j < 8; j++ {
+			h.RecordSuccess()
+		}
+	}
+	if got := h.State(); got != Healthy {
+		t.Fatalf("spaced failures must not trip: state = %v", got)
+	}
+}
+
+func TestHealthPermanentFailureParks(t *testing.T) {
+	h := NewHealth(HealthConfig{})
+	if !h.RecordFailure(errBoom, true) {
+		t.Fatal("permanent failure must trip immediately")
+	}
+	if got := h.State(); got != Failed || !h.Permanent() {
+		t.Fatalf("state = %v permanent=%v, want failed/true", got, h.Permanent())
+	}
+	if h.BeginRecovery() {
+		t.Fatal("BeginRecovery must refuse a permanent failure")
+	}
+}
+
+func TestHealthRecoveryLifecycle(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 4, TripFailures: 1})
+	if !h.Trip(errBoom, false) {
+		t.Fatal("Trip on a healthy shard must report tripped")
+	}
+	if h.Trip(errBoom, false) {
+		t.Fatal("second Trip must not double-count")
+	}
+	if h.Admit() {
+		t.Fatal("Admit outside Recovering must refuse")
+	}
+	if !h.BeginRecovery() {
+		t.Fatal("BeginRecovery on transient Failed must succeed")
+	}
+	if got := h.State(); got != Recovering || h.Allow() {
+		t.Fatalf("state = %v allow=%v, want recovering/false", got, h.Allow())
+	}
+	// A failed probe sends it back to Failed; a later attempt can retry.
+	h.RefuseRecovery(errBoom, false)
+	if got := h.State(); got != Failed || h.Permanent() {
+		t.Fatalf("refused: state = %v permanent=%v", got, h.Permanent())
+	}
+	if !h.BeginRecovery() {
+		t.Fatal("retry after transient refusal must be allowed")
+	}
+	if !h.Admit() {
+		t.Fatal("Admit from Recovering must succeed")
+	}
+	if got := h.State(); got != Healthy || !h.Allow() {
+		t.Fatalf("admitted: state = %v", got)
+	}
+	if st := h.Stats(); st.Repairs != 1 || st.Cause != "" {
+		t.Fatalf("stats after admit = %+v", st)
+	}
+	// A permanent refusal parks for good.
+	h.Trip(errBoom, false)
+	h.BeginRecovery()
+	h.RefuseRecovery(errBoom, true)
+	if !h.Permanent() || h.BeginRecovery() {
+		t.Fatal("permanent refusal must park the shard")
+	}
+}
+
+func TestHealthStaleOutcomesIgnoredWhileOpen(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 4, TripFailures: 2})
+	h.Trip(errBoom, false)
+	// In-flight ops racing the trip must not flap the state.
+	h.RecordSuccess()
+	if got := h.State(); got != Failed {
+		t.Fatalf("success while failed moved state to %v", got)
+	}
+	if h.RecordFailure(errBoom, false) {
+		t.Fatal("failure while already failed must not re-trip")
+	}
+	// But a permanent failure reported late still forbids repair.
+	h.RecordFailure(errBoom, true)
+	if !h.Permanent() {
+		t.Fatal("late permanent failure must park the shard")
+	}
+}
+
+func TestHealthConcurrent(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 16, TripFailures: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if (i+g)%7 == 0 {
+					h.RecordFailure(errBoom, false)
+				} else {
+					h.RecordSuccess()
+				}
+				h.Allow()
+				h.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	h.Stats() // must not race or panic
+}

@@ -161,7 +161,7 @@ func TestObserverConcurrentWall(t *testing.T) {
 // call, and the deprecated per-subsystem accessors delegate to it.
 func TestMetricsUnifiedSnapshot(t *testing.T) {
 	db, err := Open(Options{ArenaWords: 1 << 21, Resilience: true,
-		Durability: Durability{Dir: t.TempDir()},
+		Durability:    Durability{Dir: t.TempDir()},
 		Observability: Observability{Heatmap: true}})
 	if err != nil {
 		t.Fatal(err)
