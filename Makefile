@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster bench-swarm figures trace-demo
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster bench-swarm bench-reshard figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -69,6 +69,14 @@ bench-durability:
 bench-swarm:
 	go run ./cmd/eunobench -benchjson BENCH_swarm.json -benchlabel $(LABEL) swarm
 	go run ./cmd/eunobench -benchjson BENCH_swarm.json -benchlabel $(LABEL) swarmchaos
+
+# bench-reshard: open-loop load with a deliberately hot range shard
+# through a live 4->8 reshard. The artifact records the goodput/p99
+# timeline through bulk copy, fenced cutovers, and purge; the two ratios
+# under study are migration goodput vs the pre-trigger baseline (target
+# >= 0.9) and post-split p99 vs baseline (target < 1).
+bench-reshard:
+	go run ./cmd/eunobench -benchjson BENCH_reshard.json -benchlabel $(LABEL) reshardchaos
 
 # figures: regenerate every paper figure at quick scale.
 figures:

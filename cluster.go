@@ -74,6 +74,13 @@ type ClusterOptions struct {
 	// Repair configures the self-healing repair loop that reopens Failed
 	// durable shards in the background (on by default; see RepairOptions).
 	Repair RepairOptions
+	// Reshard configures the online migration engine (see ReshardOptions;
+	// the zero value is correct).
+	Reshard ReshardOptions
+	// AutoSplit configures the hot-shard watcher that triggers a split
+	// when one shard runs disproportionately hot (off by default; see
+	// AutoSplitOptions).
+	AutoSplit AutoSplitOptions
 }
 
 // clusterShard is one shard slot: the live DB behind an atomic pointer
@@ -92,15 +99,27 @@ type clusterShard struct {
 	// a reopened incarnation recovering short of it has lost data.
 	watermark atomic.Uint64
 	repairing atomic.Bool
+	// ops counts successfully served operations — the heat signal the
+	// auto-split watcher reads. lastOps is the watcher's private window
+	// cursor.
+	ops     atomic.Uint64
+	lastOps uint64
 }
 
 // Cluster is a hash- or range-partitioned key-value store over N
 // independent DB shards. All methods are safe for concurrent use;
-// per-worker operations go through Session handles.
+// per-worker operations go through Session handles. The shard count is
+// not fixed for life: Reshard (cluster_reshard.go) splits or merges the
+// topology online, which is why routing goes through an epoched
+// shard.Table and the shard slice sits behind an atomic pointer.
 type Cluster struct {
-	opts   ClusterOptions
-	router shard.Router
-	shards []*clusterShard
+	opts  ClusterOptions
+	table *shard.Table
+	// shards is the serving slot slice: slot i is shard i under the
+	// current routing table. Reshard appends slots on a split and
+	// truncates retired ones after a merge; readers load the slice once
+	// per decision.
+	shards atomic.Pointer[[]*clusterShard]
 
 	// Durable clusters keep the barrier manifest on fs under dir.
 	fs  durable.FS
@@ -115,6 +134,18 @@ type Cluster struct {
 	repairMu sync.Mutex    // serializes repair spawn vs Close
 	repairWG sync.WaitGroup
 
+	// Online resharding state (cluster_reshard.go): the in-flight
+	// migration, the goroutines it owns, and the live-scan registry that
+	// gates purges and slot retirement.
+	reshardMu  sync.Mutex
+	mig        atomic.Pointer[migration]
+	migWG      sync.WaitGroup
+	scanMu     sync.Mutex
+	scans      map[uint64]int // routing Gen a live merged scan froze -> count
+	movesDone  atomic.Uint64
+	redirects  atomic.Uint64
+	autoSplits atomic.Uint64
+
 	// Fault-domain counters (see FaultMetrics).
 	shed          atomic.Uint64
 	retries       atomic.Uint64
@@ -124,6 +155,13 @@ type Cluster struct {
 	snapID atomic.Uint64
 	closed atomic.Bool
 }
+
+// shardList returns the current serving slot slice (never nil after
+// OpenCluster). The slice is immutable; Reshard swaps in a new one.
+func (c *Cluster) shardList() []*clusterShard { return *c.shards.Load() }
+
+// shard returns slot i's shard.
+func (c *Cluster) shard(i int) *clusterShard { return (*c.shards.Load())[i] }
 
 // shardDirName names shard i's durability directory under the cluster
 // root.
@@ -137,11 +175,15 @@ func shardDirName(root string, i int) string {
 // have recovered at least up to its entry — a shard that comes back short
 // has lost acknowledged writes (a swapped disk, a deleted directory), and
 // OpenCluster fails loudly instead of serving the hole.
+//
+// The shard count is resolved against what the store itself recorded
+// (see resolveTopology): a cluster that resharded in a previous life
+// reopens at its committed topology, and one that crashed mid-migration
+// resumes the migration in the background. Options.Shards == 0 adopts
+// whatever the store says (default 4 for a fresh cluster); a non-zero
+// Shards that contradicts the store fails with ErrTopologyMismatch.
 func OpenCluster(opts ClusterOptions) (*Cluster, error) {
-	if opts.Shards == 0 {
-		opts.Shards = 4
-	}
-	if opts.Shards < 1 {
+	if opts.Shards < 0 {
 		return nil, fmt.Errorf("eunomia: cluster needs >= 1 shard, got %d", opts.Shards)
 	}
 	if opts.Shards > 64 {
@@ -149,9 +191,9 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		return nil, fmt.Errorf("eunomia: cluster supports <= 64 shards, got %d", opts.Shards)
 	}
 	c := &Cluster{
-		opts:   opts,
-		router: shard.New(opts.Shards, opts.Partition.internal()),
-		stop:   make(chan struct{}),
+		opts:  opts,
+		stop:  make(chan struct{}),
+		scans: map[uint64]int{},
 	}
 	c.healthOn = !opts.Health.Disable
 	c.healthCfg = shard.HealthConfig{
@@ -176,7 +218,12 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	for i := 0; i < opts.Shards; i++ {
+	top, err := c.resolveTopology()
+	if err != nil {
+		return nil, err
+	}
+	var list []*clusterShard
+	for i := 0; i < top.slots; i++ {
 		o := opts.Shard
 		if o.Durability.Dir != "" {
 			o.Durability.Dir = shardDirName(c.dir, i)
@@ -187,16 +234,45 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		db, err := Open(o)
 		if err != nil {
 			err = fmt.Errorf("eunomia: cluster shard %d: %w", i, err)
-			return nil, errors.Join(append([]error{err}, closeAll(c.shards)...)...)
+			return nil, errors.Join(append([]error{err}, closeAll(list)...)...)
 		}
 		sh := &clusterShard{idx: i, opts: o, health: shard.NewHealth(c.healthCfg)}
 		sh.db.Store(db)
-		c.shards = append(c.shards, sh)
+		list = append(list, sh)
+	}
+	c.shards.Store(&list)
+	c.table = shard.NewTableAt(shard.New(top.stable, top.part), top.epoch)
+	var resume *migration
+	if top.man != nil {
+		// A migration was in flight when the previous incarnation died:
+		// re-install its routing state (already-cut intervals route to
+		// their destinations immediately) and resume the engine below.
+		man := top.man
+		resume = newMigration(shard.New(man.from, top.part), shard.New(man.to, top.part), man.cut, man.purged)
+		resume.cutGen = c.table.BeginReshard(resume.to, man.cut).Gen
+		c.mig.Store(resume)
 	}
 	if c.dir != "" {
 		if err := c.verifyBarrier(); err != nil {
-			return nil, errors.Join(append([]error{err}, closeAll(c.shards)...)...)
+			return nil, errors.Join(append([]error{err}, closeAll(list)...)...)
 		}
+		if !top.recorded {
+			// First durable open (or a pre-resharding store): record the
+			// resolved topology so a later reopen — or a crash before the
+			// first snapshot — never has to guess the count from Options.
+			if err := c.writeTopology(top.epoch, top.stable, top.part); err != nil {
+				err = fmt.Errorf("eunomia: cluster topology record: %w", err)
+				return nil, errors.Join(append([]error{err}, closeAll(list)...)...)
+			}
+		}
+	}
+	if resume != nil {
+		c.migWG.Add(1)
+		go c.runMigration(resume, true)
+	}
+	if opts.AutoSplit.Enable {
+		c.migWG.Add(1)
+		go c.autoSplitLoop()
 	}
 	return c, nil
 }
@@ -216,56 +292,83 @@ func closeAll(shards []*clusterShard) []error {
 	return errs
 }
 
-// Shards returns the shard count.
-func (c *Cluster) Shards() int { return len(c.shards) }
+// Shards returns the serving slot count. During a split it already
+// includes the destination slots; during a merge it still includes the
+// retiring sources until the migration finishes.
+func (c *Cluster) Shards() int { return len(c.shardList()) }
 
-// ShardFor returns the shard that owns key.
-func (c *Cluster) ShardFor(key uint64) int { return c.router.Route(key) }
+// Epoch returns the completed-reshard count: 0 for a cluster that never
+// changed topology, +1 per finished Reshard.
+func (c *Cluster) Epoch() uint64 { return c.table.Epoch() }
+
+// Migrating reports whether a topology change is in flight.
+func (c *Cluster) Migrating() bool { return c.table.Migrating() }
+
+// ShardFor returns the shard that owns key under the current routing
+// view.
+func (c *Cluster) ShardFor(key uint64) int { return c.table.Route(key) }
 
 // DB returns shard i's current underlying DB — for per-shard drain,
 // metrics, or direct inspection. The repair loop may swap a Failed
 // shard's DB for a recovered one; the returned handle is the one live at
 // the call. Mutating a shard outside the router's key map breaks the
 // cluster's partitioning invariant.
-func (c *Cluster) DB(i int) *DB { return c.shards[i].db.Load() }
+func (c *Cluster) DB(i int) *DB { return c.shard(i).db.Load() }
 
-// Session is a Cluster's per-worker handle: one tree Thread per shard,
-// with operations routed by key. Like Thread, a Session must be used by
-// one goroutine at a time; create one per worker.
+// Session is a Cluster's per-worker handle: one tree Thread per shard
+// slot, with operations routed by key. Like Thread, a Session must be
+// used by one goroutine at a time; create one per worker.
 type Session struct {
-	c       *Cluster
-	threads []*Thread
-	gens    []uint64 // shard generation each thread was built against
-	tokens  []int    // banked retry tokens (per-shard retry budget)
-	earned  []int    // successes counted toward the next token
+	c        *Cluster
+	tableGen uint64 // routing generation the slot arrays were sized against
+	threads  []*Thread
+	gens     []uint64 // shard generation each thread was built against
+	tokens   []int    // banked retry tokens (per-shard retry budget)
+	earned   []int    // successes counted toward the next token
 }
 
 // NewSession creates a worker handle spanning every shard. Threads are
 // built lazily so a Failed shard costs nothing until it heals.
 func (c *Cluster) NewSession() *Session {
-	n := len(c.shards)
-	s := &Session{
-		c:       c,
-		threads: make([]*Thread, n),
-		gens:    make([]uint64, n),
-		tokens:  make([]int, n),
-		earned:  make([]int, n),
-	}
-	for i := range s.tokens {
-		s.tokens[i] = c.retryCap
-	}
+	s := &Session{c: c, tableGen: c.table.Gen()}
+	s.ensure(len(c.shardList()))
 	return s
+}
+
+// ensure sizes the per-slot arrays for n serving slots, preserving
+// existing threads and banked tokens; new slots start with a full bank.
+func (s *Session) ensure(n int) {
+	for len(s.threads) < n {
+		s.threads = append(s.threads, nil)
+		s.gens = append(s.gens, 0)
+		s.tokens = append(s.tokens, s.c.retryCap)
+		s.earned = append(s.earned, 0)
+	}
+	if len(s.threads) > n {
+		s.threads = s.threads[:n]
+		s.gens, s.tokens, s.earned = s.gens[:n], s.tokens[:n], s.earned[:n]
+	}
 }
 
 // shardThread returns the Session's thread for shard i, failing fast
 // when the cluster is closed or the shard's breaker is open, and
-// re-threading against the current DB after a repair swap.
+// re-threading against the current DB after a repair swap. It also
+// observes the routing-table generation: a reshard that grew or shrank
+// the slot count resizes the Session's per-slot arrays here, the same
+// lazy re-threading discipline the health layer uses for repair swaps.
 func (s *Session) shardThread(i int) (*Thread, error) {
 	c := s.c
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	sh := c.shards[i]
+	if g := c.table.Gen(); g != s.tableGen {
+		s.tableGen = g
+		s.ensure(len(c.shardList()))
+	}
+	if i >= len(s.threads) {
+		s.ensure(i + 1)
+	}
+	sh := c.shard(i)
 	if c.healthOn && !sh.health.Allow() {
 		c.shed.Add(1)
 		return nil, c.unavailable(i)
@@ -290,8 +393,10 @@ func (s *Session) do(i int, op func(*Thread) error) error {
 		}
 		err = op(th)
 		if err == nil {
+			sh := c.shard(i)
+			sh.ops.Add(1)
 			if c.healthOn {
-				c.shards[i].health.RecordSuccess()
+				sh.health.RecordSuccess()
 				s.earnRetry(i)
 			}
 			return nil
@@ -318,7 +423,7 @@ func (s *Session) do(i int, op func(*Thread) error) error {
 		if !c.healthOn {
 			return err
 		}
-		sh := c.shards[i]
+		sh := c.shard(i)
 		cause := c.causeOf(err)
 		if sh.health.RecordFailure(cause, false) {
 			c.tripped(sh)
@@ -334,11 +439,86 @@ func (s *Session) do(i int, op func(*Thread) error) error {
 	}
 }
 
+// moveRedirectLimit bounds how many times one operation will chase a
+// moving key across cutovers before surfacing ErrMoved. Two hops cover
+// every single-migration interleaving; more means the topology is
+// churning faster than the op can route.
+const moveRedirectLimit = 3
+
+// routed runs op on key's owning shard under the current routing view.
+// Keys inside a not-yet-cut-over migration interval are the delicate
+// case: the op takes the migration fence (shared side) and revalidates
+// the route under it, so the engine's cutover — which takes the fence
+// exclusively — can never flip authority while an operation is mid-
+// flight on the old owner. A successful write to the interval currently
+// being copied is noted in the migration's dirty set for catch-up. When
+// the owner did change between routing and fencing, the op redirects:
+// it re-routes on the fresh view and retries — the first hop free (the
+// op never executed, so the retry is always safe), further hops from
+// the Session's banked retry tokens — and only a topology churning
+// faster than the redirect limit surfaces ErrMoved.
+func (s *Session) routed(key uint64, write bool, op func(*Thread) error) error {
+	c := s.c
+	for hops := 0; ; hops++ {
+		v := c.table.View()
+		i := v.Route(key)
+		mi, moving := v.MoveOf(key)
+		if !moving || mi < v.Cut() {
+			// Stable key, or its interval already cut over: the owner can
+			// never silently change under the op (cutovers only ever flip
+			// un-cut intervals), so no fence is needed.
+			return s.do(i, op)
+		}
+		m := c.mig.Load()
+		if m == nil {
+			// The migration retired between the view load and here; the
+			// fresh view on the next spin routes conclusively.
+			if hops < moveRedirectLimit {
+				continue
+			}
+			return fmt.Errorf("eunomia: key %d: %w", key, ErrMoved)
+		}
+		m.fence.RLock()
+		if c.mig.Load() != m {
+			m.fence.RUnlock()
+			if hops < moveRedirectLimit {
+				continue
+			}
+			return fmt.Errorf("eunomia: key %d: %w", key, ErrMoved)
+		}
+		v2 := c.table.View()
+		if i2 := v2.Route(key); i2 != i {
+			// Lost the race with a cutover: the interval flipped between
+			// routing and fencing. Redirect to the new owner.
+			m.fence.RUnlock()
+			c.redirects.Add(1)
+			if hops == 0 || s.spendRetry(i2) {
+				if hops > 0 {
+					c.retries.Add(1)
+				}
+				continue
+			}
+			c.retriesDenied.Add(1)
+			return fmt.Errorf("eunomia: key %d: %w", key, ErrMoved)
+		}
+		err := s.do(i, op)
+		if err == nil && write {
+			if ami, active := v2.MoveOf(key); active && ami == v2.Cut() {
+				// The engine is copying this interval right now; make sure
+				// the write reaches the destination before cutover.
+				m.note(key)
+			}
+		}
+		m.fence.RUnlock()
+		return err
+	}
+}
+
 // Get returns the value stored under key, from the owning shard.
 func (s *Session) Get(key uint64) (uint64, bool, error) {
 	var v uint64
 	var ok bool
-	err := s.do(s.c.router.Route(key), func(th *Thread) error {
+	err := s.routed(key, false, func(th *Thread) error {
 		var e error
 		v, ok, e = th.Get(key)
 		return e
@@ -352,7 +532,7 @@ func (s *Session) Get(key uint64) (uint64, bool, error) {
 // is retried once under the Session's retry budget (Put is idempotent,
 // so the retry is safe even if the first attempt half-applied).
 func (s *Session) Put(key, val uint64) error {
-	return s.do(s.c.router.Route(key), func(th *Thread) error {
+	return s.routed(key, true, func(th *Thread) error {
 		return th.Put(key, val)
 	})
 }
@@ -369,7 +549,7 @@ func (s *Session) Put(key, val uint64) error {
 // as with a non-retried failed Put.
 func (s *Session) Delete(key uint64) (bool, error) {
 	var present bool
-	err := s.do(s.c.router.Route(key), func(th *Thread) error {
+	err := s.routed(key, true, func(th *Thread) error {
 		var e error
 		present, e = th.Delete(key)
 		if e != nil && present {
@@ -438,10 +618,16 @@ type kvPair struct{ k, v uint64 }
 // shardCursor pages one shard's slice of [from, to] through Thread.Scan,
 // capturing the error when the shard dies mid-scan — the k-way merge's
 // goroutine-free replacement for iter.Pull2 heads, which had no way to
-// surface a failure.
+// surface a failure. Every cursor filters its shard's keys through the
+// scan's frozen routing view: mid-migration a key can physically exist
+// on both the source and the destination (copied but not yet purged),
+// and accepting it only from the shard the frozen view names keeps the
+// merged stream exactly-once no matter how many cutovers land while the
+// scan runs.
 type shardCursor struct {
 	s         *Session
 	shard     int
+	view      *shard.View
 	from, to  uint64
 	buf       []kvPair
 	pos       int
@@ -473,6 +659,9 @@ func (cur *shardCursor) next() bool {
 
 // fill loads the next page. Health is re-checked per page, so a shard
 // tripped by concurrent writers is caught at the next page boundary.
+// Pagination advances by the raw keys the shard returned, not the keys
+// the view filter kept — a page of foreign-owned keys (stale copies
+// awaiting purge) must not read as exhaustion.
 func (cur *shardCursor) fill() {
 	cur.buf, cur.pos = cur.buf[:0], 0
 	th, err := cur.s.shardThread(cur.shard)
@@ -481,26 +670,31 @@ func (cur *shardCursor) fill() {
 		return
 	}
 	past := false
+	raw := 0
+	var lastRaw uint64
 	if _, err := th.Scan(cur.from, clusterRangeBatch, func(k, v uint64) bool {
 		if k > cur.to {
 			past = true
 			return false
 		}
-		cur.buf = append(cur.buf, kvPair{k, v})
+		raw++
+		lastRaw = k
+		if cur.view.Route(k) == cur.shard {
+			cur.buf = append(cur.buf, kvPair{k, v})
+		}
 		return true
 	}); err != nil {
 		cur.err = cur.s.scanFailed(cur.shard, err)
 		return
 	}
-	n := len(cur.buf)
-	if n == 0 || past || n < clusterRangeBatch {
+	if raw == 0 || past || raw < clusterRangeBatch {
 		cur.exhausted = true
 	}
-	if n > 0 {
-		if last := cur.buf[n-1].k; last == ^uint64(0) || last >= cur.to {
+	if raw > 0 {
+		if lastRaw == ^uint64(0) || lastRaw >= cur.to {
 			cur.exhausted = true
 		} else {
-			cur.from = last + 1
+			cur.from = lastRaw + 1
 		}
 	}
 }
@@ -514,7 +708,7 @@ func (s *Session) scanFailed(i int, err error) error {
 	if !c.healthOn {
 		return err
 	}
-	sh := c.shards[i]
+	sh := c.shard(i)
 	cause := c.causeOf(err)
 	if sh.health.RecordFailure(cause, false) {
 		c.tripped(sh)
@@ -523,8 +717,15 @@ func (s *Session) scanFailed(i int, err error) error {
 }
 
 // mergedRange is the k-way merge behind Range (strict) and RangePartial.
+// The whole merge routes against one frozen routing view, registered
+// with the cluster's live-scan registry: the migration engine will not
+// purge a cut-over interval's source copies — nor retire a merged-away
+// slot — while a scan that still routes reads there is running.
 func (s *Session) mergedRange(from, to uint64, stat *RangeStat, strict bool) iter.Seq2[uint64, uint64] {
 	return func(yield func(uint64, uint64) bool) {
+		v := s.c.table.View()
+		s.c.scanEnter(v.Gen)
+		defer s.c.scanExit(v.Gen)
 		var errs []error
 		record := func(i int, err error, midScan bool) {
 			if stat != nil {
@@ -542,9 +743,9 @@ func (s *Session) mergedRange(from, to uint64, stat *RangeStat, strict bool) ite
 				stat.Err = errors.Join(errs...)
 			}
 		}()
-		curs := make([]*shardCursor, 0, len(s.c.shards))
-		for i := range s.c.shards {
-			cur := &shardCursor{s: s, shard: i, from: from, to: to}
+		curs := make([]*shardCursor, 0, v.Shards())
+		for i := 0; i < v.Shards(); i++ {
+			cur := &shardCursor{s: s, shard: i, view: v, from: from, to: to}
 			if cur.next() {
 				curs = append(curs, cur)
 				continue
@@ -628,7 +829,7 @@ func (c *Cluster) Sync() error {
 		return ErrClosed
 	}
 	var errs []error
-	for i, sh := range c.shards {
+	for i, sh := range c.shardList() {
 		if c.healthOn && !sh.health.Allow() {
 			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d sync: %w", i, c.unavailable(i)))
 			continue
@@ -684,9 +885,10 @@ func (c *Cluster) Snapshot() error {
 	}
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
+	shards := c.shardList()
 	var errs []error
 	excluded := uint64(0)
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		if c.healthOn && !sh.health.Allow() {
 			excluded |= 1 << uint(i)
 			errs = append(errs, fmt.Errorf("eunomia: cluster shard %d snapshot: %w", i, c.unavailable(i)))
@@ -703,7 +905,7 @@ func (c *Cluster) Snapshot() error {
 			sh.health.RecordSuccess()
 		}
 	}
-	if excluded == uint64(1)<<uint(len(c.shards))-1 {
+	if excluded == uint64(1)<<uint(len(shards))-1 {
 		// Nothing healthy to snapshot; no barrier to write.
 		return errors.Join(errs...)
 	}
@@ -711,8 +913,8 @@ func (c *Cluster) Snapshot() error {
 	if err != nil {
 		return errors.Join(append(errs, err)...)
 	}
-	vec := make([]uint64, len(c.shards))
-	for i, sh := range c.shards {
+	vec := make([]uint64, len(shards))
+	for i, sh := range shards {
 		if excluded&(1<<uint(i)) != 0 {
 			// Best sound floor for an excluded shard: what was flushed when
 			// it tripped (or is flushed now, if it is still live enough to
@@ -723,8 +925,8 @@ func (c *Cluster) Snapshot() error {
 					vec[i] = lsn
 				}
 			}
-			if prev != nil && prev[i] > vec[i] {
-				vec[i] = prev[i]
+			if prev != nil && i < len(prev.vec) && prev.vec[i] > vec[i] {
+				vec[i] = prev.vec[i]
 			}
 			continue
 		}
@@ -733,7 +935,7 @@ func (c *Cluster) Snapshot() error {
 	if err := c.writeBarrier(vec, excluded); err != nil {
 		return errors.Join(append(errs, err)...)
 	}
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		if excluded&(1<<uint(i)) != 0 {
 			continue
 		}
@@ -744,9 +946,11 @@ func (c *Cluster) Snapshot() error {
 	return errors.Join(errs...)
 }
 
-// Close stops the repair loops, closes every shard (flushing each WAL),
-// and marks the cluster closed. Idempotent. Every shard is closed even
-// if some fail; failures are joined.
+// Close stops the repair loops and any in-flight migration, closes every
+// shard (flushing each WAL), and marks the cluster closed. Idempotent.
+// Every shard is closed even if some fail; failures are joined. A
+// migration interrupted by Close is resumed from its manifest on the next
+// OpenCluster.
 func (c *Cluster) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
@@ -757,55 +961,42 @@ func (c *Cluster) Close() error {
 	c.repairMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	close(c.stop)
 	c.repairWG.Wait()
-	return errors.Join(closeAll(c.shards)...)
+	c.migWG.Wait()
+	return errors.Join(closeAll(c.shardList())...)
 }
 
 // barrierFile is the manifest's name in the cluster root.
 const barrierFile = "cluster-barrier"
 
-// writeBarrier commits the barrier LSN vector crash-atomically. A
-// non-zero exclusion set (Failed shards carried at their last known
-// floor) is recorded in a v2 header; the all-healthy case keeps the v1
-// format.
+// writeBarrier commits the barrier LSN vector crash-atomically. The v3
+// header carries the topology epoch so a barrier taken before (or during)
+// a reshard is interpretable after it completes; the exclusion set
+// (Failed shards carried at their last known floor) rides in the same
+// header.
 func (c *Cluster) writeBarrier(vec []uint64, excluded uint64) error {
 	id := c.snapID.Add(1)
-	tmp := c.dir + "/" + barrierFile + ".tmp"
-	f, err := c.fs.Create(tmp)
-	if err != nil {
-		return err
-	}
 	var b strings.Builder
-	if excluded != 0 {
-		fmt.Fprintf(&b, "euno-cluster-barrier v2 id=%d shards=%d excluded=%d\n", id, len(vec), excluded)
-	} else {
-		fmt.Fprintf(&b, "euno-cluster-barrier v1 id=%d shards=%d\n", id, len(vec))
-	}
+	fmt.Fprintf(&b, "euno-cluster-barrier v3 id=%d epoch=%d shards=%d excluded=%d\n", id, c.table.Epoch(), len(vec), excluded)
 	for i, lsn := range vec {
 		fmt.Fprintf(&b, "%d %d\n", i, lsn)
 	}
-	_, err = f.Write([]byte(b.String()))
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = c.fs.Rename(tmp, c.dir+"/"+barrierFile)
-	}
-	if err != nil {
-		c.fs.Remove(tmp)
-		return err
-	}
-	return c.fs.SyncDir(c.dir)
+	return c.commitFile(barrierFile, b.String())
 }
 
-// readBarrier loads the manifest's LSN vector; a missing manifest returns
+// barrierInfo is a parsed barrier manifest: the durable-LSN floor vector
+// plus the header's topology context.
+type barrierInfo struct {
+	vec      []uint64
+	epoch    uint64 // topology epoch the barrier was taken under (0 for v1/v2)
+	excluded uint64
+}
+
+// readBarrier loads the barrier manifest; a missing manifest returns
 // (nil, nil) — no barrier has ever committed, so there is nothing to
-// verify against. Both the v1 and the v2 (exclusion-recording) header
-// are accepted; the exclusion set does not change verification, since an
-// excluded shard's entry is still a sound floor.
-func (c *Cluster) readBarrier() ([]uint64, error) {
+// verify against. v1 and v2 headers (pre-resharding formats) load as
+// epoch 0; verification decides what a shard-count difference means, not
+// the parser.
+func (c *Cluster) readBarrier() (*barrierInfo, error) {
 	names, err := c.fs.List(c.dir)
 	if err != nil {
 		return nil, err
@@ -829,17 +1020,17 @@ func (c *Cluster) readBarrier() ([]uint64, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("eunomia: cluster barrier manifest empty")
 	}
-	var id, excluded uint64
+	var id uint64
+	info := &barrierInfo{}
 	var n int
-	if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v2 id=%d shards=%d excluded=%d", &id, &n, &excluded); err != nil {
-		if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v1 id=%d shards=%d", &id, &n); err != nil {
-			return nil, fmt.Errorf("eunomia: cluster barrier manifest header %q: %v", sc.Text(), err)
+	if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v3 id=%d epoch=%d shards=%d excluded=%d", &id, &info.epoch, &n, &info.excluded); err != nil {
+		if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v2 id=%d shards=%d excluded=%d", &id, &n, &info.excluded); err != nil {
+			if _, err := fmt.Sscanf(sc.Text(), "euno-cluster-barrier v1 id=%d shards=%d", &id, &n); err != nil {
+				return nil, fmt.Errorf("eunomia: cluster barrier manifest header %q: %v", sc.Text(), err)
+			}
 		}
 	}
-	if n != len(c.shards) {
-		return nil, fmt.Errorf("eunomia: cluster barrier covers %d shards, cluster has %d (resharding is not supported)", n, len(c.shards))
-	}
-	vec := make([]uint64, n)
+	info.vec = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		if !sc.Scan() {
 			return nil, fmt.Errorf("eunomia: cluster barrier manifest truncated at shard %d", i)
@@ -849,27 +1040,57 @@ func (c *Cluster) readBarrier() ([]uint64, error) {
 		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &idx, &lsn); err != nil || idx != i {
 			return nil, fmt.Errorf("eunomia: cluster barrier manifest line %q", sc.Text())
 		}
-		vec[i] = lsn
+		info.vec[i] = lsn
 	}
 	if id > c.snapID.Load() {
 		c.snapID.Store(id)
 	}
-	return vec, sc.Err()
+	return info, sc.Err()
 }
 
-// verifyBarrier cross-checks every recovered shard against the last
-// committed barrier vector.
+// verifyBarrier cross-checks recovered shards against the last committed
+// barrier vector. The barrier's topology epoch decides how to read a
+// shard-count difference:
+//
+//   - barrier epoch > current epoch: the store is from the cluster's
+//     future — a stale shard tree was restored next to a newer barrier.
+//     Refuse with ErrTopologyMismatch.
+//   - barrier epoch == current epoch and the counts still differ (with no
+//     migration in flight to explain it): the manifest and the topology
+//     disagree about the same era. Refuse with ErrTopologyMismatch.
+//   - barrier epoch < current epoch: the barrier predates a completed
+//     reshard. Its floors are still sound for the slots both eras share,
+//     so verify the overlap — keys that moved since are covered by the
+//     migration manifest's own durability, not the old barrier.
 func (c *Cluster) verifyBarrier() error {
-	vec, err := c.readBarrier()
-	if err != nil || vec == nil {
+	info, err := c.readBarrier()
+	if err != nil || info == nil {
 		return err
 	}
+	cur := c.table.Epoch()
+	shards := c.shardList()
+	if info.epoch > cur {
+		return &TopologyMismatchError{
+			StoredEpoch: info.epoch, CurrentEpoch: cur,
+			StoredShards: len(info.vec), CurrentShards: len(shards),
+		}
+	}
+	if info.epoch == cur && len(info.vec) != len(shards) && !c.table.Migrating() {
+		return &TopologyMismatchError{
+			StoredEpoch: info.epoch, CurrentEpoch: cur,
+			StoredShards: len(info.vec), CurrentShards: len(shards),
+		}
+	}
+	n := len(info.vec)
+	if len(shards) < n {
+		n = len(shards)
+	}
 	var errs []error
-	for i, sh := range c.shards {
-		if got := sh.db.Load().recoveredSeq(); got < vec[i] {
+	for i := 0; i < n; i++ {
+		if got := shards[i].db.Load().recoveredSeq(); got < info.vec[i] {
 			errs = append(errs, fmt.Errorf(
 				"eunomia: cluster shard %d recovered to LSN %d but the snapshot barrier requires >= %d: acknowledged writes were lost",
-				i, got, vec[i]))
+				i, got, info.vec[i]))
 		}
 	}
 	return errors.Join(errs...)
@@ -890,6 +1111,31 @@ type ClusterMetrics struct {
 	Health []ShardHealthMetrics
 	// Fault aggregates the fault-domain layer's counters.
 	Fault FaultMetrics
+	// Topology is the routing layer's view: epoch, generation, and the
+	// reshard counters.
+	Topology TopologyMetrics
+}
+
+// TopologyMetrics is the routing table's state plus the migration
+// engine's lifetime counters.
+type TopologyMetrics struct {
+	// Epoch counts completed topology changes.
+	Epoch uint64
+	// RoutingGen is the routing generation (bumps on migration begin,
+	// every interval cutover, and finish).
+	RoutingGen uint64
+	// Shards is the serving slot count under the current view.
+	Shards int
+	// Migrating reports an in-flight topology change.
+	Migrating bool
+	// MovesDone counts migration intervals fully completed (copied, cut
+	// over, purged) over the cluster's lifetime.
+	MovesDone uint64
+	// Redirects counts operations re-routed mid-flight because their key's
+	// interval cut over under them.
+	Redirects uint64
+	// AutoSplits counts resharding runs triggered by the hot-shard watcher.
+	AutoSplits uint64
 }
 
 // Metrics returns one coherent snapshot of every shard plus the
@@ -897,13 +1143,24 @@ type ClusterMetrics struct {
 // operations. A repaired shard's counters restart with its recovered
 // incarnation.
 func (c *Cluster) Metrics() ClusterMetrics {
-	cm := ClusterMetrics{Shards: len(c.shards)}
+	shards := c.shardList()
+	v := c.table.View()
+	cm := ClusterMetrics{Shards: len(shards)}
 	cm.Fault = FaultMetrics{
 		ShedOps:       c.shed.Load(),
 		Retries:       c.retries.Load(),
 		RetriesDenied: c.retriesDenied.Load(),
 	}
-	for _, sh := range c.shards {
+	cm.Topology = TopologyMetrics{
+		Epoch:      v.Epoch,
+		RoutingGen: v.Gen,
+		Shards:     v.Shards(),
+		Migrating:  v.Migrating(),
+		MovesDone:  c.movesDone.Load(),
+		Redirects:  c.redirects.Load(),
+		AutoSplits: c.autoSplits.Load(),
+	}
+	for _, sh := range shards {
 		m := sh.db.Load().Metrics()
 		cm.PerShard = append(cm.PerShard, m)
 		mergeMetrics(&cm.Agg, &m)

@@ -191,12 +191,12 @@ type FaultMetrics struct {
 // ShardState returns shard i's current health state — Healthy shards
 // serve; Failed shards fail fast until the repair loop re-admits them.
 func (c *Cluster) ShardState(i int) ShardState {
-	return ShardState(c.shards[i].health.State())
+	return ShardState(c.shard(i).health.State())
 }
 
 // unavailable builds the fail-fast error for a breaker-open shard.
 func (c *Cluster) unavailable(i int) *ShardError {
-	h := c.shards[i].health
+	h := c.shard(i).health
 	return &ShardError{Shard: i, State: ShardState(h.State()), Cause: h.Cause()}
 }
 

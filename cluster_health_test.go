@@ -307,7 +307,7 @@ func TestClusterRepairNoGoroutineLeak(t *testing.T) {
 	}
 	fses[1].Kill()
 	tripShard(t, c, sess, 1)
-	if !c.shards[1].repairing.Load() {
+	if !c.shard(1).repairing.Load() {
 		// The loop may legitimately be between states, but it must be
 		// running by now: the disk is dead, so it cannot have finished.
 		t.Fatal("repair loop not running after trip")

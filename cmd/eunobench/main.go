@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|cluster|storm|recover|abortmix|heatmap|swarm|swarmchaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|cluster|storm|recover|abortmix|heatmap|swarm|swarmchaos|reshardchaos|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,8 +71,9 @@ func main() {
 		"recover":    recoverCmd,
 		"abortmix":   abortmixCmd,
 		"heatmap":    heatmapCmd,
-		"swarm":      func() { swarmCmd(false) },
-		"swarmchaos": func() { swarmCmd(true) },
+		"swarm":        func() { swarmCmd(false) },
+		"swarmchaos":   func() { swarmCmd(true) },
+		"reshardchaos": reshardChaosCmd,
 	}
 	name := strings.ToLower(flag.Arg(0))
 	stopCPU := startCPUProfile()

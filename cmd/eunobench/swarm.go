@@ -90,6 +90,11 @@ type swarmResult struct {
 	Shed          uint64 `json:"shed"`
 	Retries       uint64 `json:"retries"`
 	RetriesDenied uint64 `json:"retries_denied"`
+	// Routing-layer counters: epoch bumps count topology changes the run
+	// saw (0 unless a reshard ran), redirected ops count ErrMoved
+	// retries sessions absorbed while their routing view was stale.
+	RoutingEpochBumps uint64 `json:"routing_epoch_bumps"`
+	RedirectedOps     uint64 `json:"redirected_ops"`
 	// Chaos-only fields.
 	KilledShard         int      `json:"killed_shard,omitempty"`
 	Repaired            bool     `json:"repaired,omitempty"`
@@ -490,6 +495,9 @@ func runSwarm(sc *swarmCluster, keys uint64, dur time.Duration, offered float64,
 		Shed:          cm.Fault.ShedOps,
 		Retries:       cm.Fault.Retries,
 		RetriesDenied: cm.Fault.RetriesDenied,
+
+		RoutingEpochBumps: cm.Topology.Epoch,
+		RedirectedOps:     cm.Topology.Redirects,
 	}
 	if !chaos {
 		return res

@@ -15,6 +15,12 @@
 //	SYNC                 -> OK (forces buffered WAL bytes to disk, all shards)
 //	SNAPSHOT             -> OK (consistent cluster-wide snapshot: barrier
 //	                        manifest + per-shard snapshot/truncate)
+//	RESHARD <n>          -> OK | ERR ... (live topology change to n shards;
+//	                        blocks this connection until the migration
+//	                        completes — other connections keep serving
+//	                        through the epoched routing table, and in
+//	                        durable mode the migration itself is
+//	                        crash-safe: a restart resumes or rolls forward)
 //	STATS                -> one line: the Cluster.Metrics() aggregate —
 //	                        cluster-wide commit/abort counters, the abort
 //	                        decomposition by reason, durability counters,
@@ -76,7 +82,7 @@ import (
 
 var (
 	listen     = flag.String("listen", "", "address to serve on (empty = run the built-in demo)")
-	shards     = flag.Int("shards", 4, "number of independent tree shards the key space is partitioned across")
+	shards     = flag.Int("shards", 4, "number of independent tree shards the key space is partitioned across; when the flag is not set, a durable cluster adopts whatever topology its store recorded (RESHARD survives restarts)")
 	resilience = flag.Bool("resilience", false, "enable the abort-storm hardening layer (backoff, queued fallback, storm detector, watchdog)")
 	durableDir = flag.String("durable", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
 	flushEvery = flag.Duration("flush-interval", 0, "group-commit flush interval (0 = leader-based immediate commit)")
@@ -284,6 +290,18 @@ func (s *server) serveConn(conn net.Conn) {
 			} else {
 				fmt.Fprintln(out, "OK")
 			}
+		case "RESHARD":
+			// Blocks this connection for the whole migration; every other
+			// connection keeps serving through the epoched routing table.
+			if n, err := parse1(fields); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else if n > 64 {
+				fmt.Fprintln(out, "ERR cluster supports <= 64 shards")
+			} else if err := s.c.Reshard(int(n)); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
 		case "STATS":
 			// One coherent snapshot for the whole server: every shard,
 			// every connection's threads — not just this connection.
@@ -307,6 +325,9 @@ func (s *server) serveConn(conn net.Conn) {
 			fmt.Fprintf(out, " health=%s trips=%d repairs=%d shed=%d retries=%d retries_denied=%d busy=%d conns_rejected=%d",
 				states, cm.Fault.Trips, cm.Fault.Repairs, cm.Fault.ShedOps,
 				cm.Fault.Retries, cm.Fault.RetriesDenied, s.busyShed.Load(), s.connsRejected.Load())
+			tm := cm.Topology
+			fmt.Fprintf(out, " epoch=%d gen=%d migrating=%v moves_done=%d redirects=%d autosplits=%d",
+				tm.Epoch, tm.RoutingGen, tm.Migrating, tm.MovesDone, tm.Redirects, tm.AutoSplits)
 			if c := m.Contention; c.Enabled {
 				fmt.Fprintf(out, " heat_aborts=%d", c.AbortsSeen)
 				for i, l := range c.HotLeaves {
@@ -427,7 +448,17 @@ func main() {
 			SnapshotBytes: *snapBytes,
 		}
 	}
-	c, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: *shards, Shard: opts})
+	// An explicit -shards is a contract (mismatch with a durable store's
+	// recorded topology fails with ErrTopologyMismatch); leaving it unset
+	// adopts whatever topology the store recorded, so a cluster resharded
+	// in a previous run reopens at its committed width.
+	nshards := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			nshards = *shards
+		}
+	})
+	c, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: nshards, Shard: opts})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -434,6 +434,64 @@ func TestDurableRestartPreservesData(t *testing.T) {
 	}
 }
 
+// TestReshardCommand: RESHARD migrates the live cluster to a new width
+// with every key intact, STATS reports the new topology, and a restart
+// on the same directory with no -shards contract adopts the resharded
+// width (while the old width is refused as a topology mismatch).
+func TestReshardCommand(t *testing.T) {
+	dir := t.TempDir()
+	opts := eunomia.Options{ArenaWords: 1 << 20,
+		Durability: eunomia.Durability{Dir: dir}}
+
+	s, ln := startServer(t, opts)
+	conn, in := dialServer(t, ln.Addr())
+	for k := 1; k <= 60; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d %d", k, k*3)); got != "OK" {
+			t.Fatalf("put %d: %q", k, got)
+		}
+	}
+	if got := roundTrip(t, conn, in, "RESHARD 5"); got != "OK" {
+		t.Fatalf("reshard: %q", got)
+	}
+	for k := 1; k <= 60; k++ {
+		if got := roundTrip(t, conn, in, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*3) {
+			t.Fatalf("key %d after reshard: %q", k, got)
+		}
+	}
+	stats := roundTrip(t, conn, in, "STATS")
+	if got := statValue(t, stats, "shards="); got != 5 {
+		t.Fatalf("post-reshard shards = %d, want 5: %q", got, stats)
+	}
+	if got := statValue(t, stats, "epoch="); got < 1 {
+		t.Fatalf("post-reshard epoch = %d, want >= 1: %q", got, stats)
+	}
+	if got := statValue(t, stats, "moves_done="); got < 1 {
+		t.Fatalf("post-reshard moves_done = %d, want >= 1: %q", got, stats)
+	}
+	if got := roundTrip(t, conn, in, "RESHARD 99"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("RESHARD 99 -> %q, want ERR", got)
+	}
+	conn.Close()
+	s.shutdown(ln, time.Second)
+
+	// The old width now contradicts the store's recorded topology.
+	if _, err := eunomia.OpenCluster(eunomia.ClusterOptions{Shards: testShards, Shard: opts}); !errors.Is(err, eunomia.ErrTopologyMismatch) {
+		t.Fatalf("reopen at stale width: err = %v, want ErrTopologyMismatch", err)
+	}
+
+	// Shards: 0 (the unset -shards path) adopts the resharded width.
+	s2, ln2 := startClusterServer(t, eunomia.ClusterOptions{Shards: 0, Shard: opts}, defaultLimits())
+	if got := s2.c.Shards(); got != 5 {
+		t.Fatalf("restart adopted %d shards, want 5", got)
+	}
+	conn2, in2 := dialServer(t, ln2.Addr())
+	for k := 1; k <= 60; k++ {
+		if got := roundTrip(t, conn2, in2, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*3) {
+			t.Fatalf("key %d after restart: %q", k, got)
+		}
+	}
+}
+
 // TestOpsAfterCloseReturnErr: a server whose DB has been closed answers
 // requests with ERR instead of panicking or acknowledging.
 func TestOpsAfterCloseReturnErr(t *testing.T) {

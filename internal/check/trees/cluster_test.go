@@ -81,6 +81,69 @@ func TestClusterMutantCaught(t *testing.T) {
 	}
 }
 
+// TestClusterReshardSweep checks linearizability with a live migration in
+// flight: the reshard registry entry starts a 3->4 topology change 16 ops
+// into every history and advances one move per subsequent op, so the
+// checker linearizes reads and writes against every intermediate routing
+// state — mid-copy, mid-cutover, mid-purge.
+func TestClusterReshardSweep(t *testing.T) {
+	seeds := 48
+	if testing.Short() {
+		seeds = 10
+	}
+	mk, err := Lookup("euno-cluster-reshard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	histories, fail := check.Sweep("euno-cluster-reshard", mk, check.DefaultSweep(seeds))
+	if fail != nil {
+		t.Fatalf("reshard sweep failed after %d histories:\n%v", histories, fail)
+	}
+	t.Logf("euno-cluster-reshard: %d histories linearizable (%d seeds)", histories, seeds)
+}
+
+// TestClusterReshardMutantCaught proves the checker sees migration bugs:
+// a cutover that commits one op before its data copy leaves the
+// destination serving a hole (stale reads) and lets the late copy clobber
+// writes landed in the window (lost updates). The sweep must reject it,
+// the failure must replay deterministically, and the fenced migration
+// must pass the same schedule.
+func TestClusterReshardMutantCaught(t *testing.T) {
+	mk, err := Lookup("euno-cluster-reshard-broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	histories, fail := check.Sweep("euno-cluster-reshard-broken", mk, check.DefaultSweep(8))
+	if fail == nil {
+		t.Fatalf("flip-before-copy mutant survived %d histories; the migration checker lost its teeth", histories)
+	}
+	t.Logf("migration mutant caught after %d histories", histories)
+	t.Logf("repro: %s", fail.ReproLine())
+	if !strings.Contains(fail.ReproLine(), "tree=euno-cluster-reshard-broken") {
+		t.Errorf("repro line does not name the reshard entry: %s", fail.ReproLine())
+	}
+
+	r, err := check.ParseRepro(check.Repro{Tree: fail.Tree, Workload: fail.Workload, Fault: fail.Fault}.String())
+	if err != nil {
+		t.Fatalf("emitted repro does not parse: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := check.RunWorkload(mk, r.Workload, r.Fault); err == nil {
+			t.Fatalf("replay %d of the shrunk repro passed; migration repro is not deterministic", i)
+		}
+	}
+
+	// The mutant is in the cutover ordering, not the migration itself: the
+	// correctly fenced reshard must pass the exact failing schedule.
+	healthy, err := Lookup("euno-cluster-reshard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check.RunWorkload(healthy, r.Workload, r.Fault); err != nil {
+		t.Errorf("fenced migration fails the mutant's repro schedule:\n%v", err)
+	}
+}
+
 // TestClusterFaultsReachShards: the caller device's fault injector must
 // propagate into the shard devices — otherwise every sweep fault variant
 // silently skips the cluster entries.

@@ -55,6 +55,18 @@ type ClusterScenario struct {
 	// mutant proving the probation gate has teeth.
 	AdmitBeforeReplay bool
 
+	// Reshard, when non-zero, starts a live Cluster.Reshard to this shard
+	// count concurrently with phase 1's writers, so crash points land mid
+	// bulk-copy, mid-catch-up, mid-cutover, and inside the migration
+	// manifest commit — on source disks, destination disks (the kill mask
+	// spans max(Shards, Reshard) disks), or the root manifest disk. After
+	// recovery the migration resumes from the journaled move watermarks.
+	Reshard int
+	// CutBeforeCatchup passes the deliberately broken migration mode
+	// through to ReshardOptions: cutover with no dirty-set drain. A Reshard
+	// run with live writers must FAIL the checker under it.
+	CutBeforeCatchup bool
+
 	FlushInterval  time.Duration
 	FlushBytes     int
 	SnapshotBytes  int64
@@ -82,9 +94,9 @@ func (s ClusterScenario) withDefaults() ClusterScenario {
 
 // String encodes the scenario as the EUNO_CLUSTER_CRASH_REPRO token.
 func (s ClusterScenario) String() string {
-	return fmt.Sprintf("shards=%d,kill=%d,kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,barrier=%d,heal=%d,mutant=%d,interval=%d,flushbytes=%d,snapbytes=%d,ack=%d",
+	return fmt.Sprintf("shards=%d,kill=%d,kind=%d,procs=%d,ops=%d,keys=%d,seed=%d,crash=%d,torn=%d,restarts=%d,barrier=%d,heal=%d,mutant=%d,reshard=%d,cutmut=%d,interval=%d,flushbytes=%d,snapbytes=%d,ack=%d",
 		s.Shards, s.Kill, int(s.Kind), s.Procs, s.Ops, s.Keys, s.Seed, s.CrashAtIO, s.TornSeed,
-		s.Restarts, b2i(s.Barrier), b2i(s.Heal), b2i(s.AdmitBeforeReplay),
+		s.Restarts, b2i(s.Barrier), b2i(s.Heal), b2i(s.AdmitBeforeReplay), s.Reshard, b2i(s.CutBeforeCatchup),
 		int64(s.FlushInterval), s.FlushBytes, s.SnapshotBytes, b2i(s.AckBeforeFlush))
 }
 
@@ -127,6 +139,10 @@ func ParseCluster(tok string) (ClusterScenario, error) {
 			s.Heal = n != 0
 		case "mutant":
 			s.AdmitBeforeReplay = n != 0
+		case "reshard":
+			s.Reshard = int(n)
+		case "cutmut":
+			s.CutBeforeCatchup = n != 0
 		case "interval":
 			s.FlushInterval = time.Duration(n)
 		case "flushbytes":
@@ -151,7 +167,14 @@ func ClusterReproLine(s ClusterScenario) string {
 func RunCluster(s ClusterScenario) Result {
 	s = s.withDefaults()
 	plan := durable.FaultPlan{CrashAtIO: s.CrashAtIO, TornSeed: s.TornSeed}
-	fses := make([]*durable.MemFS, s.Shards)
+	// A Reshard run serves from max(Shards, Reshard) disks: destination
+	// slots opened by the split get their own killable disks, so crash
+	// points land on the copy's write side too.
+	maxShards := s.Shards
+	if s.Reshard > maxShards {
+		maxShards = s.Reshard
+	}
+	fses := make([]*durable.MemFS, maxShards)
 	for i := range fses {
 		if s.Kill&(1<<uint(i)) != 0 {
 			fses[i] = durable.NewMemFS(plan)
@@ -160,7 +183,7 @@ func RunCluster(s ClusterScenario) Result {
 		}
 	}
 	manifestFS := durable.NewMemFS(durable.FaultPlan{})
-	if s.Kill&(1<<uint(s.Shards)) != 0 {
+	if s.Kill&(1<<uint(maxShards)) != 0 {
 		manifestFS = durable.NewMemFS(plan)
 	}
 	anyCrashed := func() bool {
@@ -171,9 +194,10 @@ func RunCluster(s ClusterScenario) Result {
 		}
 		return manifestFS.Crashed()
 	}
-	open := func() (*eunomia.Cluster, error) {
+	open := func(shards int) (*eunomia.Cluster, error) {
 		co := eunomia.ClusterOptions{
-			Shards: s.Shards,
+			Shards:  shards,
+			Reshard: eunomia.ReshardOptions{CutBeforeCatchup: s.CutBeforeCatchup},
 			Shard: eunomia.Options{
 				Kind:       s.Kind,
 				ArenaWords: 1 << 19,
@@ -202,23 +226,90 @@ func RunCluster(s ClusterScenario) Result {
 		}
 		return eunomia.OpenCluster(co)
 	}
-	c, err := open()
+	c, err := open(s.Shards)
 	if err != nil && !anyCrashed() {
 		return Result{Err: fmt.Errorf("crashcheck: first cluster open: %w", err)}
+	}
+	// After a successful first open the topology record is durable, so
+	// recovery opens adopt the stored shard count: a reshard may have
+	// completed (or be mid-flight) by then, making the original count
+	// stale. If the first open itself crashed, nothing was recorded and
+	// recovery must restate the intended count.
+	reopenShards := s.Shards
+	if s.Reshard != 0 && c != nil {
+		reopenShards = 0
+	}
+
+	var clock atomic.Uint64
+	var mu sync.Mutex
+	var acked []check.Op
+	var inflight []check.Op // response timestamps patched after recovery
+
+	// Reshard runs preload the whole universe first: an empty cluster
+	// migrates instantly (nothing to copy), leaving no window for crash
+	// points or the cut-before-catch-up mutant to land in. The preload
+	// writes are acknowledged history like any other.
+	if s.Reshard != 0 && c != nil {
+		sess := c.NewSession()
+		proc := s.Procs + s.Restarts + 3
+		for key := uint64(1); key <= s.Keys; key++ {
+			val := uint64(proc)<<40 | key<<8 | 0x5
+			op := check.Op{Kind: check.Put, Key: key, Val: val, OK: true,
+				Proc: proc, Inv: clock.Add(1)}
+			err := sess.Put(key, val)
+			op.Rsp = clock.Add(1)
+			if err == nil {
+				acked = append(acked, op)
+			} else {
+				inflight = append(inflight, op)
+			}
+		}
+	}
+
+	// The live migration runs concurrently with phase 1's writers. The
+	// goroutine parks until the migration finishes or the cluster closes
+	// (a killed disk blocks the engine on the shard's breaker; Close is
+	// this harness's process death).
+	var reshardDone chan struct{}
+	if s.Reshard != 0 && c != nil {
+		reshardDone = make(chan struct{})
+		go func(c *eunomia.Cluster) {
+			defer close(reshardDone)
+			_ = c.Reshard(s.Reshard)
+		}(c)
 	}
 	// The crash can fire inside OpenCluster itself (segment creation and
 	// directory fsyncs are IO points); nothing was acknowledged, so phase 1
 	// is skipped and the run goes straight to recovery.
+
+	// migrating reports whether the concurrent Reshard is still running.
+	migrating := func() bool {
+		if reshardDone == nil {
+			return false
+		}
+		select {
+		case <-reshardDone:
+			return false
+		default:
+			return true
+		}
+	}
 
 	// Phase 1: concurrent writers. Unlike the single-DB harness, a failed
 	// operation does NOT end the worker — only its shard's disk died, the
 	// process is alive — so every failed write is recorded with an open
 	// window and the worker moves on, exercising healthy shards around the
 	// dead one.
-	var clock atomic.Uint64
-	var mu sync.Mutex
-	var acked []check.Op
-	var inflight []check.Op // response timestamps patched after recovery
+	//
+	// With a live migration the writers run past their op budget until the
+	// cutovers finish (hard-capped, and never past a crash): the copy
+	// window then always overlaps acknowledged writes, so the overlap the
+	// CutBeforeCatchup mutant loses is structural, not a scheduling
+	// accident of a loaded test machine.
+	maxOps := s.Ops
+	if s.Reshard != 0 {
+		maxOps = s.Ops * 64
+	}
 	var wg sync.WaitGroup
 	for p := 0; c != nil && p < s.Procs; p++ {
 		wg.Add(1)
@@ -232,7 +323,10 @@ func RunCluster(s ClusterScenario) Result {
 				rng ^= rng << 17
 				return rng
 			}
-			for i := 0; i < s.Ops; i++ {
+			for i := 0; i < maxOps; i++ {
+				if i >= s.Ops && (!migrating() || anyCrashed()) {
+					break
+				}
 				if s.Barrier && p == 0 && i == s.Ops/2 {
 					// Mid-run cluster snapshot: the barrier's per-shard syncs
 					// and the manifest commit interleave their IO points with
@@ -341,9 +435,20 @@ func RunCluster(s ClusterScenario) Result {
 		}
 	}
 
+	// On a crash-free run let the migration land before closing: the
+	// cutover and purge must happen while the cluster serves, which is
+	// exactly the window the CutBeforeCatchup mutant loses writes in. On a
+	// crashed run the engine is parked on a dead shard's breaker — Close
+	// unblocks it, like killing the process.
+	if reshardDone != nil && !anyCrashed() {
+		<-reshardDone
+	}
 	res := Result{Crashed: crashed, Healed: healed, Acked: len(acked)}
 	if c != nil {
 		c.Close() // joined errors expected after a crash
+	}
+	if reshardDone != nil {
+		<-reshardDone
 	}
 
 	// Phase 2: reboot every disk and recover the whole cluster. Healthy
@@ -355,7 +460,7 @@ func RunCluster(s ClusterScenario) Result {
 		fs.Reboot()
 	}
 	manifestFS.Reboot()
-	c2, err := open()
+	c2, err := open(reopenShards)
 	if err != nil {
 		res.Err = fmt.Errorf("crashcheck: cluster recovery failed: %w", err)
 		return res
@@ -402,7 +507,7 @@ func RunCluster(s ClusterScenario) Result {
 			res.Err = fmt.Errorf("crashcheck: cluster restart cycle %d close: %w", cy, err)
 			return res
 		}
-		if c2, err = open(); err != nil {
+		if c2, err = open(reopenShards); err != nil {
 			res.Err = fmt.Errorf("crashcheck: cluster restart cycle %d recovery: %w", cy, err)
 			return res
 		}
@@ -443,8 +548,11 @@ func RunCluster(s ClusterScenario) Result {
 func ClusterSweep(base ClusterScenario, points uint64) (fired int, firstErr error) {
 	base = base.withDefaults()
 	disks := uint(base.Shards)
-	if base.Barrier {
-		disks++ // the manifest disk is killable too
+	if base.Reshard > int(disks) {
+		disks = uint(base.Reshard) // destination disks are killable too
+	}
+	if base.Barrier || base.Reshard != 0 {
+		disks++ // the manifest disk (and migration manifest) is killable too
 	}
 	for p := uint64(1); p <= points; p++ {
 		s := base

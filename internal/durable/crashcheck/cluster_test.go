@@ -188,14 +188,106 @@ func TestClusterHealMutantCaught(t *testing.T) {
 	if parsed != *failing {
 		t.Fatalf("repro round-trip mismatch:\n  %+v\n  %+v", parsed, *failing)
 	}
+	// The replay races the mutant repair loop against wall-clock hammer
+	// rounds, so reproduction probability per attempt is high but not 1 —
+	// and drops further on a loaded machine (race detector, parallel
+	// packages). The budget is sized so a genuine repro practically cannot
+	// miss while a fixed bug still fails fast.
+	reproduced := false
+	for try := 0; try < 30 && !reproduced; try++ {
+		reproduced = RunCluster(parsed).Err != nil
+	}
+	if !reproduced {
+		t.Fatal("replayed heal-mutant repro did not reproduce the violation in 30 attempts")
+	}
+	t.Logf("heal mutant caught; repro: %s", ClusterReproLine(*failing))
+}
+
+// TestClusterReshardCrashSweep drives seeded crash points through a live
+// 2->4 split running concurrently with the writers: points land mid
+// bulk-copy, mid-catch-up, inside the fenced cutover's manifest commit,
+// and during purge — on source disks, the freshly opened destination
+// disks, or the root disk holding the migration manifest. Every recovered
+// cluster (which resumes the migration from the journaled watermarks,
+// then survives a restart cycle) must check linearizable.
+func TestClusterReshardCrashSweep(t *testing.T) {
+	points := uint64(40)
+	if testing.Short() {
+		points = 10
+	}
+	base := ClusterScenario{Shards: 2, Reshard: 4, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 50, Keys: 24, Seed: 131, Restarts: 1}
+	fired, err := ClusterSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("no crash points fired during the reshard sweep")
+	}
+	t.Logf("reshard sweep: %d crash points fired mid-migration, zero violations", fired)
+}
+
+// TestClusterReshardMergeCrashSweep is the shrink direction: a 4->2 merge
+// retires two serving shards while their keys drain to the survivors.
+func TestClusterReshardMergeCrashSweep(t *testing.T) {
+	points := uint64(24)
+	if testing.Short() {
+		points = 6
+	}
+	base := ClusterScenario{Shards: 4, Reshard: 2, Kind: eunomia.EunoBTree,
+		Procs: 2, Ops: 40, Keys: 20, Seed: 177}
+	fired, err := ClusterSweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("no crash points fired during the merge sweep")
+	}
+	t.Logf("merge sweep: %d crash points fired mid-migration, zero violations", fired)
+}
+
+// TestClusterReshardMutantCaught: a migration that cuts over without
+// draining the dirty set loses writes acknowledged during the copy window
+// — no crash needed, just live writers concurrent with the move. The
+// harness must catch it: if every seed survives, the catch-up drain (and
+// the fence around the final one) is decorative.
+func TestClusterReshardMutantCaught(t *testing.T) {
+	// The universe must be big enough that the bulk copy genuinely
+	// overlaps the writers — over a small one the migration finishes
+	// before a single racing write lands.
+	base := ClusterScenario{Shards: 3, Reshard: 5, CutBeforeCatchup: true,
+		Kind: eunomia.EunoBTree, Procs: 3, Ops: 200, Keys: 2048, Kill: 1}
+	var failing *ClusterScenario
+	for seed := uint64(1); seed <= 8 && failing == nil; seed++ {
+		s := base
+		s.Seed = seed
+		// The overlap between the writers and the copy window is a real
+		// race; accept a seed only if it fails repeatably enough to print.
+		for try := 0; try < 3; try++ {
+			if RunCluster(s).Err != nil {
+				failing = &s
+				break
+			}
+		}
+	}
+	if failing == nil {
+		t.Fatal("cut-before-catch-up mutant survived every seed: the migration fuzzer is blind")
+	}
+	parsed, err := ParseCluster(failing.String())
+	if err != nil {
+		t.Fatalf("repro token does not parse: %v", err)
+	}
+	if parsed != *failing {
+		t.Fatalf("repro round-trip mismatch:\n  %+v\n  %+v", parsed, *failing)
+	}
 	reproduced := false
 	for try := 0; try < 10 && !reproduced; try++ {
 		reproduced = RunCluster(parsed).Err != nil
 	}
 	if !reproduced {
-		t.Fatal("replayed heal-mutant repro did not reproduce the violation in 10 attempts")
+		t.Fatal("replayed reshard-mutant repro did not reproduce the violation in 10 attempts")
 	}
-	t.Logf("heal mutant caught; repro: %s", ClusterReproLine(*failing))
+	t.Logf("reshard mutant caught; repro: %s", ClusterReproLine(*failing))
 }
 
 // TestClusterBarrierDetectsRolledBackShard: commit a snapshot barrier,
@@ -256,7 +348,8 @@ func TestClusterBarrierDetectsRolledBackShard(t *testing.T) {
 func TestClusterScenarioRoundtrip(t *testing.T) {
 	s := ClusterScenario{Shards: 5, Kill: 11, Kind: eunomia.Masstree,
 		Procs: 3, Ops: 99, Keys: 31, Seed: 8, CrashAtIO: 42, TornSeed: 77,
-		Restarts: 2, Barrier: true, FlushInterval: 1_000_000,
+		Restarts: 2, Barrier: true, Reshard: 7, CutBeforeCatchup: true,
+		FlushInterval: 1_000_000,
 		FlushBytes: 512, SnapshotBytes: 4096, AckBeforeFlush: true}
 	parsed, err := ParseCluster(s.String())
 	if err != nil {

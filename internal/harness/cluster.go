@@ -143,7 +143,11 @@ func RunCluster(cfg ClusterConfig) ClusterResult {
 	if err := cfg.Mix.Validate(); err != nil {
 		panic(err)
 	}
-	router := shard.New(cfg.Shards, cfg.Partition)
+	// The harness routes through the same epoched Table the Cluster facade
+	// serves from (stable here — no migration runs during a figure), so
+	// the figures exercise the production routing path. A stable Table
+	// routes identically to its wrapped Router: figures stay bit-identical.
+	table := shard.NewTable(shard.New(cfg.Shards, cfg.Partition))
 
 	hcfg := htm.DefaultConfig
 	if cfg.Resilience {
@@ -169,7 +173,7 @@ func RunCluster(cfg ClusterConfig) ClusterResult {
 	// Load phase (not measured), routed exactly like the measured phase.
 	var preloaded uint64
 	workload.ForEachPreload(cfg.Keys, cfg.PreloadPct, func(key uint64) {
-		s := router.Route(key)
+		s := table.Route(key)
 		trees[s].Put(boots[s], key, key*31+7)
 		preloaded++
 	})
@@ -192,7 +196,7 @@ func RunCluster(cfg ClusterConfig) ClusterResult {
 		for i := 0; more(i); i++ {
 			opsDone[w]++
 			op := stream.Next(ths[0].Rand)
-			s := router.Route(op.Key)
+			s := table.Route(op.Key)
 			th := ths[s]
 			start := now()
 			switch op.Kind {

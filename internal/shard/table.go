@@ -1,0 +1,325 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the epoched routing table behind online resharding. A bare
+// Router maps every key to one shard forever; a Table wraps two Routers —
+// the serving topology and a target topology — plus the set of key
+// intervals whose ownership is in flight between them. Consumers load an
+// immutable View per operation (one atomic pointer load) and route
+// against it; the migration engine advances the table by swapping in a
+// new View, so routing is wait-free and a View, once loaded, never
+// changes under the caller. That immutability is what makes a merged
+// range scan sound mid-migration: the scan freezes one View and filters
+// every shard's cursor by it, so each key is accepted on exactly one
+// shard for the whole scan no matter how many cutovers land meanwhile.
+
+// Move is one migration interval: the keys leaving Src for Dst when the
+// topology changes from the old Router to the new one. Under Range
+// partitioning the keys form the contiguous interval [Lo, Hi]; under Hash
+// partitioning they are scattered (Lo/Hi span the whole key space and
+// membership is decided by the two Routers), so a Move is an interval of
+// the *ownership map*, not necessarily of the key line.
+type Move struct {
+	Src, Dst int
+	Lo, Hi   uint64
+}
+
+// MoveState is one Move's position in the migration state machine, as
+// journaled in the cluster's migration manifest.
+type MoveState int
+
+const (
+	// MovePending moves have not started: Src still owns every key.
+	MovePending MoveState = iota
+	// MoveCopying is the active move: Src is authoritative, the engine is
+	// bulk-copying into Dst and tracking concurrent writes for catch-up.
+	MoveCopying
+	// MoveCutOver moves have flipped authority to Dst; Src may still hold
+	// stale copies awaiting purge.
+	MoveCutOver
+	// MoveDone moves are complete: copied, cut over, and purged.
+	MoveDone
+)
+
+// String names the state (the manifest's on-disk vocabulary).
+func (s MoveState) String() string {
+	switch s {
+	case MovePending:
+		return "pending"
+	case MoveCopying:
+		return "copying"
+	case MoveCutOver:
+		return "cutover"
+	case MoveDone:
+		return "done"
+	default:
+		return fmt.Sprintf("MoveState(%d)", int(s))
+	}
+}
+
+// ParseMoveState inverts String.
+func ParseMoveState(s string) (MoveState, error) {
+	for st := MovePending; st <= MoveDone; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("shard: unknown move state %q", s)
+}
+
+// View is one immutable routing snapshot. Load it once per operation (or
+// once per scan) and route every decision in that operation against it.
+type View struct {
+	// Epoch counts completed topology changes; a freshly built cluster is
+	// epoch 0, and each finished reshard adds one.
+	Epoch uint64
+	// Gen is the routing generation: it advances on every View swap
+	// (migration begin, each cutover, finish), so a cached per-shard
+	// resource built against Gen g is stale exactly when the table's Gen
+	// differs. Sessions re-thread on mismatch.
+	Gen uint64
+
+	old, new Router
+	// moves is the migration's interval list in cutover order; nil when
+	// the topology is stable. cut is the prefix already cut over: moves
+	// [0,cut) route to Dst, moves [cut, len) still route to Src.
+	moves []Move
+	cut   int
+	// moveIdx maps src*newShards+dst to the move's index in moves.
+	moveIdx map[int]int
+}
+
+// Table is the shared mutable cell: an atomic pointer to the current
+// View. The zero value is invalid; build with NewTable. Swaps
+// (BeginReshard/Cut/Finish) must be externally serialized — the cluster's
+// migration engine is the only writer — while Route/View/Gen are safe
+// from any goroutine.
+type Table struct {
+	v atomic.Pointer[View]
+}
+
+// NewTable builds a stable table at epoch 0 over r.
+func NewTable(r Router) *Table {
+	t := &Table{}
+	t.v.Store(&View{old: r, new: r, Gen: 1})
+	return t
+}
+
+// NewTableAt builds a stable table at a recovered epoch (reopening a
+// cluster that resharded in a previous life).
+func NewTableAt(r Router, epoch uint64) *Table {
+	t := &Table{}
+	t.v.Store(&View{old: r, new: r, Epoch: epoch, Gen: 1})
+	return t
+}
+
+// View returns the current immutable routing snapshot.
+func (t *Table) View() *View { return t.v.Load() }
+
+// Gen returns the current routing generation.
+func (t *Table) Gen() uint64 { return t.v.Load().Gen }
+
+// Epoch returns the completed-reshard count.
+func (t *Table) Epoch() uint64 { return t.v.Load().Epoch }
+
+// Route is the convenience form of View().Route for callers that need a
+// single routing decision with no cross-key consistency requirement.
+func (t *Table) Route(key uint64) int { return t.v.Load().Route(key) }
+
+// Migrating reports whether a topology change is in flight.
+func (t *Table) Migrating() bool { return t.v.Load().Migrating() }
+
+// Migrating reports whether this View carries in-flight moves.
+func (v *View) Migrating() bool { return len(v.moves) > 0 }
+
+// Shards returns the serving slot count: the number of shard slots an
+// operation may be routed to under this View. During a split it already
+// includes the destination slots; during a merge it still includes the
+// retiring sources.
+func (v *View) Shards() int {
+	if v.new.Shards() > v.old.Shards() {
+		return v.new.Shards()
+	}
+	return v.old.Shards()
+}
+
+// Target returns the topology the table is moving toward (equal to the
+// serving Router when stable).
+func (v *View) Target() Router { return v.new }
+
+// Route returns key's owning shard under this View: the new owner once
+// the key's move has cut over, the old owner before that.
+func (v *View) Route(key uint64) int {
+	if v.moves == nil {
+		return v.new.Route(key)
+	}
+	o, n := v.old.Route(key), v.new.Route(key)
+	if o == n {
+		return o
+	}
+	if mi, ok := v.moveIdx[o*v.new.Shards()+n]; ok && mi < v.cut {
+		return n
+	}
+	return o
+}
+
+// MoveOf returns the index of the move that owns key's transition, and
+// whether key is moving at all under this View. A key whose old and new
+// owners agree is not moving.
+func (v *View) MoveOf(key uint64) (int, bool) {
+	if v.moves == nil {
+		return 0, false
+	}
+	o, n := v.old.Route(key), v.new.Route(key)
+	if o == n {
+		return 0, false
+	}
+	mi, ok := v.moveIdx[o*v.new.Shards()+n]
+	return mi, ok
+}
+
+// Cut returns the cut prefix: moves [0, Cut) have flipped to Dst.
+func (v *View) Cut() int { return v.cut }
+
+// Moves returns the migration's interval list (nil when stable). The
+// slice is shared and must not be mutated.
+func (v *View) Moves() []Move { return v.moves }
+
+// StateOf reports move mi's position given the purge watermark (moves
+// [0, purged) are fully purged): the Table itself only distinguishes
+// cut from un-cut; purge progress is the manifest's.
+func (v *View) StateOf(mi, purged int) MoveState { return StateAt(mi, v.cut, purged) }
+
+// StateAt derives move mi's state from the two watermarks alone — the
+// form the migration manifest writer uses, where the cut being journaled
+// may be ahead of any installed View.
+func StateAt(mi, cut, purged int) MoveState {
+	switch {
+	case mi < purged:
+		return MoveDone
+	case mi < cut:
+		return MoveCutOver
+	case mi == cut:
+		return MoveCopying
+	default:
+		return MovePending
+	}
+}
+
+// EnumerateMoves lists the ownership intervals that change hands going
+// from old to new, in deterministic cutover order (by source, then
+// destination). Under Range partitioning each move carries tight [Lo,Hi]
+// bounds (the intersection of the source's old interval and the
+// destination's new one); under Hash the bounds span the key space and
+// the pair of Routers is the membership predicate. Pairs that happen to
+// own no keys are harmless: their copy is empty and their cutover
+// instant.
+func EnumerateMoves(old, new Router) []Move {
+	var moves []Move
+	if old.Partition() == Range && new.Partition() == Range {
+		for s := 0; s < old.Shards(); s++ {
+			sLo := old.RangeStart(s)
+			sHi := rangeEnd(old, s)
+			for d := 0; d < new.Shards(); d++ {
+				if d == s {
+					continue
+				}
+				lo, hi := new.RangeStart(d), rangeEnd(new, d)
+				if lo < sLo {
+					lo = sLo
+				}
+				if hi > sHi {
+					hi = sHi
+				}
+				if lo <= hi {
+					moves = append(moves, Move{Src: s, Dst: d, Lo: lo, Hi: hi})
+				}
+			}
+		}
+		return moves
+	}
+	for s := 0; s < old.Shards(); s++ {
+		for d := 0; d < new.Shards(); d++ {
+			if d == s {
+				continue
+			}
+			moves = append(moves, Move{Src: s, Dst: d, Lo: 0, Hi: ^uint64(0)})
+		}
+	}
+	return moves
+}
+
+// rangeEnd returns the last key shard i owns under Range partitioning.
+func rangeEnd(r Router, i int) uint64 {
+	if i == r.Shards()-1 {
+		return ^uint64(0)
+	}
+	return r.RangeStart(i+1) - 1
+}
+
+// BeginReshard swaps in a migration View toward target with the given
+// cut prefix already applied (0 for a fresh reshard; a recovered cluster
+// resumes mid-prefix). Returns the installed View.
+func (t *Table) BeginReshard(target Router, cut int) *View {
+	cur := t.v.Load()
+	moves := EnumerateMoves(cur.new, target)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(moves) {
+		cut = len(moves)
+	}
+	idx := make(map[int]int, len(moves))
+	for i, m := range moves {
+		idx[m.Src*target.Shards()+m.Dst] = i
+	}
+	v := &View{
+		Epoch:   cur.Epoch,
+		Gen:     cur.Gen + 1,
+		old:     cur.new,
+		new:     target,
+		moves:   moves,
+		cut:     cut,
+		moveIdx: idx,
+	}
+	t.v.Store(v)
+	return v
+}
+
+// CutOver advances the cut prefix to include move mi (which must be the
+// current prefix boundary), flipping its keys to Dst. The caller must
+// hold the migration fence so no operation is mid-flight on the flipped
+// interval.
+func (t *Table) CutOver(mi int) *View {
+	cur := t.v.Load()
+	if cur.moves == nil || mi != cur.cut {
+		panic(fmt.Sprintf("shard: CutOver(%d) out of order (cut=%d, moves=%d)", mi, cur.cut, len(cur.moves)))
+	}
+	v := &View{
+		Epoch:   cur.Epoch,
+		Gen:     cur.Gen + 1,
+		old:     cur.old,
+		new:     cur.new,
+		moves:   cur.moves,
+		cut:     cur.cut + 1,
+		moveIdx: cur.moveIdx,
+	}
+	t.v.Store(v)
+	return v
+}
+
+// Finish completes the migration: the table becomes stable at the target
+// Router and the epoch advances.
+func (t *Table) Finish() *View {
+	cur := t.v.Load()
+	if cur.moves != nil && cur.cut != len(cur.moves) {
+		panic(fmt.Sprintf("shard: Finish with %d of %d moves cut", cur.cut, len(cur.moves)))
+	}
+	v := &View{Epoch: cur.Epoch + 1, Gen: cur.Gen + 1, old: cur.new, new: cur.new}
+	t.v.Store(v)
+	return v
+}

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"testing"
+)
+
+// TestTableStableRoutesLikeRouter: a stable table is a Router with an
+// epoch stapled on.
+func TestTableStableRoutesLikeRouter(t *testing.T) {
+	for _, part := range []Partition{Hash, Range} {
+		r := New(4, part)
+		tb := NewTable(r)
+		if tb.Epoch() != 0 || tb.Migrating() {
+			t.Fatalf("%v: fresh table epoch=%d migrating=%v", part, tb.Epoch(), tb.Migrating())
+		}
+		for k := uint64(0); k < 10_000; k++ {
+			if got, want := tb.Route(k), r.Route(k); got != want {
+				t.Fatalf("%v: key %d routed to %d, router says %d", part, k, got, want)
+			}
+		}
+	}
+}
+
+// TestEnumerateMovesRangeBounds: range-mode moves carry tight interval
+// bounds, and every key claimed by a move actually changes owner.
+func TestEnumerateMovesRangeBounds(t *testing.T) {
+	old, new := New(2, Range), New(3, Range)
+	moves := EnumerateMoves(old, new)
+	if len(moves) == 0 {
+		t.Fatal("no moves for 2->3 range reshard")
+	}
+	for _, m := range moves {
+		if m.Lo > m.Hi {
+			t.Fatalf("move %+v: inverted bounds", m)
+		}
+		for _, k := range []uint64{m.Lo, m.Hi, m.Lo + (m.Hi-m.Lo)/2} {
+			if old.Route(k) != m.Src || new.Route(k) != m.Dst {
+				t.Fatalf("move %+v: key %d routes old=%d new=%d", m, k, old.Route(k), new.Route(k))
+			}
+		}
+	}
+	// Every moving key is claimed by exactly one move.
+	for k := uint64(0); k < 1_000_000; k += 9973 {
+		o, n := old.Route(k), new.Route(k)
+		claims := 0
+		for _, m := range moves {
+			if m.Src == o && m.Dst == n && k >= m.Lo && k <= m.Hi {
+				claims++
+			}
+		}
+		want := 0
+		if o != n {
+			want = 1
+		}
+		if claims != want {
+			t.Fatalf("key %d (old=%d new=%d): claimed by %d moves, want %d", k, o, n, claims, want)
+		}
+	}
+}
+
+// TestMigrationCutoverFlipsOwnership: keys route to their old owner
+// until their move's cutover, to the new owner after, and every key ends
+// on the target topology after Finish.
+func TestMigrationCutoverFlipsOwnership(t *testing.T) {
+	for _, part := range []Partition{Hash, Range} {
+		oldR, newR := New(3, part), New(5, part)
+		tb := NewTable(oldR)
+		v := tb.BeginReshard(newR, 0)
+		if !v.Migrating() || v.Shards() != 5 {
+			t.Fatalf("%v: begin: migrating=%v shards=%d", part, v.Migrating(), v.Shards())
+		}
+		keys := make([]uint64, 0, 4096)
+		for k := uint64(1); k <= 1<<20; k += 257 {
+			keys = append(keys, k)
+		}
+		for mi := range v.Moves() {
+			// Before the cut: keys of move mi still route to Src.
+			cur := tb.View()
+			for _, k := range keys {
+				i, moving := cur.MoveOf(k)
+				if !moving || i != mi {
+					continue
+				}
+				if got := cur.Route(k); got != cur.Moves()[mi].Src {
+					t.Fatalf("%v: move %d key %d routed to %d pre-cut, want src %d", part, mi, k, got, cur.Moves()[mi].Src)
+				}
+			}
+			prevGen := cur.Gen
+			cur = tb.CutOver(mi)
+			if cur.Gen != prevGen+1 || cur.Cut() != mi+1 {
+				t.Fatalf("%v: cutover %d: gen %d->%d cut=%d", part, mi, prevGen, cur.Gen, cur.Cut())
+			}
+			for _, k := range keys {
+				i, moving := cur.MoveOf(k)
+				if !moving || i != mi {
+					continue
+				}
+				if got := cur.Route(k); got != cur.Moves()[mi].Dst {
+					t.Fatalf("%v: move %d key %d routed to %d post-cut, want dst %d", part, mi, k, got, cur.Moves()[mi].Dst)
+				}
+			}
+		}
+		fin := tb.Finish()
+		if fin.Epoch != 1 || fin.Migrating() {
+			t.Fatalf("%v: finish: epoch=%d migrating=%v", part, fin.Epoch, fin.Migrating())
+		}
+		for _, k := range keys {
+			if got, want := fin.Route(k), newR.Route(k); got != want {
+				t.Fatalf("%v: post-finish key %d routed to %d, want %d", part, k, got, want)
+			}
+		}
+	}
+}
+
+// TestViewImmutableUnderSwap: a loaded View keeps answering with its own
+// cut prefix after the table advances — the property the frozen-scan
+// merge depends on.
+func TestViewImmutableUnderSwap(t *testing.T) {
+	tb := NewTable(New(2, Hash))
+	tb.BeginReshard(New(4, Hash), 0)
+	frozen := tb.View()
+	var movingKey uint64
+	found := false
+	for k := uint64(1); k < 1<<20; k++ {
+		if _, ok := frozen.MoveOf(k); ok {
+			movingKey, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no moving key found")
+	}
+	before := frozen.Route(movingKey)
+	for mi := range frozen.Moves() {
+		tb.CutOver(mi)
+	}
+	tb.Finish()
+	if got := frozen.Route(movingKey); got != before {
+		t.Fatalf("frozen view changed its answer: %d -> %d", before, got)
+	}
+	if got, want := tb.Route(movingKey), New(4, Hash).Route(movingKey); got != want {
+		t.Fatalf("live table routes %d, want %d", got, want)
+	}
+}
+
+// TestMergeShrinksSlots: a merge keeps serving the retiring slots until
+// finish, then the stable view stops routing to them.
+func TestMergeShrinksSlots(t *testing.T) {
+	tb := NewTableAt(New(4, Hash), 3)
+	v := tb.BeginReshard(New(2, Hash), 0)
+	if v.Shards() != 4 {
+		t.Fatalf("mid-merge slots = %d, want 4 (sources still serving)", v.Shards())
+	}
+	for mi := range v.Moves() {
+		tb.CutOver(mi)
+	}
+	fin := tb.Finish()
+	if fin.Shards() != 2 || fin.Epoch != 4 {
+		t.Fatalf("post-merge slots=%d epoch=%d", fin.Shards(), fin.Epoch)
+	}
+	for k := uint64(0); k < 100_000; k += 37 {
+		if s := fin.Route(k); s >= 2 {
+			t.Fatalf("key %d routed to retired slot %d", k, s)
+		}
+	}
+}
+
+// TestResumeMidPrefix: BeginReshard with a recovered cut prefix routes
+// already-cut moves to Dst immediately (crash resume).
+func TestResumeMidPrefix(t *testing.T) {
+	oldR, newR := New(2, Range), New(3, Range)
+	moves := EnumerateMoves(oldR, newR)
+	if len(moves) < 2 {
+		t.Fatalf("want >= 2 moves, got %d", len(moves))
+	}
+	tb := NewTable(oldR)
+	v := tb.BeginReshard(newR, 1)
+	if v.Cut() != 1 {
+		t.Fatalf("cut = %d, want 1", v.Cut())
+	}
+	m0 := v.Moves()[0]
+	if got := v.Route(m0.Lo); got != m0.Dst {
+		t.Fatalf("resumed cut move routes to %d, want dst %d", got, m0.Dst)
+	}
+	if len(v.Moves()) > 1 {
+		m1 := v.Moves()[1]
+		if got := v.Route(m1.Lo); got != m1.Src {
+			t.Fatalf("pending move routes to %d, want src %d", got, m1.Src)
+		}
+	}
+}
+
+// TestMoveStateRoundTrip: the manifest vocabulary survives parsing.
+func TestMoveStateRoundTrip(t *testing.T) {
+	for st := MovePending; st <= MoveDone; st++ {
+		got, err := ParseMoveState(st.String())
+		if err != nil || got != st {
+			t.Fatalf("round trip %v: got %v err %v", st, got, err)
+		}
+	}
+	if _, err := ParseMoveState("bogus"); err == nil {
+		t.Fatal("bogus state parsed")
+	}
+}
+
+// TestStateOf: the four-state machine derives correctly from the cut and
+// purge watermarks.
+func TestStateOf(t *testing.T) {
+	tb := NewTable(New(2, Hash))
+	v := tb.BeginReshard(New(3, Hash), 0)
+	n := len(v.Moves())
+	if n < 3 {
+		t.Fatalf("want >= 3 moves, got %d", n)
+	}
+	v = tb.CutOver(0)
+	v = tb.CutOver(1)
+	// purged=1: move 0 done, move 1 cut over awaiting purge, move 2
+	// copying, rest pending.
+	if got := v.StateOf(0, 1); got != MoveDone {
+		t.Fatalf("move 0: %v", got)
+	}
+	if got := v.StateOf(1, 1); got != MoveCutOver {
+		t.Fatalf("move 1: %v", got)
+	}
+	if got := v.StateOf(2, 1); got != MoveCopying {
+		t.Fatalf("move 2: %v", got)
+	}
+	if n > 3 {
+		if got := v.StateOf(3, 1); got != MovePending {
+			t.Fatalf("move 3: %v", got)
+		}
+	}
+}
