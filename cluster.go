@@ -131,17 +131,20 @@ type Cluster struct {
 	retryCap  int // per-shard retry tokens a Session may bank
 
 	stop     chan struct{} // closed by Close; repair loops watch it
-	repairMu sync.Mutex    // serializes repair spawn vs Close
+	repairMu sync.Mutex    // serializes repair/migration spawn vs Close
 	repairWG sync.WaitGroup
 
 	// Online resharding state (cluster_reshard.go): the in-flight
-	// migration, the goroutines it owns, and the live-scan registry that
-	// gates purges and slot retirement.
+	// migration, the goroutines it owns, the live-scan registry that
+	// gates purges and slot retirement, and the session registry the
+	// engine's quiesce barrier walks before the first copy.
 	reshardMu  sync.Mutex
 	mig        atomic.Pointer[migration]
 	migWG      sync.WaitGroup
 	scanMu     sync.Mutex
 	scans      map[uint64]int // routing Gen a live merged scan froze -> count
+	sessMu     sync.Mutex
+	sessions   map[*Session]struct{}
 	movesDone  atomic.Uint64
 	redirects  atomic.Uint64
 	autoSplits atomic.Uint64
@@ -191,9 +194,10 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		return nil, fmt.Errorf("eunomia: cluster supports <= 64 shards, got %d", opts.Shards)
 	}
 	c := &Cluster{
-		opts:  opts,
-		stop:  make(chan struct{}),
-		scans: map[uint64]int{},
+		opts:     opts,
+		stop:     make(chan struct{}),
+		scans:    map[uint64]int{},
+		sessions: map[*Session]struct{}{},
 	}
 	c.healthOn = !opts.Health.Disable
 	c.healthCfg = shard.HealthConfig{
@@ -325,14 +329,41 @@ type Session struct {
 	gens     []uint64 // shard generation each thread was built against
 	tokens   []int    // banked retry tokens (per-shard retry budget)
 	earned   []int    // successes counted toward the next token
+
+	// guard is held (read side) for every routed operation's whole
+	// execution. The migration engine's quiesce barrier takes the write
+	// side of every registered session's guard once, after installing the
+	// migration routing view and before the first copy: an operation that
+	// routed under a pre-migration view — and so took the fenceless fast
+	// path — is guaranteed to have finished before any of its keys move,
+	// closing the window where a delayed write could land on a
+	// de-authorized source after its interval was copied and cut over.
+	guard sync.RWMutex
 }
 
 // NewSession creates a worker handle spanning every shard. Threads are
-// built lazily so a Failed shard costs nothing until it heals.
+// built lazily so a Failed shard costs nothing until it heals. Sessions
+// are registered with the cluster (the resharding engine's quiesce
+// barrier walks them); a workload that churns Sessions should Close each
+// one when done with it.
 func (c *Cluster) NewSession() *Session {
 	s := &Session{c: c, tableGen: c.table.Gen()}
 	s.ensure(len(c.shardList()))
+	c.sessMu.Lock()
+	c.sessions[s] = struct{}{}
+	c.sessMu.Unlock()
 	return s
+}
+
+// Close unregisters the Session from the cluster. The Session must not
+// be used afterwards: an unregistered Session's operations are invisible
+// to the resharding engine's quiesce barrier, so using one concurrently
+// with a Reshard can lose writes. Close is optional for Sessions that
+// live as long as the Cluster.
+func (s *Session) Close() {
+	s.c.sessMu.Lock()
+	delete(s.c.sessions, s)
+	s.c.sessMu.Unlock()
 }
 
 // ensure sizes the per-slot arrays for n serving slots, preserving
@@ -457,8 +488,16 @@ const moveRedirectLimit = 3
 // op never executed, so the retry is always safe), further hops from
 // the Session's banked retry tokens — and only a topology churning
 // faster than the redirect limit surfaces ErrMoved.
+//
+// The whole call runs under the Session guard (read side): a freshly
+// begun migration quiesces every registered session before its first
+// copy, so the fenceless stable-key fast path below is safe even for an
+// operation that routed just before BeginReshard — the engine waits for
+// it to finish before any of its keys can move.
 func (s *Session) routed(key uint64, write bool, op func(*Thread) error) error {
 	c := s.c
+	s.guard.RLock()
+	defer s.guard.RUnlock()
 	for hops := 0; ; hops++ {
 		v := c.table.View()
 		i := v.Route(key)
@@ -466,7 +505,8 @@ func (s *Session) routed(key uint64, write bool, op func(*Thread) error) error {
 		if !moving || mi < v.Cut() {
 			// Stable key, or its interval already cut over: the owner can
 			// never silently change under the op (cutovers only ever flip
-			// un-cut intervals), so no fence is needed.
+			// un-cut intervals, and a new migration quiesces this session's
+			// guard before touching anything), so no fence is needed.
 			return s.do(i, op)
 		}
 		m := c.mig.Load()
@@ -718,13 +758,14 @@ func (s *Session) scanFailed(i int, err error) error {
 
 // mergedRange is the k-way merge behind Range (strict) and RangePartial.
 // The whole merge routes against one frozen routing view, registered
-// with the cluster's live-scan registry: the migration engine will not
-// purge a cut-over interval's source copies — nor retire a merged-away
-// slot — while a scan that still routes reads there is running.
+// with the cluster's live-scan registry (scanFreeze registers before the
+// view is trusted, so a concurrent cutover+purge can never slip through
+// the registration gap): the migration engine will not purge a cut-over
+// interval's source copies — nor retire a merged-away slot — while a
+// scan that still routes reads there is running.
 func (s *Session) mergedRange(from, to uint64, stat *RangeStat, strict bool) iter.Seq2[uint64, uint64] {
 	return func(yield func(uint64, uint64) bool) {
-		v := s.c.table.View()
-		s.c.scanEnter(v.Gen)
+		v := s.c.scanFreeze()
 		defer s.c.scanExit(v.Gen)
 		var errs []error
 		record := func(i int, err error, midScan bool) {

@@ -222,21 +222,23 @@ func (c *Cluster) Reshard(n int) error {
 	}
 	from := v.Target()
 	to := shard.New(n, from.Partition())
-	// A split opens the destination slots before anything is journaled:
-	// a crash here leaves only empty directories, which the next split
-	// wipes again. Wiping first clears debris from a migration that
-	// completed (and retired these slots) but crashed before cleanup.
+	// A split opens the destination slots before anything is journaled (a
+	// crash here leaves only empty directories, which the next split wipes
+	// again; wiping first clears debris from a migration that completed —
+	// and retired these slots — but crashed before cleanup). They are NOT
+	// published into the serving slice yet: a failed manifest write below
+	// must leave Shards()/Metrics reporting the topology that actually
+	// serves, and must not leave open DB handles behind for a retry's wipe
+	// to pull the rug from under.
+	var opened []*clusterShard
 	if n > cur {
-		list := c.shardList()
-		grown := make([]*clusterShard, len(list), n)
-		copy(grown, list)
 		for i := cur; i < n; i++ {
 			o := c.opts.Shard
 			if o.Durability.Dir != "" {
 				o.Durability.Dir = shardDirName(c.dir, i)
 				if err := c.wipeDir(o.Durability.Dir); err != nil {
 					err = fmt.Errorf("eunomia: reshard: wipe shard %d: %w", i, err)
-					return errors.Join(append([]error{err}, closeAll(grown[cur:])...)...)
+					return errors.Join(append([]error{err}, closeAll(opened)...)...)
 				}
 			}
 			if c.opts.PerShard != nil {
@@ -245,25 +247,45 @@ func (c *Cluster) Reshard(n int) error {
 			db, err := Open(o)
 			if err != nil {
 				err = fmt.Errorf("eunomia: reshard: open shard %d: %w", i, err)
-				return errors.Join(append([]error{err}, closeAll(grown[cur:])...)...)
+				return errors.Join(append([]error{err}, closeAll(opened)...)...)
 			}
 			sh := &clusterShard{idx: i, opts: o, health: shard.NewHealth(c.healthCfg)}
 			sh.db.Store(db)
-			grown = append(grown, sh)
+			opened = append(opened, sh)
 		}
-		c.shards.Store(&grown)
 	}
 	m := newMigration(from, to, 0, 0)
 	if c.dir != "" {
 		if err := c.writeReshardManifest(m, 0, 0); err != nil {
-			// Nothing routed yet: abandon cleanly. New slots stay open but
-			// idle (empty, unrouted); the next Reshard reuses them.
-			return fmt.Errorf("eunomia: reshard: manifest: %w", err)
+			// Nothing routed or published yet: abandon cleanly, closing the
+			// slots opened above (their wiped-then-empty directories are
+			// harmless debris a later split wipes again).
+			err = fmt.Errorf("eunomia: reshard: manifest: %w", err)
+			return errors.Join(append([]error{err}, closeAll(opened)...)...)
 		}
+	}
+	// Register the engine goroutine under the same closed re-check barrier
+	// startRepair uses: Close's migWG.Wait either observes this Add, or we
+	// observe closed here and stand down — an Add racing a Wait-at-zero is
+	// documented WaitGroup misuse. A manifest already committed above is
+	// fine on the stand-down path: the next OpenCluster resumes the
+	// migration, exactly as after a Close mid-flight.
+	c.repairMu.Lock()
+	if c.closed.Load() {
+		c.repairMu.Unlock()
+		return errors.Join(append([]error{ErrClosed}, closeAll(opened)...)...)
+	}
+	c.migWG.Add(1)
+	c.repairMu.Unlock()
+	if len(opened) > 0 {
+		list := c.shardList()
+		grown := make([]*clusterShard, 0, n)
+		grown = append(grown, list...)
+		grown = append(grown, opened...)
+		c.shards.Store(&grown)
 	}
 	c.mig.Store(m)
 	m.cutGen = c.table.BeginReshard(to, 0).Gen
-	c.migWG.Add(1)
 	go c.runMigration(m, false)
 	<-m.done
 	return m.err
@@ -274,6 +296,15 @@ func (c *Cluster) Reshard(n int) error {
 func (c *Cluster) runMigration(m *migration, resumed bool) {
 	defer c.migWG.Done()
 	defer close(m.done)
+	// Grace period: an operation that loaded a stable pre-migration view
+	// took the fenceless fast path, so one delayed between routing and its
+	// tree write could land on a source shard after its interval was
+	// copied, drained, and cut over — an acknowledged write the new owner
+	// never sees (and, on a merge, an index into a since-truncated shard
+	// slice). Quiesce every registered session before the first copy or
+	// purge: anything routed after this observes the migration view and
+	// either takes the fence or is safe fenceless.
+	c.quiesceSessions()
 	// Purge backlog first: moves already cut over in a previous life may
 	// still hold stale source copies.
 	for mi := m.purged; mi < m.cut; mi++ {
@@ -628,6 +659,48 @@ func (c *Cluster) waitShard(i int) bool {
 		if !c.sleepUnlessClosed(2 * time.Millisecond) {
 			return false
 		}
+	}
+}
+
+// quiesceSessions waits, one session at a time, for every operation in
+// flight at the time of the call to finish: each registered Session's
+// guard is taken exclusively once and released. Sessions created after
+// the registry snapshot route under the already-installed migration view
+// (NewSession's registration orders after BeginReshard's store through
+// sessMu), so a rolling barrier suffices — the property needed is only
+// that no operation which routed under a pre-migration view is still in
+// flight once this returns.
+func (c *Cluster) quiesceSessions() {
+	c.sessMu.Lock()
+	sess := make([]*Session, 0, len(c.sessions))
+	for s := range c.sessions {
+		sess = append(sess, s)
+	}
+	c.sessMu.Unlock()
+	for _, s := range sess {
+		s.guard.Lock()
+		s.guard.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
+}
+
+// scanFreeze freezes a routing view for a merged scan and registers it
+// with the live-scan registry, closing the load-then-register race: a
+// cutover plus purge landing between the View load and scanEnter would
+// pass its scan wait without seeing this scan, then delete source copies
+// the frozen view still routes reads to. Registering first and then
+// re-checking the generation makes that impossible — if the table still
+// reports the registered generation, any later purge wait is ordered
+// after the registration (both sides serialize through scanMu and the
+// table's atomic view pointer); if not, unregister and re-freeze on the
+// newer view.
+func (c *Cluster) scanFreeze() *shard.View {
+	for {
+		v := c.table.View()
+		c.scanEnter(v.Gen)
+		if c.table.Gen() == v.Gen {
+			return v
+		}
+		c.scanExit(v.Gen)
 	}
 }
 

@@ -3,6 +3,7 @@ package eunomia
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -495,6 +496,185 @@ func TestReshardArgErrors(t *testing.T) {
 		v, ok, err := sess.Get(k)
 		if err != nil || !ok || v != k {
 			t.Fatalf("key %d after racing reshards: %d,%v,%v", k, v, ok, err)
+		}
+	}
+}
+
+// TestReshardQuiescesInFlightOps is the deterministic regression test for
+// the migration-start grace period: an operation that routed under the
+// stable pre-migration view takes the fenceless fast path, so one delayed
+// between routing and its tree write could land on the source after its
+// interval was copied, drained, and cut over — an acknowledged write the
+// new owner never sees. Holding a Session's guard read-side is exactly
+// the state such a delayed op is in; the engine must not move a byte
+// until it releases, and the write it then performs on the old owner must
+// survive the migration.
+func TestReshardQuiescesInFlightOps(t *testing.T) {
+	c := testCluster(t, 1, RangePartition)
+	sess := c.NewSession()
+	for k := uint64(0); k < 64; k++ {
+		if err := sess.Put(k*(1<<58), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := c.NewSession()
+	held.guard.RLock()
+	done := make(chan error, 1)
+	go func() { done <- c.Reshard(2) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !c.Migrating() {
+		if time.Now().After(deadline) {
+			held.guard.RUnlock()
+			t.Fatal("migration view never installed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// The routing swap has landed but the engine is parked in the grace
+	// period: the destination slot must still be empty.
+	time.Sleep(20 * time.Millisecond)
+	if n, err := c.DB(1).NewThread().Scan(0, 1, func(uint64, uint64) bool { return true }); err != nil || n != 0 {
+		held.guard.RUnlock()
+		t.Fatalf("engine copied during the grace period: n=%d err=%v", n, err)
+	}
+	// The delayed op's write lands on the pre-migration owner — the exact
+	// interleaving that lost acknowledged writes without the quiesce.
+	const movedKey = uint64(3)<<62 + 1 // upper half: moves shard 0 -> 1
+	if err := c.DB(0).NewThread().Put(movedKey, 12345); err != nil {
+		held.guard.RUnlock()
+		t.Fatal(err)
+	}
+	held.guard.RUnlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if c.ShardFor(movedKey) != 1 {
+		t.Fatalf("movedKey owned by shard %d, want 1", c.ShardFor(movedKey))
+	}
+	v, ok, err := sess.Get(movedKey)
+	if err != nil || !ok || v != 12345 {
+		t.Fatalf("delayed pre-migration write lost: %d,%v,%v", v, ok, err)
+	}
+	for k := uint64(0); k < 64; k++ {
+		v, ok, err := sess.Get(k * (1 << 58))
+		if err != nil || !ok || v != k {
+			t.Fatalf("key %d after quiesced split: %d,%v,%v", k, v, ok, err)
+		}
+	}
+}
+
+// denyFS wraps a durable.FS and fails Create for paths containing deny —
+// the hook for failing exactly the reshard manifest's tmp file.
+type denyFS struct {
+	durable.FS
+	mu   sync.Mutex
+	deny string
+}
+
+func (f *denyFS) setDeny(s string) {
+	f.mu.Lock()
+	f.deny = s
+	f.mu.Unlock()
+}
+
+func (f *denyFS) Create(name string) (durable.File, error) {
+	f.mu.Lock()
+	deny := f.deny
+	f.mu.Unlock()
+	if deny != "" && strings.Contains(name, deny) {
+		return nil, errors.New("denyFS: injected create failure")
+	}
+	return f.FS.Create(name)
+}
+
+// TestReshardManifestFailureKeepsServingTopology: when the migration
+// manifest cannot be journaled, the failed Reshard must leave no trace —
+// Shards()/Metrics keep reporting the topology that actually serves, the
+// speculatively opened destination slots are closed (so a later retry can
+// wipe and reopen their directories), and the retry succeeds once the
+// disk recovers.
+func TestReshardManifestFailureKeepsServingTopology(t *testing.T) {
+	mem := durable.NewMemFS(durable.FaultPlan{})
+	ffs := &denyFS{FS: mem}
+	o := durableReshardOpts(mem, 2, RangePartition)
+	o.Shard.Durability.FS = ffs
+	c, err := OpenCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess := c.NewSession()
+	for k := uint64(0); k < 100; k++ {
+		if err := sess.Put(k*(1<<57), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.setDeny("cluster-reshard")
+	if err := c.Reshard(4); err == nil {
+		t.Fatal("Reshard succeeded despite manifest failure")
+	}
+	if got := c.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d after failed reshard, want 2 (serving topology)", got)
+	}
+	if c.Migrating() {
+		t.Fatal("Migrating() after failed reshard")
+	}
+	m := c.Metrics()
+	if m.Shards != 2 || m.Topology.Shards != 2 || len(m.PerShard) != 2 {
+		t.Fatalf("metrics report phantom slots: Shards=%d Topology.Shards=%d PerShard=%d",
+			m.Shards, m.Topology.Shards, len(m.PerShard))
+	}
+	for k := uint64(0); k < 100; k++ {
+		v, ok, err := sess.Get(k * (1 << 57))
+		if err != nil || !ok || v != k {
+			t.Fatalf("key %d after failed reshard: %d,%v,%v", k, v, ok, err)
+		}
+	}
+	// Disk recovers: the retry re-wipes and reopens the destination slots
+	// (which must have been closed by the rollback) and completes.
+	ffs.setDeny("")
+	if err := c.Reshard(4); err != nil {
+		t.Fatalf("retry after manifest failure: %v", err)
+	}
+	if c.Shards() != 4 || c.Epoch() != 1 {
+		t.Fatalf("retry topology: shards=%d epoch=%d", c.Shards(), c.Epoch())
+	}
+	for k := uint64(0); k < 100; k++ {
+		v, ok, err := sess.Get(k * (1 << 57))
+		if err != nil || !ok || v != k {
+			t.Fatalf("key %d after retried reshard: %d,%v,%v", k, v, ok, err)
+		}
+	}
+}
+
+// TestReshardCloseRace: Close racing a just-started Reshard must neither
+// trip the WaitGroup's Add-vs-Wait misuse nor leave goroutines behind —
+// every interleaving ends in ErrClosed, ErrReshardInProgress, or a clean
+// completion.
+func TestReshardCloseRace(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		c, err := OpenCluster(ClusterOptions{
+			Shards:    2,
+			Partition: RangePartition,
+			Shard:     Options{ArenaWords: 1 << 19},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := c.NewSession()
+		for k := uint64(0); k < 32; k++ {
+			if err := sess.Put(k*(1<<58), k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := make(chan error, 1)
+		go func() { done <- c.Reshard(3) }()
+		time.Sleep(time.Duration(i%5) * 20 * time.Microsecond)
+		if err := c.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", i, err)
+		}
+		if err := <-done; err != nil &&
+			!errors.Is(err, ErrClosed) && !errors.Is(err, ErrShardUnavailable) {
+			t.Fatalf("iter %d: reshard: %v", i, err)
 		}
 	}
 }

@@ -134,6 +134,7 @@ func openReshardCluster(keys uint64) (*eunomia.Cluster, error) {
 		return nil, err
 	}
 	sess := c.NewSession()
+	defer sess.Close()
 	for k := uint64(1); k <= keys; k++ {
 		if err := sess.Put(reshardSpread(keys, k), k*7+1); err != nil {
 			c.Close()
@@ -164,6 +165,7 @@ func reshardCalibrate(c *eunomia.Cluster, keys uint64) float64 {
 		go func(w int) {
 			defer wg.Done()
 			sess := c.NewSession()
+			defer sess.Close()
 			rng := vclock.NewRand(*seed + 2000 + uint64(w))
 			n := uint64(0)
 			for time.Now().Before(stop) {
@@ -304,6 +306,7 @@ func runReshardChaos(c *eunomia.Cluster, keys uint64, dur time.Duration, offered
 		go func(w int) {
 			defer wg.Done()
 			sess := c.NewSession()
+			defer sess.Close()
 			for a := range queue {
 				err := swarmExec(sess, a.op)
 				now := time.Now()
@@ -446,6 +449,7 @@ func runReshardChaos(c *eunomia.Cluster, keys uint64, dur time.Duration, offered
 	// every one must still be present after the migration.
 	res.ReadbackOK = true
 	sess := c.NewSession()
+	defer sess.Close()
 	for k := uint64(1); k <= keys; k += keys/200 + 1 {
 		if _, ok, err := sess.Get(reshardSpread(keys, k)); err != nil || !ok {
 			res.ReadbackOK = false

@@ -162,6 +162,7 @@ func openSwarmCluster(keys uint64) (*swarmCluster, error) {
 	// Preload the whole key space so gets hit and the WALs have real
 	// acknowledged state for chaos to endanger.
 	sess := c.NewSession()
+	defer sess.Close()
 	for k := uint64(1); k <= keys; k++ {
 		if err := sess.Put(k, k*7+1); err != nil {
 			c.Close()
@@ -211,6 +212,7 @@ func calibrate(sc *swarmCluster, keys uint64) float64 {
 		go func(w int) {
 			defer wg.Done()
 			sess := sc.c.NewSession()
+			defer sess.Close()
 			rng := vclock.NewRand(*seed + 1000 + uint64(w))
 			stream := workload.NewStream(
 				workload.Spec{Kind: workload.Zipfian, N: keys, Theta: 0.9}, workload.DefaultMix)
@@ -390,6 +392,7 @@ func runSwarm(sc *swarmCluster, keys uint64, dur time.Duration, offered float64,
 		go func(w int) {
 			defer wg.Done()
 			sess := sc.c.NewSession()
+			defer sess.Close()
 			for a := range queue {
 				err := swarmExec(sess, a.op)
 				now := time.Now()
@@ -549,6 +552,7 @@ func mean(v []uint64) float64 {
 // served after WAL replay.
 func swarmReadback(sc *swarmCluster, keys uint64, shard int) bool {
 	sess := sc.c.NewSession()
+	defer sess.Close()
 	checked := 0
 	for k := uint64(1); k <= keys && checked < 200; k++ {
 		if sc.c.ShardFor(k) != shard {

@@ -160,6 +160,7 @@ func (s *server) serveConn(conn net.Conn) {
 		}
 	}()
 	th := s.c.NewSession()
+	defer th.Close()
 	rd := bufio.NewReaderSize(conn, maxLineBytes)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()

@@ -229,3 +229,44 @@ func TestMemoizationHandlesWideConcurrency(t *testing.T) {
 	ops[len(ops)-1] = Op{Kind: Get, Key: 1, Val: 999, OK: true, Inv: 101, Rsp: 102}
 	mustFail(t, History{Ops: ops}, 1)
 }
+
+// oversizedChunk builds >64 chain-overlapping ops on one key: one op whose
+// window spans the whole run (a crash-opened window, the way RunCluster
+// records effect-unknown operations) plus a staircase of quick puts chaining
+// through it. No quiescent cut exists anywhere inside.
+func oversizedChunk(key uint64) []Op {
+	ops := []Op{{Kind: Put, Key: key, Val: 1000, Inv: 1, Rsp: 100000}}
+	for i := 0; i < 80; i++ {
+		t := uint64(10 + 2*i)
+		ops = append(ops, Op{Kind: Put, Key: key, Val: uint64(i), Inv: t, Rsp: t + 1})
+	}
+	return ops
+}
+
+func TestOversizedChunkDegradesWithoutPanic(t *testing.T) {
+	// 81 mutually-overlapping ops exceed the 64-bit DFS bitset; the checker
+	// must over-approximate instead of panicking, and a read consistent
+	// with one of the chunk's puts is accepted.
+	ops := oversizedChunk(1)
+	ops = append(ops, Op{Kind: Get, Key: 1, Val: 79, OK: true, Inv: 200000, Rsp: 200001})
+	mustOK(t, History{Ops: ops})
+}
+
+func TestOversizedChunkStillCatchesLaterViolation(t *testing.T) {
+	// Degrading inside the oversized window must not blind the checker
+	// past it: after the quiescent cut, a read of a value no put ever
+	// wrote is inconsistent with every over-approximated state.
+	ops := oversizedChunk(1)
+	ops = append(ops, Op{Kind: Get, Key: 1, Val: 999999, OK: true, Inv: 200000, Rsp: 200001})
+	mustFail(t, History{Ops: ops}, 1)
+}
+
+func TestOversizedChunkIsolatedPerKey(t *testing.T) {
+	// An oversized window on one key leaves other keys fully checked.
+	ops := oversizedChunk(1)
+	ops = append(ops,
+		Op{Kind: Put, Key: 2, Val: 7, Inv: 300000, Rsp: 300001},
+		Op{Kind: Get, Key: 2, Val: 8, OK: true, Inv: 300002, Rsp: 300003},
+	)
+	mustFail(t, History{Ops: ops}, 2)
+}

@@ -77,9 +77,14 @@ func (s regState) String() string {
 }
 
 // maxChunkOps bounds the mutually-overlapping window the bitset DFS can
-// handle. A chunk only grows past the process count when operations chain-
-// overlap, so hitting this would take 64 operations on one key with no
-// quiescent instant between them; refuse loudly rather than degrade.
+// handle: the done-set is a uint64 bitset, so 64 is the representation's
+// ceiling. A chunk only grows past the process count when operations
+// chain-overlap; crash harnesses produce such windows legitimately, because
+// an operation whose effect is unknown (errored mid-crash) keeps its window
+// open until the end of the run, and every later operation on that key
+// chains through it. Oversized chunks are therefore checked conservatively
+// via overApproxEndStates rather than refused: no false violation can be
+// reported, and exhaustive checking resumes at the next quiescent cut.
 const maxChunkOps = 64
 
 // checkKey verifies one key's sub-history. Returns nil if linearizable.
@@ -96,7 +101,12 @@ func checkKey(key uint64, ops []Op, start regState) *Violation {
 	flush := func(end int) *Violation {
 		chunk := sorted[chunkStart:end]
 		if len(chunk) > maxChunkOps {
-			panic(fmt.Sprintf("check: %d mutually-overlapping ops on key %d (max %d)", len(chunk), key, maxChunkOps))
+			// Too wide for the exhaustive search. Thread a sound
+			// over-approximation of the reachable states forward instead of
+			// failing the whole run; the surrounding chunks stay fully
+			// checked.
+			states = overApproxEndStates(chunk, states)
+			return nil
 		}
 		next := chunkEndStates(chunk, states)
 		if len(next) == 0 {
@@ -120,6 +130,39 @@ func checkKey(key uint64, ops []Op, start regState) *Violation {
 		}
 	}
 	return flush(len(sorted))
+}
+
+// overApproxEndStates returns a superset of every register state a legal
+// linearization of chunk could end in, without searching. The final state
+// of any linearization is the effect of its last state-changing operation —
+// some Put's value, or absent after a successful Delete — or, if the chunk
+// changes nothing, an incoming state; collecting all three covers every
+// case. Used when a chunk outgrows the DFS bitset: the superset means an
+// oversized window can never raise a false violation (it can only fail to
+// notice one confined to that window), and every later chunk is still
+// checked exhaustively against states that include the truly reachable
+// ones.
+func overApproxEndStates(chunk []Op, in []regState) []regState {
+	set := map[regState]struct{}{regState{}: {}}
+	for _, st := range in {
+		set[st] = struct{}{}
+	}
+	for _, o := range chunk {
+		if o.Kind == Put {
+			set[regState{present: true, val: o.Val}] = struct{}{}
+		}
+	}
+	out := make([]regState, 0, len(set))
+	for st := range set {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].present != out[j].present {
+			return !out[i].present
+		}
+		return out[i].val < out[j].val
+	})
+	return out
 }
 
 // chunkEndStates runs the exhaustive WGL search over one chunk from each
