@@ -1,6 +1,6 @@
 # Convenience targets; `go build ./... && go test ./...` is the tier-1 gate.
 
-.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-cluster bench-swarm bench-reshard figures trace-demo
+.PHONY: test verify check golden ci bench-emulator bench-emulator-json bench bench-host bench-hotkey bench-cluster bench-swarm bench-reshard figures trace-demo
 
 test:
 	go build ./... && go test ./...
@@ -48,6 +48,13 @@ bench:
 # GOMAXPROCS/NumCPU so runs stay comparable.
 bench-host:
 	go run ./cmd/eunobench -benchjson BENCH_hostperf.json -benchlabel $(LABEL) hostperf
+
+# bench-hotkey: the CCM v2 hot-key comparison (Options.Combine on vs off)
+# under a single-key hammer and a theta=0.99 celebrity-key Zipfian, on the
+# emulated backend — deterministic virtual-time numbers, so the on/off
+# ratios are comparable across machines and meaningful on single-core CI.
+bench-hotkey:
+	go run ./cmd/eunobench -benchjson BENCH_hotkey.json -benchlabel $(LABEL) hotkey
 
 # bench-cluster: the sharded-Cluster sweep (host backend) across shard
 # counts and Zipfian skew, recorded into the checked-in artifact. On a

@@ -359,11 +359,13 @@ func (c *Cluster) NewSession() *Session {
 // be used afterwards: an unregistered Session's operations are invisible
 // to the resharding engine's quiesce barrier, so using one concurrently
 // with a Reshard can lose writes. Close is optional for Sessions that
-// live as long as the Cluster.
-func (s *Session) Close() {
+// live as long as the Cluster. The error is always nil (the signature
+// satisfies eunomia.Handle).
+func (s *Session) Close() error {
 	s.c.sessMu.Lock()
 	delete(s.c.sessions, s)
 	s.c.sessMu.Unlock()
+	return nil
 }
 
 // ensure sizes the per-slot arrays for n serving slots, preserving
@@ -1179,11 +1181,16 @@ type TopologyMetrics struct {
 	AutoSplits uint64
 }
 
-// Metrics returns one coherent snapshot of every shard plus the
+// Metrics returns the cluster-wide aggregate snapshot — the
+// Store-interface view. Use ClusterMetrics for the per-shard breakdown,
+// health states and topology counters.
+func (c *Cluster) Metrics() Metrics { return c.ClusterMetrics().Agg }
+
+// ClusterMetrics returns one coherent snapshot of every shard plus the
 // aggregate. Like DB.Metrics, it is safe to call concurrently with
 // operations. A repaired shard's counters restart with its recovered
 // incarnation.
-func (c *Cluster) Metrics() ClusterMetrics {
+func (c *Cluster) ClusterMetrics() ClusterMetrics {
 	shards := c.shardList()
 	v := c.table.View()
 	cm := ClusterMetrics{Shards: len(shards)}
@@ -1253,6 +1260,10 @@ func mergeMetrics(dst *Metrics, src *Metrics) {
 	dst.Tree.MarkRejects += src.Tree.MarkRejects
 	dst.Tree.RootRetries += src.Tree.RootRetries
 	dst.Tree.MaintRounds += src.Tree.MaintRounds
+	dst.Tree.EliminatedPairs += src.Tree.EliminatedPairs
+	dst.Tree.CombinedBatches += src.Tree.CombinedBatches
+	dst.Tree.CombinedOps += src.Tree.CombinedOps
+	dst.Tree.CombinerHandoffs += src.Tree.CombinerHandoffs
 	d, s := &dst.Durability, &src.Durability
 	d.Enabled = d.Enabled || s.Enabled
 	d.Flushes += s.Flushes

@@ -74,7 +74,7 @@ func waitShardState(t *testing.T, c *Cluster, sh int, want ShardState) {
 		if got := c.ShardState(sh); got == want {
 			return
 		} else if time.Now().After(deadline) {
-			t.Fatalf("shard %d stuck in %v, want %v (health: %+v)", sh, got, want, c.Metrics().Health[sh])
+			t.Fatalf("shard %d stuck in %v, want %v (health: %+v)", sh, got, want, c.ClusterMetrics().Health[sh])
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -127,7 +127,7 @@ func TestClusterShardBreakerFailFast(t *testing.T) {
 			t.Fatalf("healthy shard read = %d,%v,%v", v, ok, err)
 		}
 	}
-	m := c.Metrics()
+	m := c.ClusterMetrics()
 	if m.Health[1].State != ShardFailed || m.Health[1].Trips != 1 || m.Health[1].Cause == "" {
 		t.Fatalf("shard 1 health = %+v", m.Health[1])
 	}
@@ -215,7 +215,7 @@ func TestClusterRepairReadmitsShard(t *testing.T) {
 	if v, ok, err := sess.Get(k1); err != nil || !ok || v != 42 {
 		t.Fatalf("read-back on re-admitted shard = %d,%v,%v", v, ok, err)
 	}
-	m := c.Metrics()
+	m := c.ClusterMetrics()
 	if m.Health[1].Repairs != 1 || m.Fault.Repairs != 1 {
 		t.Fatalf("repair not recorded: %+v / %+v", m.Health[1], m.Fault)
 	}
@@ -264,13 +264,13 @@ func TestClusterRepairRefusesRolledBackShard(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(10 * time.Second)
-	for !c.Metrics().Health[1].Permanent {
+	for !c.ClusterMetrics().Health[1].Permanent {
 		if time.Now().After(deadline) {
-			t.Fatalf("repair never refused the rolled-back shard: %+v", c.Metrics().Health[1])
+			t.Fatalf("repair never refused the rolled-back shard: %+v", c.ClusterMetrics().Health[1])
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	h := c.Metrics().Health[1]
+	h := c.ClusterMetrics().Health[1]
 	if h.State != ShardFailed {
 		t.Fatalf("rolled-back shard state = %v, want failed", h.State)
 	}
@@ -366,7 +366,7 @@ func TestClusterRetryBudget(t *testing.T) {
 			t.Fatal("Put on dead disk succeeded")
 		}
 	}
-	m := c.Metrics()
+	m := c.ClusterMetrics()
 	if m.Fault.Retries != 3 {
 		t.Fatalf("retries spent = %d, want exactly the budget (3)", m.Fault.Retries)
 	}
@@ -419,9 +419,9 @@ func TestClusterSnapshotDegradesToHealthySubset(t *testing.T) {
 		t.Fatalf("all-healthy snapshot: %v", err)
 	}
 	base := []uint64{
-		c.DB(0).DurabilityStats().Snapshots,
-		c.DB(1).DurabilityStats().Snapshots,
-		c.DB(2).DurabilityStats().Snapshots,
+		c.DB(0).Metrics().Durability.Snapshots,
+		c.DB(1).Metrics().Durability.Snapshots,
+		c.DB(2).Metrics().Durability.Snapshots,
 	}
 	// More acked writes, then shard 1's disk dies.
 	for k := uint64(150); k < 200; k++ {
@@ -448,7 +448,7 @@ func TestClusterSnapshotDegradesToHealthySubset(t *testing.T) {
 	}
 	// The healthy shards actually snapshotted.
 	for _, i := range []int{0, 2} {
-		if got := c.DB(i).DurabilityStats().Snapshots; got != base[i]+1 {
+		if got := c.DB(i).Metrics().Durability.Snapshots; got != base[i]+1 {
 			t.Fatalf("shard %d snapshots = %d, want %d", i, got, base[i]+1)
 		}
 	}

@@ -434,7 +434,7 @@ func TestReshardAutoSplitTriggers(t *testing.T) {
 			}
 		}
 		if c.Shards() == 3 && !c.Migrating() {
-			if got := c.Metrics().Topology.AutoSplits; got != 1 {
+			if got := c.ClusterMetrics().Topology.AutoSplits; got != 1 {
 				t.Fatalf("AutoSplits = %d, want 1", got)
 			}
 			return
@@ -618,7 +618,7 @@ func TestReshardManifestFailureKeepsServingTopology(t *testing.T) {
 	if c.Migrating() {
 		t.Fatal("Migrating() after failed reshard")
 	}
-	m := c.Metrics()
+	m := c.ClusterMetrics()
 	if m.Shards != 2 || m.Topology.Shards != 2 || len(m.PerShard) != 2 {
 		t.Fatalf("metrics report phantom slots: Shards=%d Topology.Shards=%d PerShard=%d",
 			m.Shards, m.Topology.Shards, len(m.PerShard))

@@ -100,7 +100,7 @@ func TestClusterMetricsAggregation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cm := c.Metrics()
+	cm := c.ClusterMetrics()
 	if cm.Shards != 3 || len(cm.PerShard) != 3 {
 		t.Fatalf("Shards=%d len(PerShard)=%d", cm.Shards, len(cm.PerShard))
 	}
@@ -243,7 +243,7 @@ func TestClusterDurableRecovery(t *testing.T) {
 			t.Fatalf("key %d lost across restart: %d,%v", k, v, ok)
 		}
 	}
-	if ds := c2.Metrics().Agg.Durability; ds.ReplayedFrames == 0 && ds.SnapshotPairs == 0 {
+	if ds := c2.ClusterMetrics().Agg.Durability; ds.ReplayedFrames == 0 && ds.SnapshotPairs == 0 {
 		t.Fatal("recovery replayed nothing")
 	}
 }

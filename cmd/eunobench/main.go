@@ -42,7 +42,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|cluster|storm|recover|abortmix|heatmap|swarm|swarmchaos|reshardchaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: eunobench [flags] <fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|mem|scan|latency|adjacency|validate|hostbench|hostperf|hotkey|cluster|storm|recover|abortmix|heatmap|swarm|swarmchaos|reshardchaos|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +66,7 @@ func main() {
 		"validate":   validateCmd,
 		"hostbench":  hostbenchCmd,
 		"hostperf":   hostperfCmd,
+		"hotkey":     hotkeyCmd,
 		"cluster":    clusterCmd,
 		"storm":      stormCmd,
 		"recover":    recoverCmd,

@@ -409,7 +409,7 @@ func runReshardChaos(c *eunomia.Cluster, keys uint64, dur time.Duration, offered
 	migGood, migP99 := window(trig, done+1)
 	postGood, postP99 := window(done+1, nb-1)
 
-	cm := c.Metrics()
+	cm := c.ClusterMetrics()
 	res := reshardResult{
 		OfferedOps:       offered,
 		Arrivals:         arrivals,

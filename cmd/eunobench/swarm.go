@@ -480,7 +480,7 @@ func runSwarm(sc *swarmCluster, keys uint64, dur time.Duration, offered float64,
 		hist.Merge(h)
 	}
 	ls := hist.Snapshot()
-	cm := sc.c.Metrics()
+	cm := sc.c.ClusterMetrics()
 	res := swarmResult{
 		Scenario:      "swarm",
 		OfferedOps:    offered,

@@ -136,6 +136,24 @@ type Tuning struct {
 	DisableAdaptive    bool
 }
 
+// Combine configures the CCM v2 hot-key layer: elimination of same-key
+// insert+delete pairs plus flat combining of same-leaf bursts, applied
+// only to leaves the adaptive hotness signal flags (cold leaves never pay
+// anything). With durability enabled a combined batch is logged as one
+// WAL group record and every operation in it is acknowledged after that
+// single flush. The zero value disables the layer entirely, leaving the
+// tree bit-identical to the paper-faithful default.
+type Combine struct {
+	// Enabled turns the layer on.
+	Enabled bool
+	// Stripes is the number of publication arrays (default 4). Bursts on
+	// one leaf always meet in one stripe.
+	Stripes int
+	// Slots is the number of publication slots per stripe (default 8,
+	// max 64). A saturated stripe falls back to the normal path.
+	Slots int
+}
+
 // Options configures Open.
 type Options struct {
 	// Kind selects the tree implementation (default EunoBTree).
@@ -147,6 +165,9 @@ type Options struct {
 	Fanout int
 	// Euno tunes the Euno-B+Tree (ignored for other kinds).
 	Euno Tuning
+	// Combine enables the CCM v2 hot-key layer on the Euno-B+Tree
+	// (ignored for other kinds). Default off — the paper-faithful tree.
+	Combine Combine
 	// Backend selects the execution engine (default Emulated). Host runs
 	// the same protocol on real goroutines at native speed — use it for
 	// actual-throughput work; use the default for paper-comparable,
@@ -260,6 +281,11 @@ func Open(opts Options) (*DB, error) {
 		cfg.CCMLockBits = !t.DisableCCMLockBits
 		cfg.CCMMarkBits = !t.DisableCCMMarkBits
 		cfg.Adaptive = !t.DisableAdaptive
+		cfg.Combine = core.CombineConfig{
+			Enabled: opts.Combine.Enabled,
+			Stripes: opts.Combine.Stripes,
+			Slots:   opts.Combine.Slots,
+		}
 		if opts.Resilience {
 			cfg.Resilience = htm.DefaultResilience()
 		}
@@ -339,6 +365,17 @@ func (t *Thread) Put(key, val uint64) error {
 		t.db.kv.Put(t.th, key, val)
 		return nil
 	}
+	// With combining on, the batch path owns both the tree mutation and the
+	// WAL group record — it must run before LogPut or the op would log twice.
+	if t.db.euno != nil && t.db.euno.CombineEnabled() {
+		if handled, err := t.db.euno.TryCombinePut(t.th, key, val); handled {
+			if err != nil {
+				return durErr(err)
+			}
+			t.maybeSnapshot()
+			return nil
+		}
+	}
 	if err := t.db.dur.LogPut(key, val, func() { t.db.kv.Put(t.th, key, val) }); err != nil {
 		return durErr(err)
 	}
@@ -354,6 +391,15 @@ func (t *Thread) Delete(key uint64) (bool, error) {
 	}
 	if t.db.dur == nil {
 		return t.db.kv.Delete(t.th, key), nil
+	}
+	if t.db.euno != nil && t.db.euno.CombineEnabled() {
+		if handled, found, err := t.db.euno.TryCombineDelete(t.th, key); handled {
+			if err != nil {
+				return found, durErr(err)
+			}
+			t.maybeSnapshot()
+			return found, nil
+		}
 	}
 	ok, err := t.db.dur.LogDelete(key, func() bool { return t.db.kv.Delete(t.th, key) })
 	if err != nil {
@@ -458,26 +504,12 @@ type ResilienceStats struct {
 	StormEvents uint64
 }
 
-// ResilienceStats returns the current device-level resilience state.
-//
-// Deprecated: use DB.Metrics().Resilience, the unified snapshot.
-func (db *DB) ResilienceStats() ResilienceStats {
-	return db.Metrics().Resilience
-}
-
 // MemoryStats reports the DB's arena footprint.
 type MemoryStats struct {
 	LiveBytes     int64
 	PeakBytes     int64
 	ReservedBytes int64 // transient reserved-keys buffers currently live
 	CCMBytes      int64 // conflict control module lines
-}
-
-// MemoryStats returns the current memory accounting.
-//
-// Deprecated: use DB.Metrics().Memory, the unified snapshot.
-func (db *DB) MemoryStats() MemoryStats {
-	return db.Metrics().Memory
 }
 
 // VirtualResult reports a RunVirtual execution.

@@ -151,7 +151,7 @@ func TestStatsAndMemory(t *testing.T) {
 	if s.Commits == 0 {
 		t.Fatal("no commits")
 	}
-	m := db.MemoryStats()
+	m := db.Metrics().Memory
 	if m.LiveBytes <= 0 || m.PeakBytes < m.LiveBytes {
 		t.Fatalf("memory stats: %+v", m)
 	}

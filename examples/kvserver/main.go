@@ -123,7 +123,12 @@ func defaultLimits() limits {
 }
 
 type server struct {
-	c        *eunomia.Cluster
+	// store is the data plane: every GET/PUT/DEL/SCAN/SYNC/SNAPSHOT goes
+	// through the unified Store/Handle API, so the same server code can
+	// front a single *eunomia.DB or a sharded *eunomia.Cluster. The
+	// cluster-only verbs (RESHARD, the STATS topology/health sections)
+	// type-assert for the concrete Cluster.
+	store    eunomia.Store
 	lim      limits
 	inflight chan struct{} // admission semaphore; nil when unlimited
 	requests atomic.Uint64
@@ -138,10 +143,17 @@ type server struct {
 	wg      sync.WaitGroup
 }
 
-func newServer(c *eunomia.Cluster) *server { return newServerLimits(c, defaultLimits()) }
+func newServer(st eunomia.Store) *server { return newServerLimits(st, defaultLimits()) }
 
-func newServerLimits(c *eunomia.Cluster, lim limits) *server {
-	s := &server{c: c, lim: lim, conns: map[net.Conn]struct{}{}}
+// cluster returns the concrete Cluster behind the store, or nil when the
+// server fronts a single DB.
+func (s *server) cluster() *eunomia.Cluster {
+	c, _ := s.store.(*eunomia.Cluster)
+	return c
+}
+
+func newServerLimits(st eunomia.Store, lim limits) *server {
+	s := &server{store: st, lim: lim, conns: map[net.Conn]struct{}{}}
 	if lim.maxInflight > 0 {
 		s.inflight = make(chan struct{}, lim.maxInflight)
 	}
@@ -159,7 +171,7 @@ func (s *server) serveConn(conn net.Conn) {
 			log.Printf("kvserver: connection %s: recovered: %v", conn.RemoteAddr(), r)
 		}
 	}()
-	th := s.c.NewSession()
+	th := s.store.NewHandle()
 	defer th.Close()
 	rd := bufio.NewReaderSize(conn, maxLineBytes)
 	out := bufio.NewWriter(conn)
@@ -280,13 +292,13 @@ func (s *server) serveConn(conn net.Conn) {
 			}
 			fmt.Fprintln(out, "END")
 		case "SYNC":
-			if err := s.c.Sync(); err != nil {
+			if err := s.store.Sync(); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else {
 				fmt.Fprintln(out, "OK")
 			}
 		case "SNAPSHOT":
-			if err := s.c.Snapshot(); err != nil {
+			if err := s.store.Snapshot(); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else {
 				fmt.Fprintln(out, "OK")
@@ -294,22 +306,32 @@ func (s *server) serveConn(conn net.Conn) {
 		case "RESHARD":
 			// Blocks this connection for the whole migration; every other
 			// connection keeps serving through the epoched routing table.
-			if n, err := parse1(fields); err != nil {
+			c, ok := s.store.(*eunomia.Cluster)
+			if !ok {
+				fmt.Fprintln(out, "ERR store is not a cluster")
+			} else if n, err := parse1(fields); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else if n > 64 {
 				fmt.Fprintln(out, "ERR cluster supports <= 64 shards")
-			} else if err := s.c.Reshard(int(n)); err != nil {
+			} else if err := c.Reshard(int(n)); err != nil {
 				fmt.Fprintf(out, "ERR %v\n", err)
 			} else {
 				fmt.Fprintln(out, "OK")
 			}
 		case "STATS":
 			// One coherent snapshot for the whole server: every shard,
-			// every connection's threads — not just this connection.
-			cm := s.c.Metrics()
-			m := cm.Agg
+			// every connection's threads — not just this connection. The
+			// base sections come from the unified Store metrics; the
+			// per-shard health and topology sections exist only when the
+			// store is a Cluster.
+			m := s.store.Metrics()
+			cluster, _ := s.store.(*eunomia.Cluster)
+			nshards := 1
+			if cluster != nil {
+				nshards = cluster.Shards()
+			}
 			fmt.Fprintf(out, "STATS shards=%d commits=%d aborts=%d fallbacks=%d backoff=%d degraded=%d watchdog=%d storms=%d",
-				cm.Shards, m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks,
+				nshards, m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks,
 				m.Tx.BackoffCycles, m.Tx.DegradationEvents, m.Tx.WatchdogTrips, m.Resilience.StormEvents)
 			for _, reason := range slices.Sorted(maps.Keys(m.Tx.AbortsByReason)) {
 				fmt.Fprintf(out, " abort[%s]=%d", reason, m.Tx.AbortsByReason[reason])
@@ -318,17 +340,24 @@ func (s *server) serveConn(conn net.Conn) {
 				fmt.Fprintf(out, " flushes=%d batch_avg=%.1f flush_p99_us=%d snapshots=%d replayed=%d",
 					ds.Flushes, ds.AvgBatch, ds.FlushP99Ns/1000, ds.Snapshots, ds.ReplayedFrames)
 			}
-			// Fault domains (one letter per shard: H/D/F/R) + serving edge.
-			states := make([]byte, cm.Shards)
-			for i, h := range cm.Health {
-				states[i] = h.State.String()[0] - 'a' + 'A'
+			if tr := m.Tree; tr.CombinedBatches > 0 || tr.EliminatedPairs > 0 {
+				fmt.Fprintf(out, " combined_batches=%d combined_ops=%d eliminated=%d",
+					tr.CombinedBatches, tr.CombinedOps, tr.EliminatedPairs)
 			}
-			fmt.Fprintf(out, " health=%s trips=%d repairs=%d shed=%d retries=%d retries_denied=%d busy=%d conns_rejected=%d",
-				states, cm.Fault.Trips, cm.Fault.Repairs, cm.Fault.ShedOps,
-				cm.Fault.Retries, cm.Fault.RetriesDenied, s.busyShed.Load(), s.connsRejected.Load())
-			tm := cm.Topology
-			fmt.Fprintf(out, " epoch=%d gen=%d migrating=%v moves_done=%d redirects=%d autosplits=%d",
-				tm.Epoch, tm.RoutingGen, tm.Migrating, tm.MovesDone, tm.Redirects, tm.AutoSplits)
+			if cluster != nil {
+				cm := cluster.ClusterMetrics()
+				// Fault domains (one letter per shard: H/D/F/R) + serving edge.
+				states := make([]byte, cm.Shards)
+				for i, h := range cm.Health {
+					states[i] = h.State.String()[0] - 'a' + 'A'
+				}
+				fmt.Fprintf(out, " health=%s trips=%d repairs=%d shed=%d retries=%d retries_denied=%d busy=%d conns_rejected=%d",
+					states, cm.Fault.Trips, cm.Fault.Repairs, cm.Fault.ShedOps,
+					cm.Fault.Retries, cm.Fault.RetriesDenied, s.busyShed.Load(), s.connsRejected.Load())
+				tm := cm.Topology
+				fmt.Fprintf(out, " epoch=%d gen=%d migrating=%v moves_done=%d redirects=%d autosplits=%d",
+					tm.Epoch, tm.RoutingGen, tm.Migrating, tm.MovesDone, tm.Redirects, tm.AutoSplits)
+			}
 			if c := m.Contention; c.Enabled {
 				fmt.Fprintf(out, " heat_aborts=%d", c.AbortsSeen)
 				for i, l := range c.HotLeaves {
@@ -433,7 +462,7 @@ func (s *server) shutdown(ln net.Listener, drain time.Duration) {
 		s.mu.Unlock()
 		<-done
 	}
-	if err := s.c.Close(); err != nil {
+	if err := s.store.Close(); err != nil {
 		log.Printf("kvserver: close: %v", err)
 	}
 }
@@ -463,7 +492,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ds := c.Metrics().Agg.Durability; ds.Enabled && (ds.SnapshotPairs > 0 || ds.ReplayedFrames > 0) {
+	if ds := c.ClusterMetrics().Agg.Durability; ds.Enabled && (ds.SnapshotPairs > 0 || ds.ReplayedFrames > 0) {
 		fmt.Printf("kvserver recovered %d snapshot pairs + %d log frames in %.2f ms across %d shards\n",
 			ds.SnapshotPairs, ds.ReplayedFrames, float64(ds.RecoveryNs)/1e6, c.Shards())
 	}

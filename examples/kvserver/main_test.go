@@ -481,7 +481,7 @@ func TestReshardCommand(t *testing.T) {
 
 	// Shards: 0 (the unset -shards path) adopts the resharded width.
 	s2, ln2 := startClusterServer(t, eunomia.ClusterOptions{Shards: 0, Shard: opts}, defaultLimits())
-	if got := s2.c.Shards(); got != 5 {
+	if got := s2.cluster().Shards(); got != 5 {
 		t.Fatalf("restart adopted %d shards, want 5", got)
 	}
 	conn2, in2 := dialServer(t, ln2.Addr())
@@ -500,7 +500,7 @@ func TestOpsAfterCloseReturnErr(t *testing.T) {
 	if got := roundTrip(t, conn, in, "PUT 1 1"); got != "OK" {
 		t.Fatalf("put: %q", got)
 	}
-	s.c.Close()
+	s.store.Close()
 	for _, req := range []string{"GET 1", "PUT 2 2", "DEL 1", "SCAN 0 5"} {
 		got := roundTrip(t, conn, in, req)
 		if !strings.HasPrefix(got, "ERR") || !strings.Contains(got, "closed") {
@@ -795,7 +795,7 @@ func TestServeShardKillAndRepair(t *testing.T) {
 	// Sort keys by owning shard, then ack a batch everywhere.
 	var mine, theirs []uint64 // shard 1's keys vs everyone else's
 	for k := uint64(1); len(mine) < 60 || len(theirs) < 40; k++ {
-		if s.c.ShardFor(k) == 1 {
+		if s.cluster().ShardFor(k) == 1 {
 			mine = append(mine, k)
 		} else {
 			theirs = append(theirs, k)
@@ -812,13 +812,13 @@ func TestServeShardKillAndRepair(t *testing.T) {
 	tripped := false
 	for _, k := range mine[40:] {
 		if got := roundTrip(t, conn, in, fmt.Sprintf("PUT %d 1", k)); strings.HasPrefix(got, "ERR") &&
-			s.c.ShardState(1) == eunomia.ShardFailed {
+			s.cluster().ShardState(1) == eunomia.ShardFailed {
 			tripped = true
 			break
 		}
 	}
 	if !tripped {
-		t.Fatalf("shard 1 never tripped (state %v)", s.c.ShardState(1))
+		t.Fatalf("shard 1 never tripped (state %v)", s.cluster().ShardState(1))
 	}
 
 	// Degraded service: shard 1's keys fail with the shard error, every

@@ -14,10 +14,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	// Program against the unified Store interface: *DB satisfies it, and
+	// so does the sharded *Cluster — swap eunomia.Open for
+	// eunomia.OpenCluster and nothing below changes.
+	var store eunomia.Store = db
+	defer store.Close()
 
-	// Every worker goroutine gets its own Thread handle.
-	th := db.NewThread()
+	// Every worker goroutine gets its own Handle.
+	th := store.NewHandle()
+	defer th.Close()
 
 	// Point writes and reads.
 	for key := uint64(1); key <= 100; key++ {
@@ -54,10 +59,11 @@ func main() {
 	}
 	fmt.Println()
 
-	// DB.Metrics is the unified snapshot: transactional counters with the
-	// paper's abort decomposition, memory accounting, tree maintenance,
-	// and — when enabled — resilience, durability and contention sections.
-	m := db.Metrics()
+	// Store.Metrics is the unified snapshot: transactional counters with
+	// the paper's abort decomposition, memory accounting, tree
+	// maintenance, and — when enabled — resilience, durability and
+	// contention sections.
+	m := store.Metrics()
 	fmt.Printf("stats: %d commits, %d aborts, %d fallbacks\n",
 		m.Tx.Commits, m.Tx.Aborts, m.Tx.Fallbacks)
 	fmt.Printf("memory: %d B live (%d B CCM)\n",

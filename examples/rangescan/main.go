@@ -65,6 +65,6 @@ func main() {
 		fmt.Printf("  writer %d: %d\n", w, c)
 	}
 
-	m := db.MemoryStats()
+	m := db.Metrics().Memory
 	fmt.Printf("\nreserved-keys buffers after scans: %d B (transient, freed)\n", m.ReservedBytes)
 }

@@ -154,8 +154,27 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 	// only hold frames acknowledged by a run that already recovered past
 	// this tear, and without the rewrite a second restart would re-read
 	// the tear and silently orphan those acknowledged writes.
+	//
+	// Operations are collected and applied in global LSN order rather than
+	// shard-by-shard: a combined batch's group frame lands on ONE shard but
+	// may cover keys homed on others, so per-shard file order no longer
+	// implies per-key order — the sub-operations' LSNs do. (For plain
+	// frames the sort is a no-op per key: same key, same shard, ascending
+	// seq in file order.)
 	maxSeq := baseLSN
 	maxGen := 0
+	var replay []Op
+	collect := func(op Op) {
+		if op.Seq > maxSeq {
+			maxSeq = op.Seq
+		}
+		if op.Seq <= baseLSN {
+			info.SkippedFrames++
+			return
+		}
+		replay = append(replay, op)
+		info.ReplayedFrames++
+	}
 	for _, segs := range groupSegments(names) {
 		for _, sg := range segs {
 			if sg.gen > maxGen {
@@ -169,7 +188,7 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 			off := 0
 			for off < len(data) {
 				f, n, ok := decodeFrame(data, off)
-				if !ok || (f.op != opPut && f.op != opDel) {
+				if !ok || (f.op != opPut && f.op != opDel && f.op != opGroup) {
 					info.TornTails++
 					if err := healSegment(cfg, sg.name, data[:off]); err != nil {
 						return nil, err
@@ -177,17 +196,20 @@ func Open(cfg Config, apply func(Op)) (*Store, error) {
 					break
 				}
 				off += n
-				if f.seq > maxSeq {
-					maxSeq = f.seq
-				}
-				if f.seq <= baseLSN {
-					info.SkippedFrames++
+				if f.op == opGroup {
+					base := f.seq - uint64(len(f.group)) + 1
+					for i, g := range f.group {
+						collect(Op{Seq: base + uint64(i), Key: g.key, Val: g.val, Delete: g.del})
+					}
 					continue
 				}
-				apply(Op{Seq: f.seq, Key: f.key, Val: f.val, Delete: f.op == opDel})
-				info.ReplayedFrames++
+				collect(Op{Seq: f.seq, Key: f.key, Val: f.val, Delete: f.op == opDel})
 			}
 		}
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].Seq < replay[j].Seq })
+	for _, op := range replay {
+		apply(op)
 	}
 	st.seq.Store(maxSeq)
 	info.MaxSeq = maxSeq
@@ -324,6 +346,82 @@ func (st *Store) log(f frame, apply func()) error {
 	n := len(s.pending)
 	s.unlock()
 	return st.ack(s, f.seq, n, n-before)
+}
+
+// GroupEntry is one operation of a combined batch.
+type GroupEntry struct {
+	Key, Val uint64
+	Delete   bool
+}
+
+// Group is an open combined-batch transaction: the shards homing the
+// batch's keys are locked (in ascending shard order — the global lock
+// order, so concurrent groups and single-op appends cannot deadlock)
+// until Commit or Abort.
+type Group struct {
+	st     *Store
+	shards []*shard
+}
+
+// BeginGroup locks the shards homing keys, in ascending shard order,
+// pinning the apply+append critical section for the whole batch. The
+// caller applies the batch's tree mutations while the group is open,
+// then Commits the operations that actually happened (or Aborts).
+func (st *Store) BeginGroup(keys []uint64) (*Group, error) {
+	if st.closed.Load() {
+		return nil, ErrStoreClosed
+	}
+	seen := map[int]*shard{}
+	for _, k := range keys {
+		s := st.wal.shardFor(k)
+		seen[s.id] = s
+	}
+	g := &Group{st: st, shards: make([]*shard, 0, len(seen))}
+	for _, s := range seen {
+		g.shards = append(g.shards, s)
+	}
+	sort.Slice(g.shards, func(i, j int) bool { return g.shards[i].id < g.shards[j].id })
+	for _, s := range g.shards {
+		s.lock()
+	}
+	return g, nil
+}
+
+// Commit assigns the batch a contiguous LSN range, appends it as one
+// group frame on the lowest-id involved shard, releases the shard locks,
+// and blocks until the frame is durable. ops must list only operations
+// that actually mutated the tree (an absent-key delete is not logged);
+// an empty ops is an Abort. Recovery re-expands the frame and replays
+// sub-operations in global LSN order, so the batch's effects survive a
+// crash exactly as applied.
+func (g *Group) Commit(ops []GroupEntry) error {
+	if len(ops) == 0 {
+		g.Abort()
+		return nil
+	}
+	recs := make([]groupRec, len(ops))
+	for i, op := range ops {
+		recs[i] = groupRec{key: op.Key, val: op.Val, del: op.Delete}
+	}
+	last := g.st.seq.Add(uint64(len(ops)))
+	s := g.shards[0]
+	before := len(s.pending)
+	s.appendGroupLocked(last, recs)
+	n := len(s.pending)
+	g.release()
+	return g.st.ack(s, last, n, n-before)
+}
+
+// Abort releases the shard locks without logging anything. The caller
+// must not have applied any mutation under this group.
+func (g *Group) Abort() { g.release() }
+
+// release unlocks the group's shards (reverse order, for symmetry).
+func (g *Group) release() {
+	for i := len(g.shards) - 1; i >= 0; i-- {
+		g.shards[i].unlock()
+	}
+	g.shards = nil
 }
 
 // ack waits for durability (or, in the broken AckBeforeFlush mode,

@@ -95,7 +95,8 @@ func TestFrameRoundtrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("frame %d: decode failed", i)
 		}
-		if got != want {
+		if got.op != want.op || got.seq != want.seq || got.key != want.key ||
+			got.val != want.val || got.group != nil {
 			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
 		}
 		off += n

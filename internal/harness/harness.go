@@ -144,6 +144,13 @@ type Result struct {
 	// StormEvents is how many times the device's abort-storm detector
 	// engaged degradation (0 without Config.Resilience).
 	StormEvents uint64
+
+	// CCM v2 hot-key layer activity (all zero unless the run's EunoCfg
+	// enables Combine).
+	EliminatedPairs  uint64
+	CombinedBatches  uint64
+	CombinedOps      uint64
+	CombinerHandoffs uint64
 }
 
 // newDevice constructs the HTM device, applying the hardening bundle when
@@ -268,6 +275,12 @@ func Run(cfg Config) Result {
 	}
 	res.ReservedPeak = arena.BytesByTag(simmem.TagReserved)
 	res.StormEvents = device.StormEvents()
+	if eu, ok := kv.(*core.Tree); ok {
+		res.EliminatedPairs = eu.EliminatedPairs()
+		res.CombinedBatches = eu.CombinedBatches()
+		res.CombinedOps = eu.CombinedOps()
+		res.CombinerHandoffs = eu.CombinerHandoffs()
+	}
 	return res
 }
 

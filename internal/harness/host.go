@@ -111,6 +111,12 @@ type HostResult struct {
 	PreloadedKeys uint64
 	GoMaxProcs    int
 	NumCPU        int
+
+	// CCM v2 counters, zero unless EunoCfg.Combine.Enabled.
+	EliminatedPairs  uint64
+	CombinedBatches  uint64
+	CombinedOps      uint64
+	CombinerHandoffs uint64
 }
 
 // RunHost executes one experiment on the host backend and returns its
@@ -194,6 +200,12 @@ func RunHost(cfg HostConfig) HostResult {
 	}
 	if res.Ops > 0 {
 		res.AbortsPerOp = float64(res.Stats.TotalAborts()) / float64(res.Ops)
+	}
+	if eu, ok := kv.(*core.Tree); ok {
+		res.EliminatedPairs = eu.EliminatedPairs()
+		res.CombinedBatches = eu.CombinedBatches()
+		res.CombinedOps = eu.CombinedOps()
+		res.CombinerHandoffs = eu.CombinerHandoffs()
 	}
 	return res
 }

@@ -102,6 +102,11 @@ type TreeMetrics struct {
 	MarkRejects uint64
 	RootRetries uint64
 	MaintRounds uint64
+	// CCM v2 hot-key layer activity (zero unless Options.Combine.Enabled).
+	EliminatedPairs  uint64 // same-key insert+delete pairs annihilated
+	CombinedBatches  uint64 // flat-combined leaf batches executed
+	CombinedOps      uint64 // operations served inside those batches
+	CombinerHandoffs uint64 // operations served by a different thread
 }
 
 // ContentionMetrics reports the built-in heatmap (Enabled false — and all
@@ -119,9 +124,10 @@ type ContentionMetrics struct {
 // Metrics is one coherent snapshot of everything the DB can report about
 // itself: transactional behavior with the abort-reason decomposition,
 // resilience state, memory accounting, tree maintenance, durability
-// counters, and — when enabled — the contention heatmap. It replaces the
+// counters, and — when enabled — the contention heatmap. It replaced the
 // former per-subsystem accessors (ResilienceStats, MemoryStats,
-// DurabilityStats), which remain as deprecated delegates.
+// DurabilityStats), now removed; their types remain as sections of this
+// snapshot.
 type Metrics struct {
 	Tx         TxMetrics
 	Resilience ResilienceStats
@@ -174,6 +180,11 @@ func (db *DB) Metrics() Metrics {
 			MarkRejects: db.euno.MarkRejects(),
 			RootRetries: db.euno.RootRetries(),
 			MaintRounds: db.euno.MaintRounds(),
+
+			EliminatedPairs:  db.euno.EliminatedPairs(),
+			CombinedBatches:  db.euno.CombinedBatches(),
+			CombinedOps:      db.euno.CombinedOps(),
+			CombinerHandoffs: db.euno.CombinerHandoffs(),
 		}
 	}
 	if db.heat != nil {

@@ -193,18 +193,15 @@ func TestMetricsUnifiedSnapshot(t *testing.T) {
 		t.Fatal("Contention section disabled despite Heatmap: true")
 	}
 
-	// Deprecated accessors must agree with the snapshot they wrap.
-	if got := db.ResilienceStats(); got != m.Resilience {
-		t.Fatalf("ResilienceStats %+v != Metrics().Resilience %+v", got, m.Resilience)
+	// Two snapshots must agree on the static parts (flush counters can
+	// advance between them).
+	m2 := db.Metrics()
+	if m2.Resilience != m.Resilience {
+		t.Fatalf("Resilience drifted: %+v != %+v", m2.Resilience, m.Resilience)
 	}
-	if got := db.MemoryStats(); got != m.Memory {
-		t.Fatalf("MemoryStats %+v != Metrics().Memory %+v", got, m.Memory)
-	}
-	got := db.DurabilityStats()
-	want := m.Durability
-	// Flush counters advance between snapshots; compare the static parts.
-	if got.Enabled != want.Enabled || got.ReplayedFrames != want.ReplayedFrames {
-		t.Fatalf("DurabilityStats %+v != Metrics().Durability %+v", got, want)
+	if m2.Durability.Enabled != m.Durability.Enabled ||
+		m2.Durability.ReplayedFrames != m.Durability.ReplayedFrames {
+		t.Fatalf("Durability drifted: %+v != %+v", m2.Durability, m.Durability)
 	}
 }
 
